@@ -1,0 +1,52 @@
+// Ablation A2 — polling-cost sensitivity. The Figure 6 gap between the
+// multi-rail strategy and the Quadrics-only reference is attributed to
+// polling the idle Myri-10G NIC; sweeping that NIC's poll cost must move
+// the gap linearly and nothing else.
+
+#include <cstdio>
+
+#include "harness.hpp"
+
+using namespace nmad;
+using namespace nmad::bench;
+
+namespace {
+
+double small_latency(const core::PlatformConfig& cfg) {
+  core::TwoNodePlatform p(cfg);
+  return pingpong_oneway_us(p, 4, PingPongOpts{.segments = 2});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation A2: polling cost vs Fig.6 gap ===\n\n");
+
+  core::PlatformConfig quad_only;
+  quad_only.links = {netmodel::quadrics_qm500()};
+  quad_only.strategy = "aggreg";
+  const double reference = small_latency(quad_only);
+  std::printf("# quadrics-only reference latency: %.3f us\n", reference);
+  std::printf("# %-18s %-12s %s\n", "myri_poll_cost_us", "latency_us", "gap_us");
+
+  std::vector<double> gaps;
+  for (double poll : {0.0, 0.2, 0.4, 0.8, 1.6}) {
+    core::PlatformConfig cfg = core::paper_platform("aggreg_greedy");
+    cfg.links[0].poll_cost_us = poll;  // Myri-10G rail
+    const double latency = small_latency(cfg);
+    gaps.push_back(latency - reference);
+    std::printf("%-20.2f %-12.3f %.3f\n", poll, latency, gaps.back());
+  }
+  std::printf("\n");
+
+  // Zero poll cost => (nearly) zero gap; gap grows with the poll cost.
+  check_less("A2 gap at poll=0 (us)", gaps.front(), 0.15);
+  check_greater("A2 gap at poll=1.6 vs poll=0.2 (ratio)", gaps.back() / gaps[1],
+                3.0);
+  bool monotone = true;
+  for (std::size_t i = 1; i < gaps.size(); ++i) {
+    monotone = monotone && gaps[i] >= gaps[i - 1] - 1e-9;
+  }
+  check_greater("A2 gap monotone in poll cost (1=yes)", monotone ? 1.0 : 0.0, 0.5);
+  return checks_exit_code();
+}

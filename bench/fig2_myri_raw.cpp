@@ -1,0 +1,64 @@
+// Figure 2 — Raw performance of NewMadeleine over Myri-10G for regular and
+// multi-segment messages: (a) latency 4 B..32 KB, (b) bandwidth 32 KB..8 MB.
+// Five series: regular, 2-segment, 2-segment + opportunistic aggregation,
+// 4-segment, 4-segment + opportunistic aggregation.
+
+#include <cstdio>
+
+#include "harness.hpp"
+
+using namespace nmad;
+using namespace nmad::bench;
+
+namespace {
+
+core::PlatformConfig myri_only(const char* strategy) {
+  core::PlatformConfig cfg;
+  cfg.links = {netmodel::myri10g()};
+  cfg.strategy = strategy;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 2: raw NewMadeleine over Myri-10G ===\n\n");
+
+  const auto lat_sizes = latency_sizes();
+  const auto bw_sizes = bandwidth_sizes();
+
+  const std::vector<std::pair<const char*, PingPongOpts>> variants = {
+      {"regular", {.segments = 1}},
+      {"2seg", {.segments = 2}},
+      {"2seg+agg", {.segments = 2}},
+      {"4seg", {.segments = 4}},
+      {"4seg+agg", {.segments = 4}},
+  };
+  const std::vector<const char*> strategies = {"single_rail", "single_rail",
+                                               "aggreg", "single_rail", "aggreg"};
+
+  std::vector<Series> lat, bw;
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    lat.push_back(sweep_latency(myri_only(strategies[i]), variants[i].first,
+                                lat_sizes, variants[i].second));
+    bw.push_back(sweep_bandwidth(myri_only(strategies[i]), variants[i].first,
+                                 bw_sizes, variants[i].second));
+  }
+
+  print_table("Fig 2(a): transfer time over Myri-10G", "us", lat_sizes, lat);
+  print_table("Fig 2(b): bandwidth over Myri-10G", "MB/s", bw_sizes, bw);
+
+  // Paper §3.1: latency 2.8 us, maximal bandwidth ~1200 MB/s.
+  check("Fig2 regular 4B one-way latency (us)", lat[0].values.front(), 2.8, 0.15);
+  check("Fig2 regular 8MB bandwidth (MB/s)", bw[0].values.back(), 1200.0, 0.10);
+  // Multi-segment small messages pay per-packet overhead...
+  check_greater("Fig2 4seg 64B latency vs regular (ratio)",
+                lat[3].values[4] / lat[0].values[4], 1.3);
+  // ...which opportunistic aggregation recovers almost entirely.
+  check_less("Fig2 4seg+agg 64B latency vs regular (ratio)",
+             lat[4].values[4] / lat[0].values[4], 1.15);
+  // At large sizes all variants converge.
+  check("Fig2 2seg 8MB bandwidth ~= regular (MB/s)", bw[1].values.back(),
+        bw[0].values.back(), 0.05);
+  return checks_exit_code();
+}

@@ -1,0 +1,59 @@
+// Figure 3 — Raw performance of NewMadeleine over Quadrics for regular and
+// multi-segment messages (same protocol as Figure 2, on the Elan rail).
+// Paper §3.1: "the gain of aggregating small packets on Quadrics is even
+// bigger than on Myri-10G."
+
+#include <cstdio>
+
+#include "harness.hpp"
+
+using namespace nmad;
+using namespace nmad::bench;
+
+namespace {
+
+core::PlatformConfig quadrics_only(const char* strategy) {
+  core::PlatformConfig cfg;
+  cfg.links = {netmodel::quadrics_qm500()};
+  cfg.strategy = strategy;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 3: raw NewMadeleine over Quadrics ===\n\n");
+
+  const auto lat_sizes = latency_sizes();
+  const auto bw_sizes = bandwidth_sizes();
+
+  const std::vector<std::pair<const char*, PingPongOpts>> variants = {
+      {"regular", {.segments = 1}},
+      {"2seg", {.segments = 2}},
+      {"2seg+agg", {.segments = 2}},
+      {"4seg", {.segments = 4}},
+      {"4seg+agg", {.segments = 4}},
+  };
+  const std::vector<const char*> strategies = {"single_rail", "single_rail",
+                                               "aggreg", "single_rail", "aggreg"};
+
+  std::vector<Series> lat, bw;
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    lat.push_back(sweep_latency(quadrics_only(strategies[i]), variants[i].first,
+                                lat_sizes, variants[i].second));
+    bw.push_back(sweep_bandwidth(quadrics_only(strategies[i]), variants[i].first,
+                                 bw_sizes, variants[i].second));
+  }
+
+  print_table("Fig 3(a): transfer time over Quadrics", "us", lat_sizes, lat);
+  print_table("Fig 3(b): bandwidth over Quadrics", "MB/s", bw_sizes, bw);
+
+  // Paper §3.1: latency 1.7 us, maximal bandwidth ~850 MB/s.
+  check("Fig3 regular 4B one-way latency (us)", lat[0].values.front(), 1.7, 0.15);
+  check("Fig3 regular 8MB bandwidth (MB/s)", bw[0].values.back(), 850.0, 0.10);
+  check_greater("Fig3 4seg 64B latency vs regular (ratio)",
+                lat[3].values[4] / lat[0].values[4], 1.3);
+  check_less("Fig3 4seg+agg 64B latency vs regular (ratio)",
+             lat[4].values[4] / lat[0].values[4], 1.15);
+  return checks_exit_code();
+}

@@ -1,0 +1,60 @@
+// Figure 5 — Performance of the greedy balancing strategy with 4-segment
+// messages. "As expected, the results exhibit the same overall behavior
+// [as Figure 4]. Note that in the case of large data transfers, the
+// bandwidth achieved is still interestingly rather high in spite of the
+// additional processing due to the handling of a larger number of
+// elementary transfers." (paper §3.2)
+
+#include <cstdio>
+
+#include "harness.hpp"
+
+using namespace nmad;
+using namespace nmad::bench;
+
+namespace {
+
+core::PlatformConfig one_rail(netmodel::NicProfile nic) {
+  core::PlatformConfig cfg;
+  cfg.links = {std::move(nic)};
+  cfg.strategy = "aggreg";
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 5: greedy balancing, 4-segment messages ===\n\n");
+
+  const auto lat_sizes = doubling_sizes(16, 32 * 1024);
+  const auto bw_sizes = bandwidth_sizes();
+  const PingPongOpts four_seg{.segments = 4};
+
+  std::vector<Series> lat;
+  lat.push_back(sweep_latency(one_rail(netmodel::myri10g()), "4agg@myri",
+                              lat_sizes, four_seg));
+  lat.push_back(sweep_latency(one_rail(netmodel::quadrics_qm500()),
+                              "4agg@quadrics", lat_sizes, four_seg));
+  lat.push_back(sweep_latency(core::paper_platform("greedy"), "4seg balanced",
+                              lat_sizes, four_seg));
+
+  std::vector<Series> bw;
+  bw.push_back(sweep_bandwidth(one_rail(netmodel::myri10g()), "4agg@myri",
+                               bw_sizes, four_seg));
+  bw.push_back(sweep_bandwidth(one_rail(netmodel::quadrics_qm500()),
+                               "4agg@quadrics", bw_sizes, four_seg));
+  bw.push_back(sweep_bandwidth(core::paper_platform("greedy"), "4seg balanced",
+                               bw_sizes, four_seg));
+
+  print_table("Fig 5(a): 4-segment latency", "us", lat_sizes, lat);
+  print_table("Fig 5(b): 4-segment bandwidth", "MB/s", bw_sizes, bw);
+
+  // Same shape as Figure 4: high aggregate bandwidth despite 4 transfers.
+  check("Fig5 balanced 8MB bandwidth (MB/s)", bw[2].values.back(), 1675.0, 0.10);
+  check_greater("Fig5 balanced/best-single bandwidth at 8MB (ratio)",
+                bw[2].values.back() / std::max(bw[0].values.back(), bw[1].values.back()),
+                1.25);
+  check_greater("Fig5 balanced 256B latency vs quadrics-agg (ratio)",
+                lat[2].values[4] / lat[1].values[4], 1.0);
+  return checks_exit_code();
+}

@@ -1,0 +1,64 @@
+// Figure 7 — Packet stripping with adaptive threshold (strategy v3),
+// bandwidth of a single large segment: one segment over Myri-10G only,
+// over Quadrics only, iso-split (50/50) over both rails, and hetero-split
+// using the ratios obtained from boot-time sampling.
+//
+// Expected shape (paper §3.4): hetero-split > iso-split > Myri-10G only >
+// Quadrics only for large messages; the adaptive ratios send "the major
+// part of the initial segment through Myri-10G".
+
+#include <cstdio>
+
+#include "harness.hpp"
+
+using namespace nmad;
+using namespace nmad::bench;
+
+namespace {
+
+core::PlatformConfig one_rail(netmodel::NicProfile nic) {
+  core::PlatformConfig cfg;
+  cfg.links = {std::move(nic)};
+  cfg.strategy = "single_rail";
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 7: adaptive packet stripping (v3) ===\n\n");
+
+  const auto bw_sizes = bandwidth_sizes();
+  const PingPongOpts one_seg{.segments = 1};
+
+  std::vector<Series> bw;
+  bw.push_back(sweep_bandwidth(one_rail(netmodel::myri10g()), "1seg@myri",
+                               bw_sizes, one_seg));
+  bw.push_back(sweep_bandwidth(one_rail(netmodel::quadrics_qm500()),
+                               "1seg@quadrics", bw_sizes, one_seg));
+  bw.push_back(sweep_bandwidth(core::paper_platform("iso_split"), "iso-split",
+                               bw_sizes, one_seg));
+
+  core::PlatformConfig hetero = core::paper_platform("split_balance");
+  hetero.sampled_ratios = true;  // the paper's initialization-time sampling
+  bw.push_back(sweep_bandwidth(hetero, "hetero-split", bw_sizes, one_seg));
+
+  print_table("Fig 7: single-segment stripping bandwidth", "MB/s", bw_sizes, bw);
+
+  const double myri = bw[0].values.back();
+  const double quad = bw[1].values.back();
+  const double iso = bw[2].values.back();
+  const double het = bw[3].values.back();
+
+  // Ordering of the four curves at 8 MB.
+  check_greater("Fig7 iso-split beats best single rail at 8MB (ratio)",
+                iso / std::max(myri, quad), 1.2);
+  check_greater("Fig7 hetero-split beats iso-split at 8MB (ratio)", het / iso,
+                1.05);
+  // Iso-split is gated by twice the slower (Quadrics) rail.
+  check("Fig7 iso-split 8MB bandwidth ~= 2x quadrics (MB/s)", iso, 2.0 * quad,
+        0.10);
+  // Hetero-split approaches the I/O bus ceiling (~1.9-2 GB/s).
+  check_greater("Fig7 hetero-split 8MB bandwidth (MB/s)", het, 1800.0);
+  return checks_exit_code();
+}

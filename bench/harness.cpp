@@ -1,0 +1,157 @@
+#include "harness.hpp"
+
+#include <cstdio>
+
+#include "util/byte_size.hpp"
+#include "util/panic.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace nmad::bench {
+
+namespace {
+bool g_all_checks_ok = true;
+}  // namespace
+
+double pingpong_oneway_us(core::TwoNodePlatform& p, std::uint64_t total_size,
+                          const PingPongOpts& opts) {
+  NMAD_ASSERT(opts.segments >= 1, "segments must be >= 1");
+  NMAD_ASSERT(opts.iters >= 1, "iters must be >= 1");
+  const auto nseg = static_cast<std::uint64_t>(opts.segments);
+
+  static std::vector<std::byte> payload_a, payload_b, sink_a, sink_b;
+  if (payload_a.size() < total_size) {
+    util::Xoshiro256 rng(0xbadc0ffee);
+    payload_a.resize(total_size);
+    payload_b.resize(total_size);
+    for (auto& x : payload_a) x = std::byte(rng.next() & 0xff);
+    for (auto& x : payload_b) x = std::byte(rng.next() & 0xff);
+    sink_a.resize(total_size);
+    sink_b.resize(total_size);
+  }
+
+  // Segment boundaries: equal sizes, last segment absorbs the remainder.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pieces;  // offset,len
+  const std::uint64_t base = total_size / nseg;
+  std::uint64_t off = 0;
+  for (std::uint64_t i = 0; i < nseg; ++i) {
+    const std::uint64_t len = (i + 1 == nseg) ? total_size - off : base;
+    pieces.emplace_back(off, len);
+    off += len;
+  }
+
+  util::RunningStats halves;
+  for (int iter = 0; iter < opts.iters; ++iter) {
+    std::vector<core::RecvHandle> recvs_b, recvs_a;
+    std::vector<core::SendHandle> sends_a, sends_b;
+
+    for (auto [o, l] : pieces) {
+      recvs_b.push_back(p.b().irecv(p.gate_ba(), 0,
+                                    std::span<std::byte>(sink_b.data() + o, l)));
+      recvs_a.push_back(p.a().irecv(p.gate_ab(), 0,
+                                    std::span<std::byte>(sink_a.data() + o, l)));
+    }
+
+    const sim::TimeNs t0 = p.now();
+    for (auto [o, l] : pieces) {
+      sends_a.push_back(p.a().isend(
+          p.gate_ab(), 0, std::span<const std::byte>(payload_a.data() + o, l)));
+    }
+    p.b().wait_all({}, recvs_b);
+
+    // The pong: b echoes as soon as its receives complete.
+    for (auto [o, l] : pieces) {
+      sends_b.push_back(p.b().isend(
+          p.gate_ba(), 0, std::span<const std::byte>(payload_b.data() + o, l)));
+    }
+    p.a().wait_all(sends_a, recvs_a);
+    p.b().wait_all(sends_b, {});
+
+    sim::TimeNs done = t0;
+    for (const auto& r : recvs_a) done = std::max(done, r->completion_time());
+    halves.add(sim::ns_to_us(done - t0) / 2.0);
+  }
+  return halves.mean();
+}
+
+std::vector<std::uint64_t> doubling_sizes(std::uint64_t min_size,
+                                          std::uint64_t max_size) {
+  std::vector<std::uint64_t> sizes;
+  for (std::uint64_t s = min_size; s <= max_size; s *= 2) sizes.push_back(s);
+  return sizes;
+}
+
+std::vector<std::uint64_t> latency_sizes() { return doubling_sizes(4, 32 * 1024); }
+
+std::vector<std::uint64_t> bandwidth_sizes() {
+  return doubling_sizes(32 * 1024, 8 * 1024 * 1024);
+}
+
+Series sweep_latency(const core::PlatformConfig& config, std::string label,
+                     const std::vector<std::uint64_t>& sizes,
+                     const PingPongOpts& opts) {
+  core::TwoNodePlatform platform(config);
+  Series series{std::move(label), {}};
+  series.values.reserve(sizes.size());
+  for (std::uint64_t size : sizes) {
+    series.values.push_back(pingpong_oneway_us(platform, size, opts));
+  }
+  return series;
+}
+
+Series sweep_bandwidth(const core::PlatformConfig& config, std::string label,
+                       const std::vector<std::uint64_t>& sizes,
+                       const PingPongOpts& opts) {
+  Series series = sweep_latency(config, std::move(label), sizes, opts);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    series.values[i] = static_cast<double>(sizes[i]) / series.values[i];  // B/µs == MB/s
+  }
+  return series;
+}
+
+void print_table(const std::string& title, const std::string& unit,
+                 const std::vector<std::uint64_t>& sizes,
+                 const std::vector<Series>& series) {
+  std::printf("# %s\n", title.c_str());
+  std::printf("# %-10s", "size");
+  for (const Series& s : series) std::printf("  %22s", s.label.c_str());
+  std::printf("   [%s]\n", unit.c_str());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    std::printf("%-12s", util::format_byte_size(sizes[i]).c_str());
+    for (const Series& s : series) std::printf("  %22.2f", s.values[i]);
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+bool check(const std::string& what, double measured, double expected,
+           double rel_tol) {
+  const double rel = expected != 0.0
+                         ? std::abs(measured - expected) / std::abs(expected)
+                         : std::abs(measured);
+  const bool ok = rel <= rel_tol;
+  std::printf("CHECK %-58s measured=%10.2f paper=%10.2f  %s\n", what.c_str(),
+              measured, expected, ok ? "PASS" : "FAIL");
+  g_all_checks_ok = g_all_checks_ok && ok;
+  return ok;
+}
+
+bool check_greater(const std::string& what, double measured, double bound) {
+  const bool ok = measured > bound;
+  std::printf("CHECK %-58s measured=%10.2f >  bound=%10.2f  %s\n", what.c_str(),
+              measured, bound, ok ? "PASS" : "FAIL");
+  g_all_checks_ok = g_all_checks_ok && ok;
+  return ok;
+}
+
+bool check_less(const std::string& what, double measured, double bound) {
+  const bool ok = measured < bound;
+  std::printf("CHECK %-58s measured=%10.2f <  bound=%10.2f  %s\n", what.c_str(),
+              measured, bound, ok ? "PASS" : "FAIL");
+  g_all_checks_ok = g_all_checks_ok && ok;
+  return ok;
+}
+
+int checks_exit_code() { return g_all_checks_ok ? 0 : 1; }
+
+}  // namespace nmad::bench

@@ -1,0 +1,74 @@
+// Shared benchmark harness: the paper's ping-pong (§3.1) over a simulated
+// platform, sweep drivers, table printing, and paper-vs-measured checks.
+//
+// "The benchmark is a regular ping-pong program where the send (resp.
+// recv) sequence is a series of non-blocking send (resp. non-blocking
+// recv) operations." A "k-segment message" of total size S is therefore k
+// back-to-back non-blocking sends of S/k bytes each, which the strategies
+// may aggregate, balance or split.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+
+namespace nmad::bench {
+
+struct PingPongOpts {
+  /// Number of equal segments (independent non-blocking sends) per side.
+  int segments = 1;
+  /// Iterations; the simulation is deterministic, so a handful suffices to
+  /// confirm steady state.
+  int iters = 3;
+};
+
+/// One-way time (µs) to move `total_size` bytes (split into opts.segments
+/// messages) from a to b, at ping-pong steady state.
+double pingpong_oneway_us(core::TwoNodePlatform& p, std::uint64_t total_size,
+                          const PingPongOpts& opts);
+
+/// Doubling sweep [min_size, max_size].
+std::vector<std::uint64_t> doubling_sizes(std::uint64_t min_size,
+                                          std::uint64_t max_size);
+/// The paper's latency-figure x axis: 4 B .. 32 KB.
+std::vector<std::uint64_t> latency_sizes();
+/// The paper's bandwidth-figure x axis: 32 KB .. 8 MB.
+std::vector<std::uint64_t> bandwidth_sizes();
+
+struct Series {
+  std::string label;
+  /// One value per sweep size: µs (latency tables) or MB/s (bandwidth).
+  std::vector<double> values;
+};
+
+/// Run a full sweep of pingpong_oneway_us over `sizes` on a fresh platform
+/// built from `config`; returns one-way times in µs.
+Series sweep_latency(const core::PlatformConfig& config, std::string label,
+                     const std::vector<std::uint64_t>& sizes,
+                     const PingPongOpts& opts);
+
+/// Same sweep, converted to bandwidth (MB/s, 1 MB = 1e6 B — the paper's
+/// axis convention).
+Series sweep_bandwidth(const core::PlatformConfig& config, std::string label,
+                       const std::vector<std::uint64_t>& sizes,
+                       const PingPongOpts& opts);
+
+/// Print a gnuplot-ready table: header lines prefixed with '#', then one
+/// row per size with one column per series.
+void print_table(const std::string& title, const std::string& unit,
+                 const std::vector<std::uint64_t>& sizes,
+                 const std::vector<Series>& series);
+
+/// Paper-vs-measured shape check; prints PASS/FAIL and returns ok.
+bool check(const std::string& what, double measured, double expected,
+           double rel_tol);
+/// Directional check (measured must exceed bound).
+bool check_greater(const std::string& what, double measured, double bound);
+bool check_less(const std::string& what, double measured, double bound);
+
+/// Exit status helper: 0 if all checks passed so far, 1 otherwise.
+int checks_exit_code();
+
+}  // namespace nmad::bench

@@ -1,0 +1,120 @@
+// Micro-benchmarks of the library's hot paths (google-benchmark): these
+// run in *real* time and guard against regressions in the code the
+// progression engine executes per packet.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "proto/reassembly.hpp"
+#include "proto/wire.hpp"
+#include "sim/engine.hpp"
+#include "sim/fair_share.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace nmad;
+
+void BM_PacketEncodeSingle(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  std::vector<std::byte> payload(len, std::byte{0x42});
+  for (auto _ : state) {
+    auto wire = proto::encode_data_packet(
+        proto::SegHeader{1, 2, 0, static_cast<std::uint32_t>(len),
+                         static_cast<std::uint32_t>(len)},
+        payload);
+    benchmark::DoNotOptimize(wire.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_PacketEncodeSingle)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_PacketDecode(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  std::vector<std::byte> payload(len, std::byte{0x42});
+  const auto wire = proto::encode_data_packet(
+      proto::SegHeader{1, 2, 0, static_cast<std::uint32_t>(len),
+                       static_cast<std::uint32_t>(len)},
+      payload);
+  for (auto _ : state) {
+    auto decoded = proto::decode_packet(wire);
+    benchmark::DoNotOptimize(decoded.has_value());
+  }
+}
+BENCHMARK(BM_PacketDecode)->Arg(64)->Arg(65536);
+
+void BM_AggregatedEncode(benchmark::State& state) {
+  const auto nseg = static_cast<std::size_t>(state.range(0));
+  std::vector<std::byte> payload(256, std::byte{0x17});
+  for (auto _ : state) {
+    proto::PacketBuilder builder(proto::PacketKind::kData);
+    for (std::size_t i = 0; i < nseg; ++i) {
+      builder.add_segment(proto::SegHeader{7, static_cast<std::uint32_t>(i), 0,
+                                           256, 256},
+                          payload);
+    }
+    auto wire = std::move(builder).finish();
+    benchmark::DoNotOptimize(wire.data());
+  }
+}
+BENCHMARK(BM_AggregatedEncode)->Arg(2)->Arg(8)->Arg(64);
+
+void BM_ReassemblyOutOfOrder(benchmark::State& state) {
+  const auto chunks = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kChunk = 4096;
+  std::vector<std::byte> dest(chunks * kChunk);
+  std::vector<std::byte> src(kChunk, std::byte{0x33});
+  std::vector<std::size_t> order(chunks);
+  for (std::size_t i = 0; i < chunks; ++i) order[i] = i;
+  util::Xoshiro256 rng(99);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  for (auto _ : state) {
+    proto::MessageAssembly assembly(dest);
+    for (std::size_t i : order) {
+      auto st = assembly.add_chunk(i * kChunk, src);
+      benchmark::DoNotOptimize(st.has_value());
+    }
+    benchmark::DoNotOptimize(assembly.complete());
+  }
+}
+BENCHMARK(BM_ReassemblyOutOfOrder)->Arg(16)->Arg(256);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::uint64_t sum = 0;
+    util::Xoshiro256 rng(7);
+    for (std::size_t i = 0; i < n; ++i) {
+      engine.schedule(static_cast<sim::TimeNs>(rng.next_below(1000000)),
+                      [&sum] { ++sum; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_EventQueueChurn)->Arg(1024)->Arg(16384);
+
+void BM_FairShareRecompute(benchmark::State& state) {
+  const auto flows = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    sim::FairShareNet net(engine);
+    auto bus_a = net.add_constraint(2000.0, "bus_a");
+    auto bus_b = net.add_constraint(2000.0, "bus_b");
+    std::size_t done = 0;
+    for (std::size_t i = 0; i < flows; ++i) {
+      auto link = net.add_constraint(1200.0, "link");
+      net.start_flow(1 << 20, {link, bus_a, bus_b}, [&done] { ++done; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(done);
+  }
+}
+BENCHMARK(BM_FairShareRecompute)->Arg(2)->Arg(16);
+
+}  // namespace

@@ -1,0 +1,80 @@
+#!/bin/sh
+# Regenerate the paper's figures as SVGs from the benchmark binaries.
+#
+#   bench/plots/render.sh <build-dir> [out-dir]
+#
+# Requires gnuplot. Each fig binary prints one or two '#'-headed tables;
+# this script splits them into .dat files and renders log-log plots in the
+# paper's style (latency: log2 x, log2 y; bandwidth: log2 x, log2 y).
+set -eu
+
+BUILD=${1:?usage: render.sh <build-dir> [out-dir]}
+OUT=${2:-bench_plots}
+mkdir -p "$OUT"
+
+split_tables() {
+    # Split stdin into $OUT/<stem>_tableN.dat at each line starting '# Fig'
+    # or '# A' (table titles); strip CHECK lines.
+    awk -v out="$OUT" -v stem="$1" '
+        /^# (Fig|A[0-9])/ { n += 1; next }
+        /^CHECK/ { next }
+        /^===/ { next }
+        n > 0 && NF > 0 { print > (out "/" stem "_table" n ".dat") }
+    '
+}
+
+for fig in fig2_myri_raw fig3_quadrics_raw fig4_greedy_2seg \
+           fig5_greedy_4seg fig6_aggreg_fastest fig7_stripping; do
+    "$BUILD/bench/$fig" | split_tables "$fig"
+done
+
+command -v gnuplot >/dev/null || {
+    echo "tables written to $OUT/; install gnuplot to render SVGs" >&2
+    exit 0
+}
+
+plot() {
+    # plot <dat> <svg> <ylabel> <ncols>
+    dat=$1; svg=$2; ylabel=$3; ncols=$4
+    {
+        echo "set terminal svg size 720,480 background 'white'"
+        echo "set output '$OUT/$svg'"
+        echo "set logscale xy 2"
+        echo "set xlabel 'Total data size (bytes)'"
+        echo "set ylabel '$ylabel'"
+        echo "set key top left"
+        echo "set grid"
+        printf "plot "
+        i=2
+        while [ "$i" -le "$((ncols + 1))" ]; do
+            [ "$i" -gt 2 ] && printf ", "
+            printf "'%s' using (column(1)):%d with linespoints title 'series %d'" \
+                "$OUT/$dat" "$i" "$((i - 1))"
+            i=$((i + 1))
+        done
+        echo
+    } | gnuplot
+}
+
+# Sizes in the first column carry K/M suffixes; convert in place first.
+for f in "$OUT"/*.dat; do
+    awk '{
+        v = $1
+        if (v ~ /K$/) { sub(/K$/, "", v); v *= 1024 }
+        else if (v ~ /M$/) { sub(/M$/, "", v); v *= 1048576 }
+        $1 = v; print
+    }' "$f" > "$f.tmp" && mv "$f.tmp" "$f"
+done
+
+plot fig2_myri_raw_table1.dat      fig2a_latency.svg   'Transfer time (us)' 5
+plot fig2_myri_raw_table2.dat      fig2b_bandwidth.svg 'Bandwidth (MB/s)'   5
+plot fig3_quadrics_raw_table1.dat  fig3a_latency.svg   'Transfer time (us)' 5
+plot fig3_quadrics_raw_table2.dat  fig3b_bandwidth.svg 'Bandwidth (MB/s)'   5
+plot fig4_greedy_2seg_table1.dat   fig4a_latency.svg   'Transfer time (us)' 3
+plot fig4_greedy_2seg_table2.dat   fig4b_bandwidth.svg 'Bandwidth (MB/s)'   3
+plot fig5_greedy_4seg_table1.dat   fig5a_latency.svg   'Transfer time (us)' 3
+plot fig5_greedy_4seg_table2.dat   fig5b_bandwidth.svg 'Bandwidth (MB/s)'   3
+plot fig6_aggreg_fastest_table1.dat fig6_latency.svg   'Transfer time (us)' 3
+plot fig7_stripping_table1.dat     fig7_bandwidth.svg  'Bandwidth (MB/s)'   4
+
+echo "figures rendered into $OUT/"

@@ -1,0 +1,76 @@
+// Halo exchange of a matrix boundary using the incremental pack/unpack
+// API — the non-contiguous-data scenario the paper's collect layer is
+// designed for ("messages may be constituted of one or more segments
+// through incremental message construction/extraction commands").
+//
+// Node A owns a matrix and ships its boundary *column* (one non-contiguous
+// element per row) plus its boundary row to node B. The strategy
+// aggregates the many small column pieces into few packets.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "drv/sim_driver.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+constexpr std::size_t kRows = 256;
+constexpr std::size_t kCols = 512;
+
+}  // namespace
+
+int main() {
+  using namespace nmad;
+
+  core::TwoNodePlatform platform(core::paper_platform("aggreg_greedy"));
+
+  // Row-major matrix of doubles on node A.
+  std::vector<double> matrix(kRows * kCols);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    for (std::size_t c = 0; c < kCols; ++c) {
+      matrix[r * kCols + c] = static_cast<double>(r) * 1000.0 + static_cast<double>(c);
+    }
+  }
+
+  // Pack the last column (non-contiguous: one double per row) and the last
+  // row (contiguous) as a single logical message.
+  core::PackBuilder pack = platform.a().pack(platform.gate_ab(), /*tag=*/3);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    pack.add(std::as_bytes(std::span(&matrix[r * kCols + (kCols - 1)], 1)));
+  }
+  pack.add(std::as_bytes(std::span(&matrix[(kRows - 1) * kCols], kCols)));
+
+  // Node B unpacks into its own halo storage.
+  std::vector<double> halo_col(kRows);
+  std::vector<double> halo_row(kCols);
+  core::UnpackBuilder unpack = platform.b().unpack(platform.gate_ba(), /*tag=*/3);
+  unpack.add(std::as_writable_bytes(std::span(halo_col)));
+  unpack.add(std::as_writable_bytes(std::span(halo_row)));
+
+  auto recv = unpack.submit();
+  auto send = pack.submit();
+  platform.b().wait(recv);
+  platform.a().wait(send);
+
+  bool ok = true;
+  for (std::size_t r = 0; r < kRows; ++r) {
+    ok = ok && halo_col[r] == matrix[r * kCols + (kCols - 1)];
+  }
+  for (std::size_t c = 0; c < kCols; ++c) {
+    ok = ok && halo_row[c] == matrix[(kRows - 1) * kCols + c];
+  }
+
+  std::printf("halo exchange of %zu column elements + %zu row elements: %s\n",
+              kRows, kCols, ok ? "intact" : "CORRUPT");
+  std::printf("virtual time: %.1f us\n", sim::ns_to_us(platform.now()));
+
+  // The aggregating strategy coalesced the 256 tiny column segments.
+  const auto& fast_rail = *platform.rails_a()[1];  // quadrics = fastest
+  std::printf("packets on the fast rail: %llu eager (aggregation turned %zu "
+              "segments into them)\n",
+              static_cast<unsigned long long>(fast_rail.stats().eager_packets),
+              kRows + 1);
+  return ok ? 0 : 1;
+}

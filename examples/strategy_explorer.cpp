@@ -1,0 +1,80 @@
+// Strategy explorer: runs a user-chosen workload under every built-in
+// strategy and prints a comparison table — the tool you reach for when
+// deciding which optimizing scheduler fits a communication pattern.
+//
+//   usage: strategy_explorer [total_bytes] [segments]
+//   e.g.   strategy_explorer 1M 4
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "sim/time.hpp"
+#include "util/byte_size.hpp"
+
+namespace {
+
+using namespace nmad;
+
+double one_way_us(const std::string& strategy, std::uint64_t total,
+                  int segments) {
+  core::PlatformConfig cfg = core::paper_platform(strategy);
+  cfg.sampled_ratios = (strategy == "split_balance");
+  core::TwoNodePlatform p(std::move(cfg));
+
+  std::vector<std::byte> payload(total, std::byte{0x2a});
+  std::vector<std::byte> sink(total);
+
+  const std::uint64_t base = total / static_cast<std::uint64_t>(segments);
+  std::vector<core::RecvHandle> recvs;
+  std::vector<core::SendHandle> sends;
+  std::uint64_t off = 0;
+  for (int i = 0; i < segments; ++i) {
+    const std::uint64_t len = (i + 1 == segments) ? total - off : base;
+    recvs.push_back(p.b().irecv(p.gate_ba(), 0,
+                                std::span<std::byte>(sink.data() + off, len)));
+    off += len;
+  }
+  const sim::TimeNs t0 = p.now();
+  off = 0;
+  for (int i = 0; i < segments; ++i) {
+    const std::uint64_t len = (i + 1 == segments) ? total - off : base;
+    sends.push_back(p.a().isend(
+        p.gate_ab(), 0, std::span<const std::byte>(payload.data() + off, len)));
+    off += len;
+  }
+  p.b().wait_all(sends, recvs);
+
+  sim::TimeNs done = t0;
+  for (const auto& r : recvs) done = std::max(done, r->completion_time());
+  return sim::ns_to_us(done - t0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t total = 256 * 1024;
+  int segments = 2;
+  if (argc > 1) {
+    auto parsed = util::parse_byte_size(argv[1]);
+    if (!parsed) {
+      std::fprintf(stderr, "bad size '%s': %s\n", argv[1],
+                   parsed.error().message.c_str());
+      return 2;
+    }
+    total = parsed.value();
+  }
+  if (argc > 2) segments = std::max(1, std::atoi(argv[2]));
+
+  std::printf("workload: %s in %d segment(s), Myri-10G + Quadrics platform\n\n",
+              util::format_byte_size(total).c_str(), segments);
+  std::printf("%-16s %14s %14s\n", "strategy", "one-way (us)", "bandwidth MB/s");
+
+  for (std::string_view name : strat::strategy_names()) {
+    const double us = one_way_us(std::string(name), total, segments);
+    std::printf("%-16s %14.2f %14.2f\n", std::string(name).c_str(), us,
+                static_cast<double>(total) / us);
+  }
+  return 0;
+}

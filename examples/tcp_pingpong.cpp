@@ -1,0 +1,106 @@
+// Two-process ping-pong over real localhost TCP — the non-simulated
+// deployment of the library. The parent forks: the child connects to the
+// parent's listener, and both run the identical Session/strategy stack
+// that the simulated experiments use, exchanging real bytes in real time.
+//
+//   $ ./tcp_pingpong            # forks its own peer
+//   $ ./tcp_pingpong 7777       # custom port
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "core/session.hpp"
+#include "drv/real_world.hpp"
+#include "drv/tcp_driver.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using namespace nmad;
+
+std::unique_ptr<core::Session> make_session(drv::RealWorld& world,
+                                            const char* name) {
+  auto clock = [&world] { return world.now(); };
+  auto defer = [&world](std::function<void()> fn) { world.defer(std::move(fn)); };
+  auto progress = [&world](const std::function<bool()>& pred) {
+    world.progress_until(pred);
+  };
+  return std::make_unique<core::Session>(name, clock, defer, progress);
+}
+
+int run_peer(std::unique_ptr<drv::TcpDriver> driver, bool is_server) {
+  drv::RealWorld world;
+  world.attach(driver.get());
+  auto session = make_session(world, is_server ? "server" : "client");
+  const core::GateId gate = session->connect({driver.get()}, "aggreg");
+
+  constexpr int kIters = 200;
+  constexpr std::size_t kSize = 64 * 1024;
+  std::vector<std::byte> payload(kSize, std::byte{0x42});
+  std::vector<std::byte> sink(kSize);
+
+  const sim::TimeNs t0 = world.now();
+  for (int i = 0; i < kIters; ++i) {
+    if (is_server) {
+      auto recv = session->irecv(gate, 0, sink);
+      session->wait(recv);
+      auto send = session->isend(gate, 0, payload);
+      session->wait(send);
+    } else {
+      auto send = session->isend(gate, 0, payload);
+      auto recv = session->irecv(gate, 0, sink);
+      session->wait(recv);
+      session->wait(send);
+    }
+  }
+  const double total_us = sim::ns_to_us(world.now() - t0);
+
+  if (!is_server) {
+    const double rtt_us = total_us / kIters;
+    std::printf("tcp_pingpong: %d iterations of %zu KB\n", kIters, kSize / 1024);
+    std::printf("  round-trip:  %.1f us\n", rtt_us);
+    std::printf("  throughput:  %.1f MB/s (both directions)\n",
+                2.0 * kSize / rtt_us);
+    std::printf("  payload intact: %s\n",
+                sink == payload ? "yes" : "NO");
+  }
+  return sink == payload ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint16_t port =
+      argc > 1 ? static_cast<std::uint16_t>(std::atoi(argv[1])) : 8421;
+
+  const pid_t child = ::fork();
+  if (child < 0) {
+    std::perror("fork");
+    return 1;
+  }
+  if (child == 0) {
+    // Child: connect and run the client side.
+    auto driver = drv::TcpDriver::connect_to("127.0.0.1", port);
+    if (!driver) {
+      std::fprintf(stderr, "client: %s\n", driver.error().message.c_str());
+      return 1;
+    }
+    return run_peer(std::move(driver.value()), /*is_server=*/false);
+  }
+
+  auto driver = drv::TcpDriver::listen_one(port);
+  if (!driver) {
+    std::fprintf(stderr, "server: %s\n", driver.error().message.c_str());
+    return 1;
+  }
+  const int rc = run_peer(std::move(driver.value()), /*is_server=*/true);
+
+  int status = 0;
+  ::waitpid(child, &status, 0);
+  return rc != 0 || !WIFEXITED(status) || WEXITSTATUS(status) != 0;
+}

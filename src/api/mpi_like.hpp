@@ -1,0 +1,102 @@
+// An MPI-flavored API layer over the collect layer.
+//
+// The paper's top layer is explicitly multi-API ("since NewMadeleine is
+// organized in a modular fashion, several flavors of APIs may be
+// implemented", §2), and its stated next step is wiring the library under
+// MPICH-Madeleine (§4). This header provides that flavor in miniature: a
+// Communicator with blocking/non-blocking typed send/recv, wildcard-free
+// tag matching, sendrecv, and a two-party barrier — enough to port small
+// MPI-style kernels onto the multi-rail engine unchanged.
+//
+// Scope note: this is a point-to-point communicator between two endpoints
+// (the paper's whole evaluation is two nodes); collectives beyond
+// barrier/sendrecv are out of scope.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "core/session.hpp"
+
+namespace nmad::api {
+
+/// Completion information for a receive (MPI_Status in miniature).
+struct RecvStatus {
+  std::uint32_t bytes = 0;
+  core::Tag tag = 0;
+};
+
+/// A non-blocking operation handle (MPI_Request in miniature).
+class MpiRequest {
+ public:
+  MpiRequest() = default;
+
+  [[nodiscard]] bool test() const;
+  void wait();
+  /// Valid for receives, after completion.
+  [[nodiscard]] RecvStatus status() const;
+
+ private:
+  friend class Communicator;
+  core::Session* session_ = nullptr;
+  core::SendHandle send_;
+  core::RecvHandle recv_;
+  core::Tag tag_ = 0;
+};
+
+/// One endpoint of a two-party MPI-style communicator bound to a gate.
+class Communicator {
+ public:
+  Communicator(core::Session& session, core::GateId gate)
+      : session_(&session), gate_(gate) {}
+
+  // --- byte-level primitives ----------------------------------------------
+  MpiRequest isend_bytes(std::span<const std::byte> data, core::Tag tag);
+  MpiRequest irecv_bytes(std::span<std::byte> buffer, core::Tag tag);
+  void send_bytes(std::span<const std::byte> data, core::Tag tag);
+  RecvStatus recv_bytes(std::span<std::byte> buffer, core::Tag tag);
+
+  // --- typed convenience (trivially copyable element types) ----------------
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  MpiRequest isend(std::span<const T> data, core::Tag tag) {
+    return isend_bytes(std::as_bytes(data), tag);
+  }
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  MpiRequest irecv(std::span<T> buffer, core::Tag tag) {
+    return irecv_bytes(std::as_writable_bytes(buffer), tag);
+  }
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void send(std::span<const T> data, core::Tag tag) {
+    send_bytes(std::as_bytes(data), tag);
+  }
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  RecvStatus recv(std::span<T> buffer, core::Tag tag) {
+    return recv_bytes(std::as_writable_bytes(buffer), tag);
+  }
+
+  /// Simultaneous exchange (MPI_Sendrecv): both directions in flight at
+  /// once, so the multi-rail engine can overlap them.
+  RecvStatus sendrecv(std::span<const std::byte> send_data, core::Tag send_tag,
+                      std::span<std::byte> recv_buffer, core::Tag recv_tag);
+
+  /// Two-party barrier: a zero-byte token each way on a reserved tag.
+  void barrier();
+
+  [[nodiscard]] core::Session& session() noexcept { return *session_; }
+  [[nodiscard]] core::GateId gate() const noexcept { return gate_; }
+
+ private:
+  /// Tag space reserved for barrier tokens; user tags must stay below.
+  static constexpr core::Tag kBarrierTag = 0xffffffffu;
+
+  core::Session* session_;
+  core::GateId gate_;
+};
+
+}  // namespace nmad::api

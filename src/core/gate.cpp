@@ -1,0 +1,57 @@
+#include "core/gate.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "proto/wire.hpp"
+#include "util/panic.hpp"
+
+namespace nmad::core {
+
+Gate::Gate(GateId id, std::vector<drv::Driver*> drivers,
+           std::unique_ptr<strat::Strategy> strategy, strat::StrategyConfig config)
+    : id_(id), strategy_(std::move(strategy)), config_(config) {
+  NMAD_ASSERT(!drivers.empty(), "gate needs at least one rail");
+  NMAD_ASSERT(strategy_ != nullptr, "gate needs a strategy");
+  rails_.reserve(drivers.size());
+  for (std::size_t i = 0; i < drivers.size(); ++i) {
+    NMAD_ASSERT(drivers[i] != nullptr, "null driver in gate");
+    rails_.emplace_back(*drivers[i], static_cast<RailIndex>(i));
+  }
+
+  small_threshold_ = rails_[0].caps().max_small_packet;
+  double best_latency = rails_[0].caps().latency_us;
+  std::vector<double> default_weights;
+  for (const Rail& r : rails_) {
+    small_threshold_ = std::min(small_threshold_, r.caps().max_small_packet);
+    if (r.caps().latency_us < best_latency) {
+      best_latency = r.caps().latency_us;
+      fastest_rail_ = r.index();
+    }
+    default_weights.push_back(r.caps().bandwidth_mbps);
+  }
+  set_ratios(std::move(default_weights));
+}
+
+Rail& Gate::rail(RailIndex i) {
+  NMAD_ASSERT(i < rails_.size(), "rail index out of range");
+  return rails_[i];
+}
+
+void Gate::set_ratios(std::vector<double> weights) {
+  NMAD_ASSERT(weights.size() == rails_.size(), "one weight per rail required");
+  const double sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+  NMAD_ASSERT(sum > 0.0, "ratio weights must have positive sum");
+  for (double& w : weights) {
+    NMAD_ASSERT(w >= 0.0, "negative ratio weight");
+    w /= sum;
+  }
+  ratios_ = std::move(weights);
+}
+
+double Gate::ratio(RailIndex i) const {
+  NMAD_ASSERT(i < ratios_.size(), "ratio index out of range");
+  return ratios_[i];
+}
+
+}  // namespace nmad::core

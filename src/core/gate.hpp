@@ -1,0 +1,127 @@
+// Gate: the communication endpoint towards one peer node, bundling every
+// rail (NIC link) that reaches that peer, plus the per-peer scheduling
+// state. The paper's optimization strategies apply "to the whole
+// communication flow between pairs of machines" — the gate is that pair's
+// flow, and each gate owns its own strategy instance.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/request.hpp"
+#include "core/types.hpp"
+#include "drv/driver.hpp"
+#include "proto/reassembly.hpp"
+#include "strat/strategy.hpp"
+
+namespace nmad::core {
+
+using GateId = std::uint32_t;
+
+/// One rail of a gate: a driver endpoint plus per-rail accounting.
+class Rail {
+ public:
+  Rail(drv::Driver& driver, RailIndex index) : driver_(&driver), index_(index) {}
+
+  [[nodiscard]] drv::Driver& driver() noexcept { return *driver_; }
+  [[nodiscard]] const drv::Capabilities& caps() const noexcept {
+    return driver_->caps();
+  }
+  [[nodiscard]] RailIndex index() const noexcept { return index_; }
+  [[nodiscard]] bool idle(drv::Track track) const noexcept {
+    return driver_->send_idle(track);
+  }
+
+  /// Transmit accounting, per track (indexed by drv::Track).
+  struct TxStats {
+    std::uint64_t packets[drv::kTrackCount] = {0, 0};
+    std::uint64_t payload_bytes[drv::kTrackCount] = {0, 0};
+    /// Data segments carried (aggregated packets carry several).
+    std::uint64_t segments = 0;
+    /// Control packets (rendezvous REQ/ACK) sent on this rail.
+    std::uint64_t control_packets = 0;
+  };
+  TxStats tx;
+
+ private:
+  drv::Driver* driver_;
+  RailIndex index_;
+};
+
+class Scheduler;
+
+class Gate {
+ public:
+  Gate(GateId id, std::vector<drv::Driver*> drivers,
+       std::unique_ptr<strat::Strategy> strategy, strat::StrategyConfig config);
+
+  [[nodiscard]] GateId id() const noexcept { return id_; }
+  [[nodiscard]] std::span<Rail> rails() noexcept { return rails_; }
+  [[nodiscard]] std::size_t rail_count() const noexcept { return rails_.size(); }
+  [[nodiscard]] Rail& rail(RailIndex i);
+
+  [[nodiscard]] strat::Strategy& strategy() noexcept { return *strategy_; }
+  [[nodiscard]] const strat::StrategyConfig& config() const noexcept { return config_; }
+
+  /// Largest segment that may travel on the eager track of *any* rail
+  /// (payload bytes); larger segments use the rendezvous path.
+  [[nodiscard]] std::uint32_t small_threshold() const noexcept { return small_threshold_; }
+
+  /// Rail with the lowest estimated latency (the paper's v2 strategy sends
+  /// aggregated small messages there — Quadrics on the paper's platform).
+  [[nodiscard]] RailIndex fastest_rail() const noexcept { return fastest_rail_; }
+
+  // --- split ratios ---------------------------------------------------------
+  /// Install per-rail bulk-bandwidth weights (from boot-time sampling).
+  /// Weights are normalized internally; they need not sum to 1.
+  void set_ratios(std::vector<double> weights);
+  /// Normalized weight of rail `i` (defaults to driver capability
+  /// bandwidths when sampling has not run).
+  [[nodiscard]] double ratio(RailIndex i) const;
+  [[nodiscard]] const std::vector<double>& ratios() const noexcept { return ratios_; }
+
+ private:
+  friend class Scheduler;
+
+  /// Receive-side state of one in-flight incoming message.
+  struct Incoming {
+    std::uint32_t total_len = 0;
+    bool total_known = false;
+    bool rdv_seen = false;
+    bool rdv_acked = false;
+    bool data_complete = false;
+    RecvRequest* recv = nullptr;
+    /// Unexpected-message storage (assembly writes here until a receive is
+    /// posted, then rebinds into the user buffer).
+    std::vector<std::byte> temp;
+    std::unique_ptr<proto::MessageAssembly> assembly;
+  };
+
+  GateId id_;
+  std::vector<Rail> rails_;
+  std::unique_ptr<strat::Strategy> strategy_;
+  strat::StrategyConfig config_;
+  std::uint32_t small_threshold_ = 0;
+  RailIndex fastest_rail_ = 0;
+  std::vector<double> ratios_;
+
+  // Send side.
+  std::map<Tag, MsgSeq> next_send_seq_;
+  // Receive side.
+  std::map<Tag, MsgSeq> next_recv_seq_;
+  std::map<MsgKey, Incoming> incoming_;
+  // Rendezvous control packets awaiting an idle eager track.
+  std::deque<drv::SendDesc> control_;
+  // Pump re-entrancy guard.
+  bool pumping_ = false;
+  bool repump_ = false;
+  // A deferred pump is already queued for this gate.
+  bool pump_scheduled_ = false;
+};
+
+}  // namespace nmad::core

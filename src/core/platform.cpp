@@ -1,0 +1,77 @@
+#include "core/platform.hpp"
+
+#include <utility>
+
+#include "drv/sim_driver.hpp"
+#include "sampling/ratio_table.hpp"
+#include "sampling/sampler.hpp"
+#include "util/panic.hpp"
+
+namespace nmad::core {
+
+TwoNodePlatform::TwoNodePlatform(PlatformConfig config)
+    : config_(std::move(config)), world_(std::make_unique<drv::SimWorld>()) {
+  NMAD_ASSERT(!config_.links.empty(), "platform needs at least one link");
+
+  const drv::NodeId na = world_->add_node(config_.host_a);
+  const drv::NodeId nb = world_->add_node(config_.host_b);
+  for (const auto& nic : config_.links) {
+    auto [ea, eb] = world_->add_link(na, nb, nic);
+    rails_a_.push_back(ea);
+    rails_b_.push_back(eb);
+  }
+
+  drv::SimWorld* w = world_.get();
+  auto clock = [w] { return w->now(); };
+  auto defer = [w](std::function<void()> fn) {
+    w->engine().schedule(0, std::move(fn));
+  };
+  auto progress = [w](const std::function<bool()>& pred) {
+    w->engine().run_until(pred);
+  };
+  session_a_ = std::make_unique<Session>("A", clock, defer, progress);
+  session_b_ = std::make_unique<Session>("B", clock, defer, progress);
+
+  gate_ab_ = session_a_->connect(
+      std::vector<drv::Driver*>(rails_a_.begin(), rails_a_.end()),
+      config_.strategy, config_.strat_cfg);
+  gate_ba_ = session_b_->connect(
+      std::vector<drv::Driver*>(rails_b_.begin(), rails_b_.end()),
+      config_.strategy, config_.strat_cfg);
+
+  if (config_.sampled_ratios) {
+    std::vector<double> weights;
+    bool from_cache = false;
+    if (!config_.sampling_cache_path.empty()) {
+      if (auto table = sampling::RatioTable::load(config_.sampling_cache_path);
+          table && table->samples().size() == config_.links.size()) {
+        weights = table->weights();
+        from_cache = true;
+      }
+    }
+    if (!from_cache) {
+      const auto samples = sampling::sample_rails(config_.host_a, config_.host_b,
+                                                  config_.links);
+      sampling::RatioTable table(samples);
+      weights = table.weights();
+      if (!config_.sampling_cache_path.empty()) {
+        // Best effort: an unwritable cache only costs re-measuring next run.
+        (void)table.save(config_.sampling_cache_path);
+      }
+    }
+    session_a_->scheduler().gate(gate_ab_).set_ratios(weights);
+    session_b_->scheduler().gate(gate_ba_).set_ratios(weights);
+  }
+}
+
+TwoNodePlatform::~TwoNodePlatform() = default;
+
+PlatformConfig paper_platform(std::string strategy, strat::StrategyConfig cfg) {
+  PlatformConfig config;
+  config.links = {netmodel::myri10g(), netmodel::quadrics_qm500()};
+  config.strategy = std::move(strategy);
+  config.strat_cfg = cfg;
+  return config;
+}
+
+}  // namespace nmad::core

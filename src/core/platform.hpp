@@ -1,0 +1,80 @@
+// TwoNodePlatform: convenience assembly of the paper's experimental setup —
+// two hosts, N heterogeneous NIC links between them, one Session per host,
+// and one gate per direction, all over one simulated world.
+//
+// This is the object benchmarks, tests and examples construct; it is
+// equivalent to hand-assembling a SimWorld, drivers and Sessions.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+#include "drv/sim_world.hpp"
+#include "netmodel/nic_profile.hpp"
+
+namespace nmad::core {
+
+struct PlatformConfig {
+  netmodel::HostProfile host_a{};
+  netmodel::HostProfile host_b{};
+  /// One NIC profile per rail connecting the two hosts.
+  std::vector<netmodel::NicProfile> links;
+  /// Strategy installed on both gates (see strat::make_strategy).
+  std::string strategy = "single_rail";
+  strat::StrategyConfig strat_cfg{};
+  /// Run boot-time sampling (in a scratch world) and install the measured
+  /// per-rail bandwidth weights as the gates' split ratios — the paper's
+  /// §3.4 initialization step. Without it, ratios default to the drivers'
+  /// nominal capability bandwidths.
+  bool sampled_ratios = false;
+  /// Optional sampling cache file (real nmad persists its sampling data):
+  /// when set and sampled_ratios is true, a valid cache with one entry per
+  /// rail is loaded instead of re-measuring, and fresh measurements are
+  /// saved back to it.
+  std::string sampling_cache_path;
+};
+
+class TwoNodePlatform {
+ public:
+  explicit TwoNodePlatform(PlatformConfig config);
+  ~TwoNodePlatform();
+  TwoNodePlatform(const TwoNodePlatform&) = delete;
+  TwoNodePlatform& operator=(const TwoNodePlatform&) = delete;
+
+  [[nodiscard]] Session& a() noexcept { return *session_a_; }
+  [[nodiscard]] Session& b() noexcept { return *session_b_; }
+  /// Gate id of a's gate towards b (and vice versa); both are 0.
+  [[nodiscard]] GateId gate_ab() const noexcept { return gate_ab_; }
+  [[nodiscard]] GateId gate_ba() const noexcept { return gate_ba_; }
+
+  [[nodiscard]] drv::SimWorld& world() noexcept { return *world_; }
+  [[nodiscard]] sim::TimeNs now() const noexcept { return world_->now(); }
+  [[nodiscard]] const PlatformConfig& config() const noexcept { return config_; }
+
+  /// Rail endpoints on each side, in link order.
+  [[nodiscard]] const std::vector<drv::SimDriver*>& rails_a() const noexcept {
+    return rails_a_;
+  }
+  [[nodiscard]] const std::vector<drv::SimDriver*>& rails_b() const noexcept {
+    return rails_b_;
+  }
+
+ private:
+  PlatformConfig config_;
+  std::unique_ptr<drv::SimWorld> world_;
+  std::vector<drv::SimDriver*> rails_a_;
+  std::vector<drv::SimDriver*> rails_b_;
+  std::unique_ptr<Session> session_a_;
+  std::unique_ptr<Session> session_b_;
+  GateId gate_ab_ = 0;
+  GateId gate_ba_ = 0;
+};
+
+/// The paper's platform (§3.1): Myri-10G + Quadrics QM500 between two
+/// Opteron hosts, with the given strategy.
+PlatformConfig paper_platform(std::string strategy,
+                              strat::StrategyConfig cfg = {});
+
+}  // namespace nmad::core

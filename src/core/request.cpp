@@ -1,0 +1,25 @@
+#include "core/request.hpp"
+
+#include "util/panic.hpp"
+
+namespace nmad::core {
+
+void SendRequest::credit_sent(std::uint32_t bytes, sim::TimeNs now) {
+  NMAD_ASSERT(state_ == RequestState::kPending, "credit on completed send");
+  bytes_sent_ += bytes;
+  NMAD_ASSERT(bytes_sent_ <= total_len_, "send credited beyond message length");
+  if (bytes_sent_ == total_len_) {
+    state_ = RequestState::kCompleted;
+    completion_time_ = now;
+  }
+}
+
+void RecvRequest::complete(std::uint32_t received_len, sim::TimeNs now) {
+  NMAD_ASSERT(state_ == RequestState::kPending, "double completion of recv");
+  NMAD_ASSERT(received_len <= buffer_.size(), "received more than buffer holds");
+  received_len_ = received_len;
+  state_ = RequestState::kCompleted;
+  completion_time_ = now;
+}
+
+}  // namespace nmad::core

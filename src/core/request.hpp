@@ -1,0 +1,94 @@
+// Non-blocking communication requests (the collect layer's currency).
+//
+// A request is created by Session::isend / Session::irecv and completed
+// asynchronously by the scheduling layer. Handles returned to the
+// application are shared_ptrs; the scheduler keeps raw pointers that are
+// guaranteed valid because the Session retains every live request until
+// completion.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace nmad::core {
+
+enum class RequestState : std::uint8_t {
+  kPending,    ///< submitted, data still moving
+  kCompleted,  ///< all data locally sent / fully received
+};
+
+class SendRequest {
+ public:
+  SendRequest(Tag tag, MsgSeq seq, std::vector<ConstSegment> segments,
+              std::uint32_t total_len)
+      : tag_(tag), seq_(seq), segments_(std::move(segments)), total_len_(total_len) {}
+
+  [[nodiscard]] Tag tag() const noexcept { return tag_; }
+  [[nodiscard]] MsgSeq seq() const noexcept { return seq_; }
+  [[nodiscard]] MsgKey key() const noexcept { return MsgKey{tag_, seq_}; }
+  [[nodiscard]] const std::vector<ConstSegment>& segments() const noexcept {
+    return segments_;
+  }
+  [[nodiscard]] std::uint32_t total_len() const noexcept { return total_len_; }
+
+  [[nodiscard]] bool completed() const noexcept {
+    return state_ == RequestState::kCompleted;
+  }
+  /// Virtual time of local completion; -1 while pending.
+  [[nodiscard]] sim::TimeNs completion_time() const noexcept { return completion_time_; }
+  [[nodiscard]] std::uint32_t bytes_sent() const noexcept { return bytes_sent_; }
+
+  // --- scheduling-layer interface ----------------------------------------
+  /// Credit locally-completed payload bytes; completes the request when the
+  /// whole message has left the node. Zero-length messages complete on
+  /// their (empty) packet's completion.
+  void credit_sent(std::uint32_t bytes, sim::TimeNs now);
+
+ private:
+  Tag tag_;
+  MsgSeq seq_;
+  std::vector<ConstSegment> segments_;
+  std::uint32_t total_len_;
+  std::uint32_t bytes_sent_ = 0;
+  RequestState state_ = RequestState::kPending;
+  sim::TimeNs completion_time_ = -1;
+};
+
+class RecvRequest {
+ public:
+  RecvRequest(Tag tag, MsgSeq seq, std::span<std::byte> buffer)
+      : tag_(tag), seq_(seq), buffer_(buffer) {}
+
+  [[nodiscard]] Tag tag() const noexcept { return tag_; }
+  /// Receive ordinal for this tag (assigned at post time).
+  [[nodiscard]] MsgSeq seq() const noexcept { return seq_; }
+  [[nodiscard]] MsgKey key() const noexcept { return MsgKey{tag_, seq_}; }
+  [[nodiscard]] std::span<std::byte> buffer() const noexcept { return buffer_; }
+
+  [[nodiscard]] bool completed() const noexcept {
+    return state_ == RequestState::kCompleted;
+  }
+  [[nodiscard]] sim::TimeNs completion_time() const noexcept { return completion_time_; }
+  /// Actual message length (valid once completed).
+  [[nodiscard]] std::uint32_t received_len() const noexcept { return received_len_; }
+
+  // --- scheduling-layer interface ----------------------------------------
+  void complete(std::uint32_t received_len, sim::TimeNs now);
+
+ private:
+  Tag tag_;
+  MsgSeq seq_;
+  std::span<std::byte> buffer_;
+  std::uint32_t received_len_ = 0;
+  RequestState state_ = RequestState::kPending;
+  sim::TimeNs completion_time_ = -1;
+};
+
+using SendHandle = std::shared_ptr<SendRequest>;
+using RecvHandle = std::shared_ptr<RecvRequest>;
+
+}  // namespace nmad::core

@@ -1,0 +1,347 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "proto/wire.hpp"
+#include "util/log.hpp"
+#include "util/panic.hpp"
+
+namespace nmad::core {
+
+Scheduler::Scheduler(ClockFn now, DeferFn defer)
+    : now_(std::move(now)), defer_(std::move(defer)) {
+  NMAD_ASSERT(now_ != nullptr, "Scheduler needs a clock");
+  NMAD_ASSERT(defer_ != nullptr, "Scheduler needs a defer hook");
+}
+
+Scheduler::~Scheduler() = default;
+
+GateId Scheduler::add_gate(std::vector<drv::Driver*> rails,
+                           std::unique_ptr<strat::Strategy> strategy,
+                           strat::StrategyConfig config) {
+  const auto id = static_cast<GateId>(gates_.size());
+  gates_.push_back(
+      std::make_unique<Gate>(id, rails, std::move(strategy), config));
+  Gate& g = *gates_.back();
+  for (Rail& rail : g.rails()) {
+    rail.driver().set_deliver(
+        [this, id, idx = rail.index()](drv::Track track,
+                                       std::vector<std::byte> wire) {
+          Gate& target = gate(id);
+          on_packet(target, target.rail(idx), track, std::move(wire));
+        });
+  }
+  return id;
+}
+
+Gate& Scheduler::gate(GateId id) {
+  NMAD_ASSERT(id < gates_.size(), "unknown gate id");
+  return *gates_[id];
+}
+
+std::size_t Scheduler::pending_requests() const noexcept {
+  std::size_t n = 0;
+  for (const auto& h : live_sends_) {
+    if (!h->completed()) ++n;
+  }
+  for (const auto& h : live_recvs_) {
+    if (!h->completed()) ++n;
+  }
+  return n;
+}
+
+void Scheduler::sweep_completed() {
+  constexpr std::size_t kSweepThreshold = 4096;
+  if (live_sends_.size() > kSweepThreshold) {
+    std::erase_if(live_sends_, [](const SendHandle& h) {
+      return h->completed() && h.use_count() == 1;
+    });
+  }
+  if (live_recvs_.size() > kSweepThreshold) {
+    std::erase_if(live_recvs_, [](const RecvHandle& h) {
+      return h->completed() && h.use_count() == 1;
+    });
+  }
+}
+
+// --------------------------------------------------------------------------
+// Collect layer entry points
+// --------------------------------------------------------------------------
+
+SendHandle Scheduler::isend(GateId gate_id, Tag tag,
+                            std::vector<std::span<const std::byte>> segments) {
+  sweep_completed();
+  Gate& g = gate(gate_id);
+  const MsgSeq seq = g.next_send_seq_[tag]++;
+
+  std::vector<ConstSegment> views;
+  std::uint64_t offset = 0;
+  for (const auto& s : segments) {
+    if (s.empty()) continue;  // empty segments carry no bytes
+    views.push_back(ConstSegment{s, static_cast<std::uint32_t>(offset)});
+    offset += s.size();
+  }
+  NMAD_ASSERT(offset <= 0xffffffffULL, "message exceeds 4 GiB");
+  const auto total = static_cast<std::uint32_t>(offset);
+
+  auto req = std::make_shared<SendRequest>(tag, seq, std::move(views), total);
+  live_sends_.push_back(req);
+
+  strat::Strategy& strat = g.strategy();
+  bool has_large = false;
+  if (total == 0) {
+    // A zero-length message still needs one (empty) packet so the receiver
+    // observes it.
+    strat.on_submit_small(g, strat::SmallEntry{req.get(), {}, 0});
+  } else {
+    for (const ConstSegment& seg : req->segments()) {
+      if (seg.data.size() <= g.small_threshold()) {
+        strat.on_submit_small(g,
+                              strat::SmallEntry{req.get(), seg.data, seg.msg_offset});
+      } else {
+        strat.on_submit_large(g,
+                              strat::LargeEntry{req.get(), seg.data, seg.msg_offset});
+        has_large = true;
+      }
+    }
+  }
+  if (has_large) {
+    g.control_.push_back(drv::SendDesc{
+        drv::Track::kSmall, proto::encode_rdv_req(tag, seq, total), 0.0});
+  }
+  schedule_pump(g);
+  return req;
+}
+
+RecvHandle Scheduler::irecv(GateId gate_id, Tag tag, std::span<std::byte> buffer) {
+  sweep_completed();
+  Gate& g = gate(gate_id);
+  const MsgSeq seq = g.next_recv_seq_[tag]++;
+  auto req = std::make_shared<RecvRequest>(tag, seq, buffer);
+  live_recvs_.push_back(req);
+
+  const MsgKey key{tag, seq};
+  auto it = g.incoming_.find(key);
+  if (it != g.incoming_.end()) {
+    bind_recv(g, it->second, req.get());
+    try_finalize(g, key);
+  } else {
+    g.incoming_[key].recv = req.get();
+  }
+  schedule_pump(g);
+  return req;
+}
+
+// --------------------------------------------------------------------------
+// Packing pump
+// --------------------------------------------------------------------------
+
+void Scheduler::schedule_pump(Gate& gate) {
+  if (gate.pump_scheduled_) return;
+  gate.pump_scheduled_ = true;
+  defer_([this, &gate] {
+    gate.pump_scheduled_ = false;
+    pump(gate);
+  });
+}
+
+void Scheduler::pump(Gate& gate) {
+  if (gate.pumping_) {
+    gate.repump_ = true;
+    return;
+  }
+  gate.pumping_ = true;
+  do {
+    gate.repump_ = false;
+    while (pump_once(gate)) {
+    }
+  } while (gate.repump_);
+  gate.pumping_ = false;
+}
+
+bool Scheduler::pump_once(Gate& gate) {
+  bool progress = false;
+
+  // Rendezvous control packets take priority on the eager tracks; pick the
+  // lowest-latency idle rail for them.
+  while (!gate.control_.empty()) {
+    Rail* best = nullptr;
+    for (Rail& r : gate.rails()) {
+      if (r.idle(drv::Track::kSmall) &&
+          (best == nullptr || r.caps().latency_us < best->caps().latency_us)) {
+        best = &r;
+      }
+    }
+    if (best == nullptr) break;
+    drv::SendDesc desc = std::move(gate.control_.front());
+    gate.control_.pop_front();
+    post_control(gate, *best, std::move(desc));
+    progress = true;
+  }
+
+  // Just-in-time strategy packing: offer every idle track to the strategy.
+  for (Rail& rail : gate.rails()) {
+    for (drv::Track track : {drv::Track::kSmall, drv::Track::kLarge}) {
+      while (rail.idle(track)) {
+        auto plan = gate.strategy().try_pack(gate, rail, track);
+        if (!plan.has_value()) break;
+        NMAD_ASSERT(plan->desc.track == track, "strategy packed for wrong track");
+        post_plan(gate, rail, std::move(*plan));
+        progress = true;
+      }
+    }
+  }
+  return progress;
+}
+
+void Scheduler::post_control(Gate& gate, Rail& rail, drv::SendDesc desc) {
+  rail.tx.control_packets += 1;
+  const drv::Track track = desc.track;
+  rail.driver().post_send(std::move(desc),
+                          [this, &gate, track] { on_sent(gate, track, {}); });
+}
+
+void Scheduler::post_plan(Gate& gate, Rail& rail, strat::PacketPlan plan) {
+  const auto track_idx = static_cast<std::size_t>(plan.desc.track);
+  rail.tx.packets[track_idx] += 1;
+  rail.tx.segments += plan.contribs.size();
+  std::uint64_t payload = 0;
+  for (const auto& c : plan.contribs) payload += c.bytes;
+  rail.tx.payload_bytes[track_idx] += payload;
+
+  const drv::Track track = plan.desc.track;
+  rail.driver().post_send(
+      std::move(plan.desc),
+      [this, &gate, track, contribs = std::move(plan.contribs)]() mutable {
+        on_sent(gate, track, std::move(contribs));
+      });
+}
+
+void Scheduler::on_sent(Gate& gate, drv::Track /*track*/,
+                        std::vector<strat::Contribution> contribs) {
+  const sim::TimeNs t = now_();
+  for (const strat::Contribution& c : contribs) {
+    c.req->credit_sent(c.bytes, t);
+  }
+  pump(gate);
+}
+
+// --------------------------------------------------------------------------
+// Receive path
+// --------------------------------------------------------------------------
+
+void Scheduler::on_packet(Gate& gate, Rail& rail, drv::Track /*track*/,
+                          std::vector<std::byte> wire) {
+  auto decoded = proto::decode_packet(wire);
+  if (!decoded) {
+    NMAD_PANIC("undecodable packet received");
+  }
+  for (const auto& seg : decoded->segments) {
+    switch (decoded->kind) {
+      case proto::PacketKind::kData:
+        handle_data_segment(gate, seg.header, seg.payload);
+        break;
+      case proto::PacketKind::kRdvReq:
+        handle_rdv_req(gate, seg.header);
+        break;
+      case proto::PacketKind::kRdvAck:
+        handle_rdv_ack(gate, seg.header);
+        break;
+    }
+  }
+  (void)rail;
+  pump(gate);
+}
+
+void Scheduler::handle_data_segment(Gate& gate, const proto::SegHeader& h,
+                                    std::span<const std::byte> payload) {
+  const MsgKey key{h.tag, h.msg_seq};
+  Gate::Incoming& inc = gate.incoming_[key];
+  if (!inc.total_known) {
+    inc.total_len = h.total_len;
+    inc.total_known = true;
+  } else {
+    NMAD_ASSERT(inc.total_len == h.total_len,
+                "inconsistent total length across chunks");
+  }
+  ensure_assembly(inc);
+  if (auto st = inc.assembly->add_chunk(h.offset, payload); !st) {
+    NMAD_PANIC("protocol violation in chunk reassembly");
+  }
+  if (inc.assembly->complete()) {
+    inc.data_complete = true;
+    try_finalize(gate, key);
+  }
+}
+
+void Scheduler::handle_rdv_req(Gate& gate, const proto::SegHeader& h) {
+  const MsgKey key{h.tag, h.msg_seq};
+  Gate::Incoming& inc = gate.incoming_[key];
+  inc.rdv_seen = true;
+  if (!inc.total_known) {
+    inc.total_len = h.total_len;
+    inc.total_known = true;
+  }
+  if (inc.recv != nullptr && !inc.rdv_acked) {
+    ensure_assembly(inc);
+    enqueue_ack(gate, key);
+    inc.rdv_acked = true;
+  }
+}
+
+void Scheduler::handle_rdv_ack(Gate& gate, const proto::SegHeader& h) {
+  gate.strategy().on_rdv_granted(gate, MsgKey{h.tag, h.msg_seq});
+}
+
+void Scheduler::bind_recv(Gate& gate, Gate::Incoming& inc, RecvRequest* recv) {
+  NMAD_ASSERT(inc.recv == nullptr, "incoming message bound twice");
+  inc.recv = recv;
+  if (inc.total_known) {
+    NMAD_ASSERT(recv->buffer().size() >= inc.total_len,
+                "receive buffer smaller than incoming message");
+    if (inc.assembly != nullptr) {
+      // Migrate from unexpected-message storage into the user buffer.
+      inc.assembly->rebind(recv->buffer().first(inc.total_len));
+      inc.temp.clear();
+      inc.temp.shrink_to_fit();
+    } else {
+      ensure_assembly(inc);
+    }
+  }
+  if (inc.rdv_seen && !inc.rdv_acked) {
+    enqueue_ack(gate, MsgKey{recv->tag(), recv->seq()});
+    inc.rdv_acked = true;
+  }
+}
+
+void Scheduler::ensure_assembly(Gate::Incoming& inc) {
+  if (inc.assembly != nullptr) return;
+  NMAD_ASSERT(inc.total_known, "assembly requires known message length");
+  std::span<std::byte> dest;
+  if (inc.recv != nullptr) {
+    NMAD_ASSERT(inc.recv->buffer().size() >= inc.total_len,
+                "receive buffer smaller than incoming message");
+    dest = inc.recv->buffer().first(inc.total_len);
+  } else {
+    inc.temp.resize(inc.total_len);
+    dest = inc.temp;
+  }
+  inc.assembly = std::make_unique<proto::MessageAssembly>(dest);
+}
+
+void Scheduler::try_finalize(Gate& gate, MsgKey key) {
+  auto it = gate.incoming_.find(key);
+  if (it == gate.incoming_.end()) return;
+  Gate::Incoming& inc = it->second;
+  if (!inc.data_complete || inc.recv == nullptr) return;
+  inc.recv->complete(inc.total_len, now_());
+  gate.incoming_.erase(it);
+}
+
+void Scheduler::enqueue_ack(Gate& gate, MsgKey key) {
+  gate.control_.push_back(drv::SendDesc{
+      drv::Track::kSmall, proto::encode_rdv_ack(key.tag, key.seq), 0.0});
+}
+
+}  // namespace nmad::core

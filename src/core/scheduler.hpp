@@ -1,0 +1,102 @@
+// The core (transversal) scheduler — paper §2.
+//
+// "A transversal global scheduler is in charge of controlling the overall
+// functioning of the library in link with the drivers, for NICs
+// monitoring. When some NICs become idle, the global scheduler ensures
+// that the optimizing scheduler is queried for some new packet."
+//
+// Concretely: request processing is fully disconnected from the API calls.
+// isend/irecv only append to the strategy backlog and to the matching
+// tables; packets are produced exclusively by pump(), which fires whenever
+// a NIC track reports idle (send completion) or a packet arrives. The
+// scheduler also owns the mechanics shared by all strategies: small/large
+// classification, the rendezvous handshake, receive matching, unexpected
+// messages, reassembly, and completion accounting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/gate.hpp"
+#include "core/request.hpp"
+#include "core/types.hpp"
+#include "strat/strategy.hpp"
+
+namespace nmad::core {
+
+class Scheduler {
+ public:
+  /// `now` supplies timestamps for request completion (virtual time over
+  /// the simulator; wall-clock for real drivers).
+  using ClockFn = std::function<sim::TimeNs()>;
+  /// `defer(fn)` runs fn at the next progression point (a zero-delay event
+  /// on the simulator; the next progress() round for real drivers). This is
+  /// what disconnects request processing from the API calls (paper §2): an
+  /// isend only appends to the backlog, and the strategy is consulted at
+  /// the deferred progression point — so a burst of submissions forms an
+  /// optimization window the strategy can aggregate or split.
+  using DeferFn = std::function<void(std::function<void()>)>;
+
+  Scheduler(ClockFn now, DeferFn defer);
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Create a gate over the given rail endpoints. The scheduler installs
+  /// itself as the drivers' deliver upcall; each driver belongs to exactly
+  /// one gate.
+  GateId add_gate(std::vector<drv::Driver*> rails,
+                  std::unique_ptr<strat::Strategy> strategy,
+                  strat::StrategyConfig config = {});
+
+  [[nodiscard]] Gate& gate(GateId id);
+  [[nodiscard]] std::size_t gate_count() const noexcept { return gates_.size(); }
+
+  /// Submit a message made of `segments` (a logically contiguous sequence
+  /// of user-memory views). The user memory must stay valid until the
+  /// returned request completes.
+  SendHandle isend(GateId gate, Tag tag,
+                   std::vector<std::span<const std::byte>> segments);
+
+  /// Post a receive for the next message with `tag` on `gate`. `buffer`
+  /// must be at least as large as the matching message.
+  RecvHandle irecv(GateId gate, Tag tag, std::span<std::byte> buffer);
+
+  [[nodiscard]] sim::TimeNs now() const { return now_(); }
+
+  /// Pending (uncompleted) requests — drained-state check for tests.
+  [[nodiscard]] std::size_t pending_requests() const noexcept;
+
+ private:
+  /// Request a pump at the next progression point (idempotent per gate).
+  void schedule_pump(Gate& gate);
+  void pump(Gate& gate);
+  bool pump_once(Gate& gate);
+  void post_control(Gate& gate, Rail& rail, drv::SendDesc desc);
+  void post_plan(Gate& gate, Rail& rail, strat::PacketPlan plan);
+  void on_sent(Gate& gate, drv::Track track, std::vector<strat::Contribution> contribs);
+  void on_packet(Gate& gate, Rail& rail, drv::Track track,
+                 std::vector<std::byte> wire);
+  void handle_data_segment(Gate& gate, const proto::SegHeader& h,
+                           std::span<const std::byte> payload);
+  void handle_rdv_req(Gate& gate, const proto::SegHeader& h);
+  void handle_rdv_ack(Gate& gate, const proto::SegHeader& h);
+  void bind_recv(Gate& gate, Gate::Incoming& inc, RecvRequest* recv);
+  void ensure_assembly(Gate::Incoming& inc);
+  /// Completes the receive and drops the incoming entry when both the data
+  /// and the matching receive are present.
+  void try_finalize(Gate& gate, MsgKey key);
+  void enqueue_ack(Gate& gate, MsgKey key);
+  void sweep_completed();
+
+  ClockFn now_;
+  DeferFn defer_;
+  std::vector<std::unique_ptr<Gate>> gates_;
+  std::vector<SendHandle> live_sends_;
+  std::vector<RecvHandle> live_recvs_;
+};
+
+}  // namespace nmad::core

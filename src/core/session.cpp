@@ -1,0 +1,119 @@
+#include "core/session.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "util/panic.hpp"
+
+namespace nmad::core {
+
+PackBuilder& PackBuilder::add(std::span<const std::byte> segment) {
+  NMAD_ASSERT(!submitted_, "PackBuilder reused after submit");
+  segments_.push_back(segment);
+  return *this;
+}
+
+SendHandle PackBuilder::submit() {
+  NMAD_ASSERT(!submitted_, "PackBuilder submitted twice");
+  submitted_ = true;
+  return session_->isend_segments(gate_, tag_, std::move(segments_));
+}
+
+UnpackBuilder& UnpackBuilder::add(std::span<std::byte> segment) {
+  NMAD_ASSERT(!submitted_, "UnpackBuilder reused after submit");
+  segments_.push_back(segment);
+  return *this;
+}
+
+RecvHandle UnpackBuilder::submit() {
+  NMAD_ASSERT(!submitted_, "UnpackBuilder submitted twice");
+  submitted_ = true;
+  return session_->post_unpack(gate_, tag_, std::move(segments_));
+}
+
+Session::Session(std::string name, Scheduler::ClockFn clock,
+                 Scheduler::DeferFn defer, ProgressFn progress)
+    : name_(std::move(name)),
+      scheduler_(std::move(clock), std::move(defer)),
+      progress_(std::move(progress)) {
+  NMAD_ASSERT(progress_ != nullptr, "Session needs a progress function");
+}
+
+GateId Session::connect(std::vector<drv::Driver*> rails,
+                        std::string_view strategy_name,
+                        const strat::StrategyConfig& cfg) {
+  return scheduler_.add_gate(std::move(rails),
+                             strat::make_strategy(strategy_name, cfg), cfg);
+}
+
+SendHandle Session::isend(GateId gate, Tag tag, std::span<const std::byte> data) {
+  return scheduler_.isend(gate, tag, {data});
+}
+
+SendHandle Session::isend_segments(GateId gate, Tag tag,
+                                   std::vector<std::span<const std::byte>> segments) {
+  return scheduler_.isend(gate, tag, std::move(segments));
+}
+
+RecvHandle Session::irecv(GateId gate, Tag tag, std::span<std::byte> buffer) {
+  return scheduler_.irecv(gate, tag, buffer);
+}
+
+RecvHandle Session::post_unpack(GateId gate, Tag tag,
+                                std::vector<std::span<std::byte>> segments) {
+  std::size_t total = 0;
+  for (const auto& s : segments) total += s.size();
+
+  PendingUnpack pending;
+  pending.staging = std::make_shared<std::vector<std::byte>>(total);
+  pending.segments = std::move(segments);
+  pending.handle = scheduler_.irecv(gate, tag, *pending.staging);
+  RecvHandle handle = pending.handle;
+  pending_unpacks_.push_back(std::move(pending));
+  return handle;
+}
+
+void Session::scatter_ready_unpacks() {
+  std::erase_if(pending_unpacks_, [](PendingUnpack& p) {
+    if (!p.handle->completed()) return false;
+    std::size_t offset = 0;
+    const std::vector<std::byte>& staging = *p.staging;
+    const std::size_t received = p.handle->received_len();
+    for (const auto& seg : p.segments) {
+      if (offset >= received) break;
+      const std::size_t n = std::min(seg.size(), received - offset);
+      std::memcpy(seg.data(), staging.data() + offset, n);
+      offset += n;
+    }
+    return true;
+  });
+}
+
+void Session::wait(const SendHandle& h) {
+  progress_([&] { return h->completed(); });
+  NMAD_ASSERT(h->completed(), "wait returned with incomplete send (deadlock?)");
+}
+
+void Session::wait(const RecvHandle& h) {
+  progress_([&] { return h->completed(); });
+  NMAD_ASSERT(h->completed(), "wait returned with incomplete recv (deadlock?)");
+  scatter_ready_unpacks();
+}
+
+void Session::wait_all(std::span<const SendHandle> sends,
+                       std::span<const RecvHandle> recvs) {
+  auto all_done = [&] {
+    for (const auto& h : sends) {
+      if (!h->completed()) return false;
+    }
+    for (const auto& h : recvs) {
+      if (!h->completed()) return false;
+    }
+    return true;
+  };
+  progress_(all_done);
+  NMAD_ASSERT(all_done(), "wait_all returned with incomplete requests (deadlock?)");
+  scatter_ready_unpacks();
+}
+
+}  // namespace nmad::core

@@ -1,0 +1,125 @@
+// Session: the collect layer (paper §2, top layer) — the application-facing
+// message-passing API. Messages are built incrementally from segments
+// (pack interface) or submitted in one call; all operations are
+// non-blocking, and wait() drives the progression engine until completion.
+//
+// The same Session runs over the simulator (virtual time) or over real
+// drivers: the difference is encapsulated in the clock and progress
+// functions supplied at construction.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.hpp"
+
+namespace nmad::core {
+
+class Session;
+
+/// Incremental construction of an outgoing message (one or more segments).
+/// Segments reference user memory: they are not copied at pack time and
+/// must stay valid until the submitted request completes.
+class PackBuilder {
+ public:
+  PackBuilder& add(std::span<const std::byte> segment);
+  /// Submit the message; the builder must not be reused afterwards.
+  SendHandle submit();
+
+ private:
+  friend class Session;
+  PackBuilder(Session& session, GateId gate, Tag tag)
+      : session_(&session), gate_(gate), tag_(tag) {}
+  Session* session_;
+  GateId gate_;
+  Tag tag_;
+  std::vector<std::span<const std::byte>> segments_;
+  bool submitted_ = false;
+};
+
+/// Incremental extraction of an incoming message into scattered user
+/// buffers. The message is received into the registered spans in order.
+class UnpackBuilder {
+ public:
+  UnpackBuilder& add(std::span<std::byte> segment);
+  /// Post the receive; completion scatters the payload into the segments.
+  RecvHandle submit();
+
+ private:
+  friend class Session;
+  UnpackBuilder(Session& session, GateId gate, Tag tag)
+      : session_(&session), gate_(gate), tag_(tag) {}
+  Session* session_;
+  GateId gate_;
+  Tag tag_;
+  std::vector<std::span<std::byte>> segments_;
+  bool submitted_ = false;
+};
+
+class Session {
+ public:
+  /// `progress(pred)` must drive the underlying engine until pred() holds
+  /// (panicking or returning with pred false only if progress is
+  /// impossible — a deadlock in the application's communication pattern).
+  using ProgressFn = std::function<void(const std::function<bool()>&)>;
+
+  Session(std::string name, Scheduler::ClockFn clock, Scheduler::DeferFn defer,
+          ProgressFn progress);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Scheduler& scheduler() noexcept { return scheduler_; }
+
+  /// Create a gate towards a peer over the given rails, with a strategy
+  /// created by strat::make_strategy(strategy_name, cfg).
+  GateId connect(std::vector<drv::Driver*> rails, std::string_view strategy_name,
+                 const strat::StrategyConfig& cfg = {});
+
+  // --- contiguous convenience API ----------------------------------------
+  SendHandle isend(GateId gate, Tag tag, std::span<const std::byte> data);
+  RecvHandle irecv(GateId gate, Tag tag, std::span<std::byte> buffer);
+
+  /// Submit a multi-segment message in one call.
+  SendHandle isend_segments(GateId gate, Tag tag,
+                            std::vector<std::span<const std::byte>> segments);
+
+  // --- incremental pack/unpack API ----------------------------------------
+  [[nodiscard]] PackBuilder pack(GateId gate, Tag tag) {
+    return PackBuilder(*this, gate, tag);
+  }
+  [[nodiscard]] UnpackBuilder unpack(GateId gate, Tag tag) {
+    return UnpackBuilder(*this, gate, tag);
+  }
+
+  // --- completion ----------------------------------------------------------
+  void wait(const SendHandle& h);
+  void wait(const RecvHandle& h);
+  void wait_all(std::span<const SendHandle> sends, std::span<const RecvHandle> recvs);
+  [[nodiscard]] static bool test(const SendHandle& h) { return h->completed(); }
+  [[nodiscard]] static bool test(const RecvHandle& h) { return h->completed(); }
+
+  [[nodiscard]] sim::TimeNs now() const { return scheduler_.now(); }
+
+ private:
+  friend class UnpackBuilder;
+
+  /// Scatter bookkeeping for unpack receives: the message lands in a
+  /// contiguous staging buffer, then is copied into the user segments when
+  /// the application waits on (or tests) the handle.
+  struct PendingUnpack {
+    RecvHandle handle;
+    std::shared_ptr<std::vector<std::byte>> staging;
+    std::vector<std::span<std::byte>> segments;
+  };
+  RecvHandle post_unpack(GateId gate, Tag tag, std::vector<std::span<std::byte>> segments);
+  void scatter_ready_unpacks();
+
+  std::string name_;
+  Scheduler scheduler_;
+  ProgressFn progress_;
+  std::vector<PendingUnpack> pending_unpacks_;
+};
+
+}  // namespace nmad::core

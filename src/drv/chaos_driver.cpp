@@ -1,0 +1,39 @@
+#include "drv/chaos_driver.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/panic.hpp"
+
+namespace nmad::drv {
+
+ChaosDriver::ChaosDriver(Driver& inner, std::uint64_t seed, std::size_t window)
+    : inner_(&inner), rng_(seed), window_(window) {
+  NMAD_ASSERT(window_ >= 1, "chaos window must be >= 1");
+}
+
+void ChaosDriver::set_deliver(DeliverFn deliver) {
+  deliver_ = std::move(deliver);
+  inner_->set_deliver([this](Track track, std::vector<std::byte> wire) {
+    pending_.push_back(Held{track, std::move(wire)});
+    if (pending_.size() >= window_) release_all();
+  });
+}
+
+void ChaosDriver::release_all() {
+  std::shuffle(pending_.begin(), pending_.end(), rng_);
+  // Swap out first: a deliver upcall may trigger sends whose completions
+  // append new pending packets.
+  std::vector<Held> batch;
+  batch.swap(pending_);
+  for (Held& held : batch) {
+    NMAD_ASSERT(deliver_ != nullptr, "chaos delivery with no upcall");
+    deliver_(held.track, std::move(held.wire));
+  }
+}
+
+void ChaosDriver::flush() {
+  if (!pending_.empty()) release_all();
+}
+
+}  // namespace nmad::drv

@@ -1,0 +1,59 @@
+// ChaosDriver: a decorator that deliberately perturbs the delivery order
+// of an underlying driver.
+//
+// Multi-rail transfers already arrive out of order *across* rails; this
+// decorator additionally scrambles order *within* one rail's track, which
+// no real NIC in the paper's platform does. It exists purely to harden the
+// receive path: matching, rendezvous and reassembly must be fully
+// order-independent, and the chaos property tests prove it. (Packet loss
+// is out of scope: the paper's networks are reliable, and the protocol has
+// no retransmission layer.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "drv/driver.hpp"
+#include "util/rng.hpp"
+
+namespace nmad::drv {
+
+class ChaosDriver final : public Driver {
+ public:
+  /// Wraps `inner` (not owned). Deliveries are buffered until `window`
+  /// packets are pending, then released in a seeded-random order; flush()
+  /// (or any later delivery) releases stragglers.
+  ChaosDriver(Driver& inner, std::uint64_t seed, std::size_t window = 4);
+
+  [[nodiscard]] const Capabilities& caps() const noexcept override {
+    return inner_->caps();
+  }
+  [[nodiscard]] bool send_idle(Track track) const noexcept override {
+    return inner_->send_idle(track);
+  }
+  void post_send(SendDesc desc, Callback on_sent) override {
+    inner_->post_send(std::move(desc), std::move(on_sent));
+  }
+  void set_deliver(DeliverFn deliver) override;
+  bool progress() override { return inner_->progress(); }
+
+  /// Release every buffered packet (in scrambled order).
+  void flush();
+
+  [[nodiscard]] std::size_t buffered() const noexcept { return pending_.size(); }
+
+ private:
+  void release_all();
+
+  Driver* inner_;
+  util::Xoshiro256 rng_;
+  std::size_t window_;
+  DeliverFn deliver_;
+  struct Held {
+    Track track;
+    std::vector<std::byte> wire;
+  };
+  std::vector<Held> pending_;
+};
+
+}  // namespace nmad::drv

@@ -1,0 +1,6 @@
+#include "drv/driver.hpp"
+
+// Driver is a pure interface; this translation unit exists to anchor the
+// vtable (key function idiom keeps RTTI/vtable emission in one object).
+
+namespace nmad::drv {}  // namespace nmad::drv

@@ -1,0 +1,94 @@
+// The transmit-layer driver abstraction (paper §2, bottom layer).
+//
+// A Driver is one rail endpoint: one NIC port connected to a peer node. It
+// exposes two *tracks*, mirroring NewMadeleine's track model:
+//
+//  - kSmall: the eager track. Packets up to the NIC's PIO threshold are
+//    pushed with Programmed I/O; also carries rendezvous control packets.
+//  - kLarge: the put/get track. Bulk data moved by the NIC's DMA engine
+//    after a rendezvous handshake.
+//
+// Each track accepts ONE outstanding send: the scheduling layer is
+// explicitly notified (`on_sent`) when the track becomes idle again, and
+// that notification is what triggers the optimizing strategy — the paper's
+// core idea of scheduling in relationship with NIC activity rather than
+// with API calls.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "netmodel/nic_profile.hpp"
+
+namespace nmad::drv {
+
+enum class Track : std::uint8_t { kSmall = 0, kLarge = 1 };
+inline constexpr int kTrackCount = 2;
+
+[[nodiscard]] constexpr const char* track_name(Track t) noexcept {
+  return t == Track::kSmall ? "small" : "large";
+}
+
+/// Static description of a rail, used by strategies to pick rails without
+/// touching driver-specific APIs (the paper's "driver capabilities provided
+/// by the underlying layer").
+struct Capabilities {
+  std::string name;
+  /// Largest eager-track packet *payload* this driver accepts (protocol
+  /// headers ride on top). Also the PIO/DMA boundary of the NIC.
+  std::uint32_t max_small_packet = 8 * 1024;
+  /// Host memory copy bandwidth, MB/s (cost model for aggregation copies).
+  double copy_bandwidth_mbps = 2500.0;
+  /// Estimated minimal one-way latency, µs (strategy rail-selection hint).
+  double latency_us = 0.0;
+  /// Estimated bulk bandwidth, MB/s (strategy split-ratio fallback).
+  double bandwidth_mbps = 0.0;
+  /// Cost of polling this rail when idle, µs (progression overhead).
+  double poll_cost_us = 0.0;
+};
+
+/// A fully encoded packet handed to a driver, plus scheduling metadata.
+struct SendDesc {
+  Track track = Track::kSmall;
+  std::vector<std::byte> wire;  ///< encoded packet (proto/wire.hpp format)
+  /// Extra CPU time the progression engine spent building this packet
+  /// (e.g. aggregation memcpys); the driver charges it to the host CPU
+  /// before the transfer starts.
+  double extra_cpu_us = 0.0;
+};
+
+class Driver {
+ public:
+  using Callback = std::function<void()>;
+  /// Upcall invoked on the receiving side with the track and the raw
+  /// encoded packet bytes.
+  using DeliverFn = std::function<void(Track, std::vector<std::byte>)>;
+
+  virtual ~Driver() = default;
+
+  [[nodiscard]] virtual const Capabilities& caps() const noexcept = 0;
+
+  /// True when `post_send` may be called for this track.
+  [[nodiscard]] virtual bool send_idle(Track track) const noexcept = 0;
+
+  /// Hand one packet to the NIC. Requires send_idle(track). `on_sent`
+  /// fires when the track is free again (local completion).
+  virtual void post_send(SendDesc desc, Callback on_sent) = 0;
+
+  /// Install the receive upcall (set once, by the scheduling layer).
+  virtual void set_deliver(DeliverFn deliver) = 0;
+
+  /// Drive I/O for drivers that need active progression (e.g. sockets).
+  /// Returns true if any work was performed. Simulated drivers are pumped
+  /// by the event engine and return false.
+  virtual bool progress() { return false; }
+
+  Driver() = default;
+  Driver(const Driver&) = delete;
+  Driver& operator=(const Driver&) = delete;
+};
+
+}  // namespace nmad::drv

@@ -1,0 +1,50 @@
+#include "drv/real_world.hpp"
+
+#include <sched.h>
+
+#include <chrono>
+#include <utility>
+
+#include "util/panic.hpp"
+
+namespace nmad::drv {
+
+void RealWorld::attach(Driver* driver) {
+  NMAD_ASSERT(driver != nullptr, "attaching null driver");
+  drivers_.push_back(driver);
+}
+
+sim::TimeNs RealWorld::now() const {
+  const auto t = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now().time_since_epoch())
+                     .count();
+  if (epoch_ == 0) epoch_ = t;
+  return t - epoch_;
+}
+
+void RealWorld::defer(std::function<void()> fn) {
+  deferred_.push_back(std::move(fn));
+}
+
+bool RealWorld::progress_once() {
+  bool worked = false;
+  // Drain the deferred queue first: submissions become packets here.
+  while (!deferred_.empty()) {
+    auto fn = std::move(deferred_.front());
+    deferred_.pop_front();
+    fn();
+    worked = true;
+  }
+  for (Driver* d : drivers_) worked |= d->progress();
+  return worked;
+}
+
+void RealWorld::progress_until(const std::function<bool()>& pred) {
+  while (!pred()) {
+    if (!progress_once()) {
+      ::sched_yield();
+    }
+  }
+}
+
+}  // namespace nmad::drv

@@ -1,0 +1,43 @@
+// Progression pump for real (non-simulated) drivers.
+//
+// Plays the role SimWorld's event engine plays for SimDriver: supplies the
+// clock (wall time), the deferred-execution queue that disconnects request
+// processing from API calls, and the progress loop that polls drivers
+// until a completion predicate holds.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "drv/driver.hpp"
+#include "sim/time.hpp"
+
+namespace nmad::drv {
+
+class RealWorld {
+ public:
+  /// Register a driver to be polled by the progress loop. Drivers are not
+  /// owned; they must outlive the RealWorld.
+  void attach(Driver* driver);
+
+  /// Monotonic wall-clock time (ns since the first call).
+  [[nodiscard]] sim::TimeNs now() const;
+
+  /// Queue work for the next progression round (Scheduler::DeferFn).
+  void defer(std::function<void()> fn);
+
+  /// Drive drivers and deferred work until `pred()` holds. Spins politely
+  /// (sched_yield) when nothing progresses. Session::ProgressFn.
+  void progress_until(const std::function<bool()>& pred);
+
+  /// One progression round; returns true if any work happened.
+  bool progress_once();
+
+ private:
+  std::vector<Driver*> drivers_;
+  std::deque<std::function<void()>> deferred_;
+  mutable sim::TimeNs epoch_ = 0;
+};
+
+}  // namespace nmad::drv

@@ -1,0 +1,138 @@
+#include "drv/sim_driver.hpp"
+
+#include <algorithm>
+#include "util/fmt.hpp"
+#include <utility>
+
+#include "util/panic.hpp"
+
+namespace nmad::drv {
+
+SimDriver::SimDriver(SimWorld& world, NodeId node, netmodel::NicProfile profile,
+                     sim::ConstraintId tx_link)
+    : world_(world), node_(node), profile_(std::move(profile)), tx_link_(tx_link) {
+  caps_.name = profile_.name;
+  caps_.max_small_packet = profile_.pio_threshold;
+  caps_.copy_bandwidth_mbps = profile_.copy_bandwidth_mbps;
+  caps_.latency_us = profile_.min_latency_us();
+  caps_.bandwidth_mbps = profile_.dma_bandwidth_mbps;
+  caps_.poll_cost_us = profile_.poll_cost_us;
+}
+
+bool SimDriver::send_idle(Track track) const noexcept {
+  return !busy_[static_cast<std::size_t>(track)];
+}
+
+void SimDriver::set_deliver(DeliverFn deliver) { deliver_ = std::move(deliver); }
+
+void SimDriver::post_send(SendDesc desc, Callback on_sent) {
+  NMAD_ASSERT(send_idle(desc.track), "post_send on busy track");
+  NMAD_ASSERT(!desc.wire.empty(), "post_send of empty packet");
+  busy_[static_cast<std::size_t>(desc.track)] = true;
+  if (desc.track == Track::kSmall) {
+    // max_small_packet caps the *payload*; allow protocol headers on top
+    // (generously: aggregated packets carry one SegHeader per segment).
+    NMAD_ASSERT(desc.wire.size() <= caps_.max_small_packet + 4096,
+                "eager packet exceeds small-track limit");
+    send_eager(std::move(desc), std::move(on_sent));
+  } else {
+    send_dma(std::move(desc), std::move(on_sent));
+  }
+}
+
+void SimDriver::send_eager(SendDesc desc, Callback on_sent) {
+  auto& engine = world_.engine();
+  const std::size_t wire_bytes = desc.wire.size();
+  stats_.eager_packets += 1;
+  stats_.eager_bytes += wire_bytes;
+
+  // PIO: the CPU is held for setup + packet building + the host->NIC copy.
+  const sim::TimeNs cpu_time =
+      sim::us_to_ns(profile_.send_overhead_us + desc.extra_cpu_us) +
+      sim::transfer_ns(wire_bytes, profile_.pio_bandwidth_mbps);
+
+  world_.trace().record(engine.now(), "pio.start",
+                        util::sformat("%s %zuB", profile_.name.c_str(), wire_bytes));
+
+  // Move the payload into a shared state so both the completion and the
+  // delivery closures can reference it.
+  auto wire = std::make_shared<std::vector<std::byte>>(std::move(desc.wire));
+
+  const sim::TimeNs cpu_done = world_.cpu(node_).acquire(
+      cpu_time, [this, on_sent = std::move(on_sent)]() mutable {
+        // The NIC accepted the packet: the track can take the next one.
+        busy_[static_cast<std::size_t>(Track::kSmall)] = false;
+        world_.trace().record(world_.engine().now(), "pio.done", profile_.name);
+        if (on_sent) on_sent();
+      });
+
+  // Wire transit: constant hardware latency after injection. Delivery on
+  // the eager track is FIFO per link direction.
+  sim::TimeNs delivery = cpu_done + sim::us_to_ns(profile_.wire_latency_us);
+  delivery = std::max(delivery, last_eager_delivery_);
+  last_eager_delivery_ = delivery;
+  engine.schedule_at(delivery, [this, wire]() mutable {
+    peer_->arrive(Track::kSmall, std::move(*wire));
+  });
+}
+
+void SimDriver::send_dma(SendDesc desc, Callback on_sent) {
+  auto& engine = world_.engine();
+  const std::size_t wire_bytes = desc.wire.size();
+  stats_.dma_packets += 1;
+  stats_.dma_bytes += wire_bytes;
+
+  // The CPU only programs the descriptor (plus any packing work); the
+  // transfer itself runs on the NIC's DMA engine.
+  const sim::TimeNs cpu_time =
+      sim::us_to_ns(profile_.dma_setup_us + desc.extra_cpu_us);
+
+  auto wire = std::make_shared<std::vector<std::byte>>(std::move(desc.wire));
+
+  world_.trace().record(engine.now(), "dma.program",
+                        util::sformat("%s %zuB", profile_.name.c_str(), wire_bytes));
+
+  world_.cpu(node_).acquire(cpu_time, [this, wire, wire_bytes,
+                                       on_sent = std::move(on_sent)]() mutable {
+    // DMA engine spin-up, then a fluid flow across link + both buses.
+    world_.engine().schedule(
+        sim::us_to_ns(profile_.dma_start_us),
+        [this, wire, wire_bytes, on_sent = std::move(on_sent)]() mutable {
+          world_.trace().record(world_.engine().now(), "dma.start",
+                                util::sformat("%s %zuB", profile_.name.c_str(), wire_bytes));
+          const std::vector<sim::ConstraintId> constraints{
+              tx_link_, world_.bus(node_), world_.bus(peer_->node_)};
+          world_.net().start_flow(
+              wire_bytes, constraints,
+              [this, wire, on_sent = std::move(on_sent)]() mutable {
+                busy_[static_cast<std::size_t>(Track::kLarge)] = false;
+                world_.trace().record(world_.engine().now(), "dma.done",
+                                      profile_.name);
+                if (on_sent) on_sent();
+                // Last byte hits the remote NIC one wire latency later.
+                world_.engine().schedule(
+                    sim::us_to_ns(profile_.wire_latency_us), [this, wire]() mutable {
+                      peer_->arrive(Track::kLarge, std::move(*wire));
+                    });
+              });
+        });
+  });
+}
+
+void SimDriver::arrive(Track track, std::vector<std::byte> wire) {
+  // Receive-side host processing: per-packet overhead plus the progression
+  // engine's cost of having polled the node's other rails.
+  const sim::TimeNs penalty = world_.poll_penalty(node_, this);
+  const sim::TimeNs recv_cost = sim::us_to_ns(profile_.recv_overhead_us) + penalty;
+  auto buf = std::make_shared<std::vector<std::byte>>(std::move(wire));
+  world_.engine().schedule(recv_cost, [this, track, buf]() mutable {
+    stats_.delivered_packets += 1;
+    world_.trace().record(world_.engine().now(), "deliver",
+                          util::sformat("%s %s %zuB", profile_.name.c_str(),
+                                      track_name(track), buf->size()));
+    NMAD_ASSERT(deliver_ != nullptr, "packet arrived with no deliver upcall");
+    deliver_(track, std::move(*buf));
+  });
+}
+
+}  // namespace nmad::drv

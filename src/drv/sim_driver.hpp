@@ -1,0 +1,71 @@
+// Simulated NIC driver: implements the Driver interface on top of the
+// discrete-event platform, with distinct PIO and DMA semantics.
+//
+// Eager (small track) sends model Programmed I/O: the host CPU is occupied
+// for the send overhead plus the full host->NIC copy, so concurrent eager
+// sends on different rails of one node serialize — the effect that defeats
+// naive multi-rail balancing for small messages (paper §3.2).
+//
+// Large-track sends model DMA: the CPU is occupied only while programming
+// the descriptor; the transfer itself is a fluid flow across the NIC link
+// and both hosts' I/O buses (FairShareNet), so concurrent DMA transfers
+// genuinely overlap and contend only for bus capacity.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "drv/driver.hpp"
+#include "drv/sim_world.hpp"
+
+namespace nmad::drv {
+
+class SimDriver final : public Driver {
+ public:
+  /// Construct an endpoint on `node`. Use SimWorld::add_link, which wires
+  /// up the peer and the link constraints.
+  SimDriver(SimWorld& world, NodeId node, netmodel::NicProfile profile,
+            sim::ConstraintId tx_link);
+
+  [[nodiscard]] const Capabilities& caps() const noexcept override { return caps_; }
+  [[nodiscard]] bool send_idle(Track track) const noexcept override;
+  void post_send(SendDesc desc, Callback on_sent) override;
+  void set_deliver(DeliverFn deliver) override;
+
+  [[nodiscard]] const netmodel::NicProfile& profile() const noexcept { return profile_; }
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+  [[nodiscard]] SimDriver* peer() const noexcept { return peer_; }
+
+  // --- statistics (reported by benches, asserted by tests) ---------------
+  struct Stats {
+    std::uint64_t eager_packets = 0;
+    std::uint64_t eager_bytes = 0;  ///< wire bytes incl. headers
+    std::uint64_t dma_packets = 0;
+    std::uint64_t dma_bytes = 0;
+    std::uint64_t delivered_packets = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  friend class SimWorld;
+
+  void send_eager(SendDesc desc, Callback on_sent);
+  void send_dma(SendDesc desc, Callback on_sent);
+  /// Called on the *receiving* endpoint when bytes arrive off the wire.
+  void arrive(Track track, std::vector<std::byte> wire);
+
+  SimWorld& world_;
+  NodeId node_;
+  netmodel::NicProfile profile_;
+  Capabilities caps_;
+  sim::ConstraintId tx_link_;
+  SimDriver* peer_ = nullptr;
+  DeliverFn deliver_;
+  std::array<bool, kTrackCount> busy_{{false, false}};
+  /// Enforces FIFO delivery on the eager track even when CPU queueing
+  /// reorders nominal completion instants.
+  sim::TimeNs last_eager_delivery_ = 0;
+  Stats stats_;
+};
+
+}  // namespace nmad::drv

@@ -1,0 +1,80 @@
+// The simulated two-sided platform: nodes (CPU + I/O bus) connected by
+// point-to-point NIC links, all advancing on one discrete-event engine.
+//
+// This substitutes for the paper's physical testbed (two dual-core Opteron
+// boxes with a Myri-10G NIC and a Quadrics QM500 NIC each); see DESIGN.md
+// §2 for the substitution argument.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netmodel/nic_profile.hpp"
+#include "sim/engine.hpp"
+#include "sim/fair_share.hpp"
+#include "sim/serial_resource.hpp"
+#include "sim/trace.hpp"
+
+namespace nmad::drv {
+
+class SimDriver;
+
+struct NodeId {
+  std::uint32_t value = 0;
+  friend bool operator==(NodeId, NodeId) = default;
+};
+
+class SimWorld {
+ public:
+  SimWorld();
+  ~SimWorld();
+  SimWorld(const SimWorld&) = delete;
+  SimWorld& operator=(const SimWorld&) = delete;
+
+  /// Add a host. The host's CPU serializes PIO transfers (pio_cores
+  /// servers) and its I/O bus is a shared bandwidth constraint crossed by
+  /// every DMA flow entering or leaving the node.
+  NodeId add_node(const netmodel::HostProfile& host);
+
+  /// Connect `a` and `b` with one NIC pair of the given technology.
+  /// Returns the two endpoints (first belongs to `a`). The SimWorld owns
+  /// the drivers; pointers stay valid for the world's lifetime.
+  std::pair<SimDriver*, SimDriver*> add_link(NodeId a, NodeId b,
+                                             const netmodel::NicProfile& nic);
+
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] sim::FairShareNet& net() noexcept { return net_; }
+  [[nodiscard]] sim::Trace& trace() noexcept { return trace_; }
+  [[nodiscard]] sim::TimeNs now() const noexcept { return engine_.now(); }
+
+  [[nodiscard]] sim::SerialResource& cpu(NodeId node);
+  [[nodiscard]] sim::ConstraintId bus(NodeId node) const;
+
+  /// Progression-poll penalty paid when a packet is delivered on `to_rail`
+  /// of `node`: the engine polled every other rail of the node first
+  /// (paper §3.3: "this overhead is mainly due to a polling operation on
+  /// the Myri-10G NIC").
+  [[nodiscard]] sim::TimeNs poll_penalty(NodeId node, const SimDriver* to_rail) const;
+
+  /// All rail endpoints attached to a node.
+  [[nodiscard]] const std::vector<SimDriver*>& rails(NodeId node) const;
+
+ private:
+  friend class SimDriver;
+
+  struct Node {
+    std::string name;
+    std::unique_ptr<sim::SerialResource> cpu;
+    sim::ConstraintId bus;
+    std::vector<SimDriver*> rails;
+  };
+
+  sim::Engine engine_;
+  sim::FairShareNet net_;
+  sim::Trace trace_;
+  std::vector<Node> nodes_;
+  std::vector<std::unique_ptr<SimDriver>> drivers_;
+};
+
+}  // namespace nmad::drv

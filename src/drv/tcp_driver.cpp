@@ -1,0 +1,231 @@
+#include "drv/tcp_driver.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/fmt.hpp"
+#include "util/panic.hpp"
+
+namespace nmad::drv {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  NMAD_ASSERT(flags >= 0, "fcntl(F_GETFL) failed");
+  NMAD_ASSERT(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+              "fcntl(F_SETFL, O_NONBLOCK) failed");
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  // Best effort: socketpairs (AF_UNIX) reject TCP options; that is fine.
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Capabilities tcp_caps() {
+  Capabilities caps;
+  caps.name = "tcp";
+  caps.max_small_packet = 32 * 1024;
+  caps.latency_us = 30.0;       // strategy hints only; real time rules here
+  caps.bandwidth_mbps = 110.0;
+  caps.poll_cost_us = 0.0;
+  caps.copy_bandwidth_mbps = 5000.0;
+  return caps;
+}
+
+void append_frame_header(std::vector<std::byte>& out, std::uint32_t len) {
+  for (int i = 0; i < 4; ++i) out.push_back(std::byte((len >> (8 * i)) & 0xff));
+}
+
+std::uint32_t read_frame_len(const std::vector<std::byte>& in) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | std::to_integer<std::uint32_t>(in[static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+}  // namespace
+
+TcpDriver::TcpDriver(int fd_small, int fd_large) : caps_(tcp_caps()) {
+  tracks_[0].fd = fd_small;
+  tracks_[1].fd = fd_large;
+  for (auto& ts : tracks_) {
+    set_nonblocking(ts.fd);
+    set_nodelay(ts.fd);
+  }
+}
+
+TcpDriver::~TcpDriver() {
+  for (auto& ts : tracks_) {
+    if (ts.fd >= 0) ::close(ts.fd);
+  }
+}
+
+std::pair<std::unique_ptr<TcpDriver>, std::unique_ptr<TcpDriver>>
+TcpDriver::create_pair() {
+  int small[2];
+  int large[2];
+  NMAD_ASSERT(::socketpair(AF_UNIX, SOCK_STREAM, 0, small) == 0,
+              "socketpair(small) failed");
+  NMAD_ASSERT(::socketpair(AF_UNIX, SOCK_STREAM, 0, large) == 0,
+              "socketpair(large) failed");
+  auto a = std::unique_ptr<TcpDriver>(new TcpDriver(small[0], large[0]));
+  auto b = std::unique_ptr<TcpDriver>(new TcpDriver(small[1], large[1]));
+  return {std::move(a), std::move(b)};
+}
+
+util::Expected<std::unique_ptr<TcpDriver>> TcpDriver::listen_one(std::uint16_t port) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) return util::make_error("socket() failed");
+  int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(listener);
+    return util::make_error(util::sformat("bind(%u) failed: %s", port,
+                                          std::strerror(errno)));
+  }
+  if (::listen(listener, 2) != 0) {
+    ::close(listener);
+    return util::make_error("listen() failed");
+  }
+  // Track sockets accepted in order: small first, then large.
+  const int fd_small = ::accept(listener, nullptr, nullptr);
+  const int fd_large = ::accept(listener, nullptr, nullptr);
+  ::close(listener);
+  if (fd_small < 0 || fd_large < 0) {
+    if (fd_small >= 0) ::close(fd_small);
+    return util::make_error("accept() failed");
+  }
+  return std::unique_ptr<TcpDriver>(new TcpDriver(fd_small, fd_large));
+}
+
+util::Expected<std::unique_ptr<TcpDriver>> TcpDriver::connect_to(
+    const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return util::make_error(util::sformat("bad address '%s'", host.c_str()));
+  }
+  int fds[2];
+  for (int& fd : fds) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return util::make_error("socket() failed");
+    // Retry briefly: the listener may still be coming up.
+    int rc = -1;
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+      if (rc == 0) break;
+      ::usleep(10 * 1000);
+    }
+    if (rc != 0) {
+      ::close(fd);
+      return util::make_error(util::sformat("connect(%s:%u) failed: %s",
+                                            host.c_str(), port,
+                                            std::strerror(errno)));
+    }
+  }
+  return std::unique_ptr<TcpDriver>(new TcpDriver(fds[0], fds[1]));
+}
+
+bool TcpDriver::send_idle(Track track) const noexcept {
+  return !tracks_[static_cast<std::size_t>(track)].busy;
+}
+
+void TcpDriver::set_deliver(DeliverFn deliver) { deliver_ = std::move(deliver); }
+
+void TcpDriver::post_send(SendDesc desc, Callback on_sent) {
+  TrackState& ts = tracks_[static_cast<std::size_t>(desc.track)];
+  NMAD_ASSERT(!ts.busy, "post_send on busy TCP track");
+  NMAD_ASSERT(desc.wire.size() <= 0xffffffffu, "frame too large");
+
+  ts.busy = true;
+  ts.out.clear();
+  ts.out_off = 0;
+  append_frame_header(ts.out, static_cast<std::uint32_t>(desc.wire.size()));
+  ts.out.insert(ts.out.end(), desc.wire.begin(), desc.wire.end());
+  ts.on_sent = std::move(on_sent);
+  stats_.packets_sent += 1;
+  stats_.bytes_sent += desc.wire.size();
+  // Kick the write immediately; completion is reported from progress() so
+  // the on_sent upcall never runs inside post_send (Driver contract).
+}
+
+bool TcpDriver::flush_writes(TrackState& ts) {
+  if (!ts.busy) return false;
+  bool worked = false;
+  while (ts.out_off < ts.out.size()) {
+    const ssize_t n = ::send(ts.fd, ts.out.data() + ts.out_off,
+                             ts.out.size() - ts.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      ts.out_off += static_cast<std::size_t>(n);
+      worked = true;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return worked;
+    NMAD_PANIC("TCP send failed (peer gone?)");
+  }
+  // Frame fully handed to the kernel: the track is idle again.
+  ts.busy = false;
+  ts.out.clear();
+  ts.out_off = 0;
+  Callback cb = std::move(ts.on_sent);
+  ts.on_sent = nullptr;
+  if (cb) cb();
+  return true;
+}
+
+bool TcpDriver::drain_reads(Track track, TrackState& ts) {
+  bool worked = false;
+  std::byte buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(ts.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      ts.in.insert(ts.in.end(), buf, buf + n);
+      worked = true;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n == 0) break;  // peer closed; deliver what we have
+    NMAD_PANIC("TCP recv failed");
+  }
+  // Deliver every complete frame.
+  while (ts.in.size() >= 4) {
+    const std::uint32_t len = read_frame_len(ts.in);
+    if (ts.in.size() < 4 + static_cast<std::size_t>(len)) break;
+    std::vector<std::byte> frame(ts.in.begin() + 4, ts.in.begin() + 4 + len);
+    ts.in.erase(ts.in.begin(), ts.in.begin() + 4 + len);
+    stats_.packets_received += 1;
+    stats_.bytes_received += len;
+    NMAD_ASSERT(deliver_ != nullptr, "TCP frame arrived with no deliver upcall");
+    deliver_(track, std::move(frame));
+    worked = true;
+  }
+  return worked;
+}
+
+bool TcpDriver::progress() {
+  bool worked = false;
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    worked |= flush_writes(tracks_[i]);
+    worked |= drain_reads(static_cast<Track>(i), tracks_[i]);
+  }
+  return worked;
+}
+
+}  // namespace nmad::drv

@@ -1,0 +1,34 @@
+#include "netmodel/transfer_model.hpp"
+
+#include <utility>
+
+namespace nmad::netmodel {
+
+double TransferModel::eager_us(std::uint64_t payload_bytes) const noexcept {
+  const auto& p = profile_;
+  return p.send_overhead_us +
+         static_cast<double>(payload_bytes) / p.pio_bandwidth_mbps +
+         p.wire_latency_us + p.recv_overhead_us;
+}
+
+double TransferModel::rendezvous_us(std::uint64_t payload_bytes) const noexcept {
+  const auto& p = profile_;
+  // REQ (minimal eager) + ACK (minimal eager back) + DMA programming +
+  // stream + delivery notification.
+  const double handshake = 2.0 * eager_us(16);
+  const double dma = p.dma_setup_us + p.dma_start_us +
+                     static_cast<double>(payload_bytes) / p.dma_bandwidth_mbps +
+                     p.recv_overhead_us;
+  return handshake + dma;
+}
+
+double TransferModel::transfer_us(std::uint64_t payload_bytes) const noexcept {
+  return payload_bytes <= profile_.pio_threshold ? eager_us(payload_bytes)
+                                                 : rendezvous_us(payload_bytes);
+}
+
+double TransferModel::bulk_cost_per_byte_us() const noexcept {
+  return 1.0 / profile_.dma_bandwidth_mbps;
+}
+
+}  // namespace nmad::netmodel

@@ -1,0 +1,47 @@
+// Analytic transfer-time predictions derived from a NicProfile.
+//
+// Two users:
+//  - the sampling subsystem validates its measured linear fits against these
+//    closed forms (they must agree when no contention occurs);
+//  - strategies may fall back to the analytic model when no sampling data is
+//    available (e.g. a rail added after initialization).
+//
+// The analytic model deliberately ignores bus contention — contention is an
+// emergent property of concurrent flows and is what the simulator computes;
+// strategies reason about isolated-rail costs, exactly like the paper's
+// boot-time sampling does.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "netmodel/nic_profile.hpp"
+
+namespace nmad::netmodel {
+
+class TransferModel {
+ public:
+  explicit TransferModel(NicProfile profile) : profile_(std::move(profile)) {}
+
+  [[nodiscard]] const NicProfile& profile() const noexcept { return profile_; }
+
+  /// Predicted one-way time (µs) for an isolated eager (PIO) packet of
+  /// `payload_bytes`, excluding progression poll costs on other rails.
+  [[nodiscard]] double eager_us(std::uint64_t payload_bytes) const noexcept;
+
+  /// Predicted one-way time (µs) for an isolated rendezvous transfer of
+  /// `payload_bytes` (control handshake + DMA), no contention.
+  [[nodiscard]] double rendezvous_us(std::uint64_t payload_bytes) const noexcept;
+
+  /// Predicted one-way time choosing the path the driver would choose.
+  [[nodiscard]] double transfer_us(std::uint64_t payload_bytes) const noexcept;
+
+  /// Marginal cost of one extra byte on the bulk path (µs/byte); the
+  /// reciprocal of the DMA bandwidth. Used for split-ratio computation.
+  [[nodiscard]] double bulk_cost_per_byte_us() const noexcept;
+
+ private:
+  NicProfile profile_;
+};
+
+}  // namespace nmad::netmodel

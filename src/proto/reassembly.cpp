@@ -1,0 +1,74 @@
+#include "proto/reassembly.hpp"
+
+#include <cstring>
+
+#include "util/fmt.hpp"
+#include "util/panic.hpp"
+
+namespace nmad::proto {
+
+void MessageAssembly::rebind(std::span<std::byte> new_dest) {
+  NMAD_ASSERT(new_dest.size() == dest_.size(), "rebind to differently-sized buffer");
+  if (new_dest.data() == dest_.data()) return;
+  for (const auto& [start, end] : intervals_) {
+    std::memcpy(new_dest.data() + start, dest_.data() + start, end - start);
+  }
+  dest_ = new_dest;
+}
+
+util::Status MessageAssembly::add_chunk(std::uint64_t offset,
+                                        std::span<const std::byte> payload) {
+  if (payload.empty()) return {};
+  const std::uint64_t end = offset + payload.size();
+  if (end > dest_.size()) {
+    return util::make_error(util::sformat(
+        "chunk [%llu, %llu) exceeds message length %zu",
+        static_cast<unsigned long long>(offset),
+        static_cast<unsigned long long>(end), dest_.size()));
+  }
+
+  // Find the first interval whose end is > offset; overlap exists if it
+  // starts before our end.
+  auto it = intervals_.upper_bound(offset);
+  if (it != intervals_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > offset) {
+      return util::make_error(util::sformat(
+          "chunk [%llu, %llu) overlaps received range [%llu, %llu)",
+          static_cast<unsigned long long>(offset),
+          static_cast<unsigned long long>(end),
+          static_cast<unsigned long long>(prev->first),
+          static_cast<unsigned long long>(prev->second)));
+    }
+  }
+  if (it != intervals_.end() && it->first < end) {
+    return util::make_error(util::sformat(
+        "chunk [%llu, %llu) overlaps received range [%llu, %llu)",
+        static_cast<unsigned long long>(offset),
+        static_cast<unsigned long long>(end),
+        static_cast<unsigned long long>(it->first),
+        static_cast<unsigned long long>(it->second)));
+  }
+
+  std::memcpy(dest_.data() + offset, payload.data(), payload.size());
+  received_ += payload.size();
+
+  // Insert and merge with adjacent intervals.
+  std::uint64_t new_start = offset;
+  std::uint64_t new_end = end;
+  if (it != intervals_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second == offset) {
+      new_start = prev->first;
+      intervals_.erase(prev);
+    }
+  }
+  if (it != intervals_.end() && it->first == end) {
+    new_end = it->second;
+    intervals_.erase(it);
+  }
+  intervals_.emplace(new_start, new_end);
+  return {};
+}
+
+}  // namespace nmad::proto

@@ -1,0 +1,50 @@
+// Receive-side reassembly of messages from (possibly out-of-order,
+// possibly overlapping-free) chunks.
+//
+// With multi-rail stripping, one message's chunks arrive over different
+// NICs in arbitrary order; with aggregation, several messages' segments
+// arrive in one packet. Each in-flight incoming message owns a
+// MessageAssembly that tracks which byte ranges have landed (an ordered
+// interval set) and reports completion when coverage reaches total length.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+
+#include "util/expected.hpp"
+
+namespace nmad::proto {
+
+class MessageAssembly {
+ public:
+  /// `dest` must stay valid until complete(); its size is the message length.
+  explicit MessageAssembly(std::span<std::byte> dest) : dest_(dest) {}
+
+  /// Copy `payload` into the message at `offset`. Rejects chunks that fall
+  /// outside the message or overlap previously received bytes (a protocol
+  /// violation — each byte is sent exactly once).
+  util::Status add_chunk(std::uint64_t offset, std::span<const std::byte> payload);
+
+  [[nodiscard]] std::uint64_t bytes_received() const noexcept { return received_; }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept { return dest_.size(); }
+  [[nodiscard]] bool complete() const noexcept { return received_ == dest_.size(); }
+
+  /// Number of maximal contiguous received ranges (test/diagnostic aid).
+  [[nodiscard]] std::size_t fragment_count() const noexcept { return intervals_.size(); }
+
+  /// Switch the destination buffer, copying already-received ranges across.
+  /// Used when a message that started assembling into unexpected-message
+  /// temporary storage is matched by a late-posted receive. `new_dest` must
+  /// be the same size as the current destination.
+  void rebind(std::span<std::byte> new_dest);
+
+ private:
+  std::span<std::byte> dest_;
+  /// Maximal disjoint received intervals: start -> end (exclusive).
+  std::map<std::uint64_t, std::uint64_t> intervals_;
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace nmad::proto

@@ -1,0 +1,152 @@
+#include "proto/wire.hpp"
+
+#include <cstring>
+#include "util/fmt.hpp"
+
+#include "util/panic.hpp"
+
+namespace nmad::proto {
+
+namespace {
+
+void put_u16(std::vector<std::byte>& out, std::uint16_t v) {
+  for (int i = 0; i < 2; ++i) out.push_back(std::byte((v >> (8 * i)) & 0xff));
+}
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(std::byte((v >> (8 * i)) & 0xff));
+}
+
+std::uint16_t get_u16(std::span<const std::byte> in, std::size_t off) {
+  return static_cast<std::uint16_t>(std::to_integer<unsigned>(in[off]) |
+                                    (std::to_integer<unsigned>(in[off + 1]) << 8));
+}
+std::uint32_t get_u32(std::span<const std::byte> in, std::size_t off) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | std::to_integer<std::uint32_t>(in[off + static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+}  // namespace
+
+PacketBuilder::PacketBuilder(PacketKind kind) : kind_(kind) {}
+
+void PacketBuilder::add_segment(const SegHeader& header,
+                                std::span<const std::byte> payload) {
+  NMAD_ASSERT(payload.size() == header.len, "segment payload/len mismatch");
+  NMAD_ASSERT(header.len == 0 ||
+                  static_cast<std::uint64_t>(header.offset) + header.len <=
+                      header.total_len,
+              "segment extent exceeds message length");
+  headers_.push_back(header);
+  payload_.insert(payload_.end(), payload.begin(), payload.end());
+}
+
+std::vector<std::byte> PacketBuilder::finish() && {
+  NMAD_ASSERT(!headers_.empty(), "encoding packet with no segments");
+  NMAD_ASSERT(headers_.size() <= 0xffff, "too many segments in one packet");
+  std::vector<std::byte> out;
+  out.reserve(wire_size());
+
+  // PacketHeader: magic(2) version(1) kind(1) seg_count(2) reserved(2)
+  //               payload_len(4) reserved(4)
+  put_u16(out, kMagic);
+  out.push_back(std::byte{kVersion});
+  out.push_back(std::byte{static_cast<std::uint8_t>(kind_)});
+  put_u16(out, static_cast<std::uint16_t>(headers_.size()));
+  put_u16(out, 0);
+  put_u32(out, static_cast<std::uint32_t>(payload_.size()));
+  put_u32(out, 0);
+  NMAD_ASSERT(out.size() == kPacketHeaderBytes, "packet header layout drift");
+
+  for (const SegHeader& h : headers_) {
+    put_u32(out, h.tag);
+    put_u32(out, h.msg_seq);
+    put_u32(out, h.offset);
+    put_u32(out, h.len);
+    put_u32(out, h.total_len);
+  }
+  out.insert(out.end(), payload_.begin(), payload_.end());
+  return out;
+}
+
+util::Expected<DecodedPacket> decode_packet(std::span<const std::byte> wire) {
+  if (wire.size() < kPacketHeaderBytes) {
+    return util::make_error(util::sformat("packet too short: %zu bytes", wire.size()));
+  }
+  if (get_u16(wire, 0) != kMagic) {
+    return util::make_error("bad packet magic");
+  }
+  const auto version = std::to_integer<std::uint8_t>(wire[2]);
+  if (version != kVersion) {
+    return util::make_error(util::sformat("unsupported packet version %u", version));
+  }
+  const auto kind_raw = std::to_integer<std::uint8_t>(wire[3]);
+  if (kind_raw < 1 || kind_raw > 3) {
+    return util::make_error(util::sformat("unknown packet kind %u", kind_raw));
+  }
+  const std::uint16_t seg_count = get_u16(wire, 4);
+  const std::uint32_t payload_len = get_u32(wire, 8);
+  const std::size_t expected = packet_wire_size(seg_count, payload_len);
+  if (wire.size() != expected) {
+    return util::make_error(util::sformat(
+        "packet size mismatch: got %zu bytes, header implies %zu", wire.size(),
+        expected));
+  }
+  if (seg_count == 0) {
+    return util::make_error("packet with zero segments");
+  }
+
+  DecodedPacket pkt;
+  pkt.kind = static_cast<PacketKind>(kind_raw);
+  pkt.segments.reserve(seg_count);
+
+  std::size_t hdr_off = kPacketHeaderBytes;
+  std::size_t payload_off = kPacketHeaderBytes + seg_count * kSegHeaderBytes;
+  std::uint64_t payload_sum = 0;
+  for (std::uint16_t i = 0; i < seg_count; ++i) {
+    SegHeader h;
+    h.tag = get_u32(wire, hdr_off + 0);
+    h.msg_seq = get_u32(wire, hdr_off + 4);
+    h.offset = get_u32(wire, hdr_off + 8);
+    h.len = get_u32(wire, hdr_off + 12);
+    h.total_len = get_u32(wire, hdr_off + 16);
+    hdr_off += kSegHeaderBytes;
+    payload_sum += h.len;
+    if (payload_sum > payload_len) {
+      return util::make_error("segment lengths exceed packet payload");
+    }
+    if (h.len > 0 && static_cast<std::uint64_t>(h.offset) + h.len > h.total_len) {
+      return util::make_error("segment extent exceeds message length");
+    }
+    pkt.segments.push_back(
+        DecodedPacket::Segment{h, wire.subspan(payload_off, h.len)});
+    payload_off += h.len;
+  }
+  if (payload_sum != payload_len) {
+    return util::make_error("segment lengths do not cover packet payload");
+  }
+  return pkt;
+}
+
+std::vector<std::byte> encode_data_packet(const SegHeader& header,
+                                          std::span<const std::byte> payload) {
+  PacketBuilder b(PacketKind::kData);
+  b.add_segment(header, payload);
+  return std::move(b).finish();
+}
+
+std::vector<std::byte> encode_rdv_req(Tag tag, MsgSeq seq, std::uint32_t total_len) {
+  PacketBuilder b(PacketKind::kRdvReq);
+  b.add_segment(SegHeader{tag, seq, 0, 0, total_len}, {});
+  return std::move(b).finish();
+}
+
+std::vector<std::byte> encode_rdv_ack(Tag tag, MsgSeq seq) {
+  PacketBuilder b(PacketKind::kRdvAck);
+  b.add_segment(SegHeader{tag, seq, 0, 0, 0}, {});
+  return std::move(b).finish();
+}
+
+}  // namespace nmad::proto

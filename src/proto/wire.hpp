@@ -1,0 +1,109 @@
+// Wire format of nmad packets.
+//
+// Every packet a driver puts on a wire — simulated or real TCP — is encoded
+// with this format. A packet is:
+//
+//   PacketHeader (16 bytes)
+//   SegHeader x seg_count (20 bytes each)
+//   concatenated segment payloads
+//
+// A *data* packet can carry several segments (possibly from different
+// messages — the paper's aggregation optimization merges segments across
+// logical channels), each addressed by (tag, msg_seq, offset) into its
+// destination message. Rendezvous control packets reuse SegHeader with an
+// empty payload. All integers are little-endian on the wire.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/expected.hpp"
+
+namespace nmad::proto {
+
+/// Application-level message tag (like an MPI tag).
+using Tag = std::uint32_t;
+/// Per-gate message sequence number; (gate, msg_seq) identifies a message.
+using MsgSeq = std::uint32_t;
+
+enum class PacketKind : std::uint8_t {
+  kData = 1,    ///< carries one or more data segments
+  kRdvReq = 2,  ///< rendezvous request: announces a large message
+  kRdvAck = 3,  ///< rendezvous grant: receiver is ready
+};
+
+/// Addressing and extent of one segment within its message.
+struct SegHeader {
+  Tag tag = 0;
+  MsgSeq msg_seq = 0;
+  std::uint32_t offset = 0;     ///< byte offset within the full message
+  std::uint32_t len = 0;        ///< payload bytes carried in this packet
+  std::uint32_t total_len = 0;  ///< full message length (same in every chunk)
+
+  friend bool operator==(const SegHeader&, const SegHeader&) = default;
+};
+
+inline constexpr std::size_t kPacketHeaderBytes = 16;
+inline constexpr std::size_t kSegHeaderBytes = 20;
+inline constexpr std::uint16_t kMagic = 0x4d4e;  // "NM"
+inline constexpr std::uint8_t kVersion = 1;
+
+/// Total on-wire size of a packet carrying the given payload split across
+/// `seg_count` segments.
+constexpr std::size_t packet_wire_size(std::size_t seg_count,
+                                       std::size_t payload_bytes) noexcept {
+  return kPacketHeaderBytes + seg_count * kSegHeaderBytes + payload_bytes;
+}
+
+/// Incrementally builds an encoded packet.
+class PacketBuilder {
+ public:
+  explicit PacketBuilder(PacketKind kind);
+
+  /// Append a segment. For control packets, pass an empty payload.
+  /// `payload.size()` must equal `header.len`.
+  void add_segment(const SegHeader& header, std::span<const std::byte> payload);
+
+  [[nodiscard]] std::size_t seg_count() const noexcept { return headers_.size(); }
+  [[nodiscard]] std::size_t payload_bytes() const noexcept { return payload_.size(); }
+  [[nodiscard]] std::size_t wire_size() const noexcept {
+    return packet_wire_size(headers_.size(), payload_.size());
+  }
+
+  /// Encode into a fresh buffer. The builder may not be reused afterwards.
+  [[nodiscard]] std::vector<std::byte> finish() &&;
+
+ private:
+  PacketKind kind_;
+  std::vector<SegHeader> headers_;
+  std::vector<std::byte> payload_;
+};
+
+/// A decoded view into an encoded packet. Does not own the bytes: the
+/// spans point into the buffer passed to decode_packet, which must outlive
+/// the DecodedPacket.
+struct DecodedPacket {
+  PacketKind kind{};
+  struct Segment {
+    SegHeader header;
+    std::span<const std::byte> payload;
+  };
+  std::vector<Segment> segments;
+};
+
+/// Validate and decode an encoded packet (checks magic, version, lengths).
+util::Expected<DecodedPacket> decode_packet(std::span<const std::byte> wire);
+
+/// Convenience: build a single-segment data packet.
+std::vector<std::byte> encode_data_packet(const SegHeader& header,
+                                          std::span<const std::byte> payload);
+
+/// Convenience: build a rendezvous request for a message of `total_len`.
+std::vector<std::byte> encode_rdv_req(Tag tag, MsgSeq seq, std::uint32_t total_len);
+
+/// Convenience: build a rendezvous grant.
+std::vector<std::byte> encode_rdv_ack(Tag tag, MsgSeq seq);
+
+}  // namespace nmad::proto

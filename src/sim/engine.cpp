@@ -1,0 +1,51 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+#include "util/panic.hpp"
+
+namespace nmad::sim {
+
+EventId Engine::schedule(TimeNs delay, Callback cb) {
+  NMAD_ASSERT(delay >= 0, "negative event delay");
+  return queue_.schedule_at(now_ + delay, std::move(cb));
+}
+
+EventId Engine::schedule_at(TimeNs at, Callback cb) {
+  NMAD_ASSERT(at >= now_, "scheduling into the past");
+  return queue_.schedule_at(at, std::move(cb));
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  auto fired = queue_.pop();
+  NMAD_ASSERT(fired.time >= now_, "event queue time went backwards");
+  now_ = fired.time;
+  ++fired_;
+  fired.callback();
+  return true;
+}
+
+std::size_t Engine::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+bool Engine::run_until(const std::function<bool()>& pred) {
+  if (pred()) return true;
+  while (step()) {
+    if (pred()) return true;
+  }
+  return false;
+}
+
+void Engine::run_for(TimeNs duration) {
+  const TimeNs deadline = now_ + duration;
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace nmad::sim

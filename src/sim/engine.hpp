@@ -1,0 +1,58 @@
+// The discrete-event simulation engine: a virtual clock plus an event queue.
+//
+// Everything in the simulated platform — NIC DMA engines, CPU occupancy,
+// wire latencies, the communication library's progression — advances by
+// scheduling callbacks on one Engine. Single-threaded by design: runs are
+// bit-reproducible, which the benchmark suite and golden tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace nmad::sim {
+
+class Engine {
+ public:
+  using Callback = EventQueue::Callback;
+
+  /// Current virtual time.
+  [[nodiscard]] TimeNs now() const noexcept { return now_; }
+
+  /// Schedule `cb` to run `delay` ns from now (delay >= 0).
+  EventId schedule(TimeNs delay, Callback cb);
+
+  /// Schedule at an absolute virtual time (>= now()).
+  EventId schedule_at(TimeNs at, Callback cb);
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Run events until the queue drains. Returns the number of events fired.
+  std::size_t run();
+
+  /// Run events until `pred()` becomes true (checked after each event) or
+  /// the queue drains. Returns true if the predicate was satisfied.
+  bool run_until(const std::function<bool()>& pred);
+
+  /// Run events with timestamp <= `deadline`; afterwards now() == deadline
+  /// (or later if an event at deadline scheduled nothing further — now()
+  /// never exceeds the last fired event's time or the deadline, whichever
+  /// is larger).
+  void run_for(TimeNs duration);
+
+  /// Fire exactly one event if any is pending. Returns false on empty queue.
+  bool step();
+
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::uint64_t events_fired() const noexcept { return fired_; }
+
+ private:
+  EventQueue queue_;
+  TimeNs now_ = 0;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace nmad::sim

@@ -1,0 +1,51 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "util/panic.hpp"
+
+namespace nmad::sim {
+
+EventId EventQueue::schedule_at(TimeNs at, Callback cb) {
+  NMAD_ASSERT(cb != nullptr, "scheduling null callback");
+  const std::uint64_t id = next_id_++;
+  heap_.push(Entry{at, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  ++live_count_;
+  return EventId{id};
+}
+
+bool EventQueue::cancel(EventId id) {
+  auto it = callbacks_.find(id.value);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::drop_cancelled_head() const {
+  while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+TimeNs EventQueue::next_time() const {
+  drop_cancelled_head();
+  NMAD_ASSERT(!heap_.empty(), "next_time on empty event queue");
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled_head();
+  NMAD_ASSERT(!heap_.empty(), "pop on empty event queue");
+  const Entry entry = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(entry.id);
+  NMAD_ASSERT(it != callbacks_.end(), "event without callback");
+  Fired fired{entry.time, std::move(it->second)};
+  callbacks_.erase(it);
+  --live_count_;
+  return fired;
+}
+
+}  // namespace nmad::sim

@@ -1,0 +1,72 @@
+// Priority queue of timestamped events with stable FIFO ordering for ties
+// and O(log n) cancellation support.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace nmad::sim {
+
+/// Opaque handle identifying a scheduled event (for cancellation).
+struct EventId {
+  std::uint64_t value = 0;
+  [[nodiscard]] bool valid() const noexcept { return value != 0; }
+  friend bool operator==(EventId, EventId) = default;
+};
+
+/// Min-heap of events ordered by (time, insertion sequence): two events at
+/// the same timestamp fire in the order they were scheduled, which the
+/// driver models rely on (e.g. a send completion scheduled before a
+/// delivery at the same instant is observed first).
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` at absolute time `at`.
+  EventId schedule_at(TimeNs at, Callback cb);
+
+  /// Cancel a pending event. Returns false if the event already fired or was
+  /// already cancelled. Cancellation is O(1) amortized (lazy deletion).
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const noexcept { return live_count_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return live_count_; }
+
+  /// Earliest pending event time; panics when empty.
+  [[nodiscard]] TimeNs next_time() const;
+
+  /// Pop the earliest event and return its callback together with its
+  /// timestamp; panics when empty.
+  struct Fired {
+    TimeNs time;
+    Callback callback;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    TimeNs time;
+    std::uint64_t seq;
+    std::uint64_t id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled_head() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace nmad::sim

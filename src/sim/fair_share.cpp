@@ -1,0 +1,174 @@
+#include "sim/fair_share.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/panic.hpp"
+
+namespace nmad::sim {
+
+namespace {
+/// A flow is considered drained when less than half a byte remains —
+/// floating-point progress accumulation can leave sub-byte residue.
+constexpr double kDrainEpsilonBytes = 0.5;
+}  // namespace
+
+ConstraintId FairShareNet::add_constraint(double capacity_mbps, std::string name) {
+  NMAD_ASSERT(capacity_mbps > 0.0, "constraint capacity must be positive");
+  capacities_.push_back(capacity_mbps);
+  constraint_names_.push_back(std::move(name));
+  return ConstraintId{static_cast<std::uint32_t>(capacities_.size() - 1)};
+}
+
+double FairShareNet::capacity(ConstraintId id) const {
+  NMAD_ASSERT(id.value < capacities_.size(), "bad constraint id");
+  return capacities_[id.value];
+}
+
+FlowId FairShareNet::start_flow(std::uint64_t bytes,
+                                const std::vector<ConstraintId>& constraints,
+                                Engine::Callback on_done) {
+  NMAD_ASSERT(!constraints.empty(), "flow needs at least one constraint");
+  for (ConstraintId c : constraints) {
+    NMAD_ASSERT(c.value < capacities_.size(), "bad constraint id in flow");
+  }
+  advance_to_now();
+  const std::uint64_t id = next_flow_id_++;
+  Flow flow;
+  flow.remaining_bytes = static_cast<double>(bytes);
+  flow.constraints = constraints;
+  flow.on_done = std::move(on_done);
+  flows_.emplace(id, std::move(flow));
+  recompute();
+  return FlowId{id};
+}
+
+double FairShareNet::flow_rate(FlowId id) const {
+  auto it = flows_.find(id.value);
+  return it != flows_.end() ? it->second.rate_mbps : 0.0;
+}
+
+double FairShareNet::constraint_load(ConstraintId id) const {
+  double load = 0.0;
+  for (const auto& [_, flow] : flows_) {
+    if (std::find(flow.constraints.begin(), flow.constraints.end(), id) !=
+        flow.constraints.end()) {
+      load += flow.rate_mbps;
+    }
+  }
+  return load;
+}
+
+void FairShareNet::advance_to_now() {
+  const TimeNs now = engine_.now();
+  const TimeNs elapsed = now - last_advance_;
+  last_advance_ = now;
+  if (elapsed <= 0) return;
+  for (auto& [_, flow] : flows_) {
+    // rate [MB/s] * elapsed [ns] => bytes: mbps * 1e6 B/s * ns * 1e-9 s.
+    flow.remaining_bytes -= flow.rate_mbps * static_cast<double>(elapsed) / 1000.0;
+    if (flow.remaining_bytes < 0.0) flow.remaining_bytes = 0.0;
+  }
+}
+
+void FairShareNet::assign_max_min_rates() {
+  // Progressive water-filling. Start with every flow unfrozen and every
+  // constraint at full capacity; repeatedly find the tightest constraint
+  // (smallest per-flow fair share), freeze its flows at that share, deduct,
+  // and continue until all flows are frozen.
+  std::vector<std::uint64_t> unfrozen;
+  unfrozen.reserve(flows_.size());
+  for (auto& [id, flow] : flows_) {
+    flow.rate_mbps = 0.0;
+    unfrozen.push_back(id);
+  }
+  std::vector<double> residual = capacities_;
+
+  while (!unfrozen.empty()) {
+    // Count unfrozen flows per constraint.
+    std::vector<int> users(capacities_.size(), 0);
+    for (std::uint64_t fid : unfrozen) {
+      for (ConstraintId c : flows_[fid].constraints) ++users[c.value];
+    }
+    double best_share = std::numeric_limits<double>::infinity();
+    std::size_t best_constraint = capacities_.size();
+    for (std::size_t c = 0; c < capacities_.size(); ++c) {
+      if (users[c] == 0) continue;
+      const double share = residual[c] / users[c];
+      if (share < best_share) {
+        best_share = share;
+        best_constraint = c;
+      }
+    }
+    NMAD_ASSERT(best_constraint < capacities_.size(),
+                "unfrozen flow with no usable constraint");
+
+    // Freeze every unfrozen flow crossing the bottleneck at the fair share,
+    // deduct its rate from all of its constraints.
+    std::vector<std::uint64_t> still_unfrozen;
+    still_unfrozen.reserve(unfrozen.size());
+    for (std::uint64_t fid : unfrozen) {
+      Flow& flow = flows_[fid];
+      const bool bottlenecked =
+          std::find(flow.constraints.begin(), flow.constraints.end(),
+                    ConstraintId{static_cast<std::uint32_t>(best_constraint)}) !=
+          flow.constraints.end();
+      if (!bottlenecked) {
+        still_unfrozen.push_back(fid);
+        continue;
+      }
+      flow.rate_mbps = best_share;
+      for (ConstraintId c : flow.constraints) {
+        residual[c.value] -= best_share;
+        if (residual[c.value] < 0.0) residual[c.value] = 0.0;
+      }
+    }
+    unfrozen = std::move(still_unfrozen);
+  }
+}
+
+void FairShareNet::schedule_next_completion() {
+  if (pending_completion_.valid()) {
+    engine_.cancel(pending_completion_);
+    pending_completion_ = EventId{};
+  }
+  if (flows_.empty()) return;
+
+  double min_ns = std::numeric_limits<double>::infinity();
+  for (const auto& [_, flow] : flows_) {
+    NMAD_ASSERT(flow.rate_mbps > 0.0, "active flow with zero rate");
+    const double ns = flow.remaining_bytes * 1000.0 / flow.rate_mbps;
+    min_ns = std::min(min_ns, ns);
+  }
+  const auto delay = static_cast<TimeNs>(min_ns + 0.999);  // round up: finish, never under-run
+  pending_completion_ = engine_.schedule(std::max<TimeNs>(delay, 0),
+                                         [this] { on_completion_event(); });
+}
+
+void FairShareNet::on_completion_event() {
+  pending_completion_ = EventId{};
+  advance_to_now();
+
+  // Collect every flow that has drained (several can finish at one instant).
+  std::vector<Engine::Callback> done;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.remaining_bytes <= kDrainEpsilonBytes) {
+      if (it->second.on_done) done.push_back(std::move(it->second.on_done));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  recompute();
+  // Callbacks run after rates are consistent again, so a callback that
+  // immediately starts a new flow observes a clean state.
+  for (auto& cb : done) cb();
+}
+
+void FairShareNet::recompute() {
+  assign_max_min_rates();
+  schedule_next_completion();
+}
+
+}  // namespace nmad::sim

@@ -1,0 +1,38 @@
+#include "sim/serial_resource.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/panic.hpp"
+
+namespace nmad::sim {
+
+SerialResource::SerialResource(Engine& engine, int capacity, std::string name)
+    : engine_(engine), name_(std::move(name)) {
+  NMAD_ASSERT(capacity >= 1, "SerialResource capacity must be >= 1");
+  free_at_.assign(static_cast<std::size_t>(capacity), 0);
+}
+
+TimeNs SerialResource::earliest_start() const noexcept {
+  const TimeNs earliest = *std::min_element(free_at_.begin(), free_at_.end());
+  return std::max(earliest, engine_.now());
+}
+
+bool SerialResource::saturated() const noexcept {
+  return earliest_start() > engine_.now();
+}
+
+TimeNs SerialResource::acquire(TimeNs duration, Engine::Callback on_done) {
+  NMAD_ASSERT(duration >= 0, "negative job duration");
+  auto it = std::min_element(free_at_.begin(), free_at_.end());
+  const TimeNs start = std::max(*it, engine_.now());
+  const TimeNs done = start + duration;
+  *it = done;
+  total_busy_ += duration;
+  if (on_done) {
+    engine_.schedule_at(done, std::move(on_done));
+  }
+  return done;
+}
+
+}  // namespace nmad::sim

@@ -1,0 +1,52 @@
+// A FIFO-serialized resource with a fixed number of servers.
+//
+// Models the host CPU executing Programmed I/O: a PIO transfer occupies one
+// "server" exclusively for its whole duration, so with the paper's
+// single-progression-thread implementation (capacity 1) two PIO sends on
+// two different NICs serialize — the key reason greedy multi-rail balancing
+// loses for small messages (§3.2). The capacity parameter exists to model
+// the paper's future work (§4): a multi-threaded implementation running
+// parallel PIO transfers on multiple cores (ablation A4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace nmad::sim {
+
+class SerialResource {
+ public:
+  /// `capacity` = number of jobs that can execute concurrently (>= 1).
+  SerialResource(Engine& engine, int capacity, std::string name);
+
+  /// Enqueue a job of `duration` ns. Jobs start in submission order as
+  /// servers free up; `on_done` fires at the job's completion time.
+  /// Returns the job's computed completion time.
+  TimeNs acquire(TimeNs duration, Engine::Callback on_done);
+
+  /// Earliest virtual time at which a job submitted now would start.
+  [[nodiscard]] TimeNs earliest_start() const noexcept;
+
+  /// True when a job submitted now would have to wait.
+  [[nodiscard]] bool saturated() const noexcept;
+
+  [[nodiscard]] int capacity() const noexcept { return static_cast<int>(free_at_.size()); }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Total ns of busy server time accumulated (for utilization reports).
+  [[nodiscard]] TimeNs total_busy() const noexcept { return total_busy_; }
+
+ private:
+  Engine& engine_;
+  std::string name_;
+  /// free_at_[i] = virtual time when server i finishes its last queued job.
+  /// FIFO order is preserved because each new job picks the server with the
+  /// smallest free_at_, and completion callbacks fire in schedule order.
+  std::vector<TimeNs> free_at_;
+  TimeNs total_busy_ = 0;
+};
+
+}  // namespace nmad::sim

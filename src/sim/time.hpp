@@ -1,0 +1,41 @@
+// Virtual time for the discrete-event simulator.
+//
+// Time is an integer count of nanoseconds. An integer representation keeps
+// event ordering exact and the simulation bit-reproducible; the sub-µs
+// costs in the NIC models (overheads of 0.35 µs, poll costs of 0.4 µs) are
+// all exact multiples of 1 ns.
+#pragma once
+
+#include <cstdint>
+
+namespace nmad::sim {
+
+/// Nanoseconds since simulation start.
+using TimeNs = std::int64_t;
+
+constexpr TimeNs kNsPerUs = 1000;
+
+/// Convert a duration in microseconds (as used by NIC profiles and reports)
+/// to nanoseconds, rounding to nearest.
+constexpr TimeNs us_to_ns(double us) noexcept {
+  return static_cast<TimeNs>(us * 1000.0 + (us >= 0 ? 0.5 : -0.5));
+}
+
+constexpr double ns_to_us(TimeNs ns) noexcept {
+  return static_cast<double>(ns) / 1000.0;
+}
+
+/// Time to move `bytes` at `mbps` MB/s (1 MB = 1e6 bytes, the convention the
+/// paper's bandwidth axes use), in nanoseconds.
+constexpr TimeNs transfer_ns(std::uint64_t bytes, double mbps) noexcept {
+  // bytes / (mbps * 1e6 B/s) seconds = bytes * 1e3 / mbps ns.
+  return static_cast<TimeNs>(static_cast<double>(bytes) * 1000.0 / mbps + 0.5);
+}
+
+/// Bandwidth in MB/s achieved moving `bytes` in `ns`.
+constexpr double bandwidth_mbps(std::uint64_t bytes, TimeNs ns) noexcept {
+  return ns > 0 ? static_cast<double>(bytes) * 1000.0 / static_cast<double>(ns)
+                : 0.0;
+}
+
+}  // namespace nmad::sim

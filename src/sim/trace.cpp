@@ -1,0 +1,38 @@
+#include "sim/trace.hpp"
+
+#include "util/fmt.hpp"
+#include <utility>
+
+namespace nmad::sim {
+
+void Trace::record(TimeNs time, std::string category, std::string detail) {
+  if (!enabled_) return;
+  events_.push_back(TraceEvent{time, std::move(category), std::move(detail)});
+}
+
+std::vector<TraceEvent> Trace::by_category(const std::string& category) const {
+  std::vector<TraceEvent> out;
+  for (const auto& ev : events_) {
+    if (ev.category == category) out.push_back(ev);
+  }
+  return out;
+}
+
+std::size_t Trace::count(const std::string& category) const {
+  std::size_t n = 0;
+  for (const auto& ev : events_) {
+    if (ev.category == category) ++n;
+  }
+  return n;
+}
+
+std::string Trace::dump() const {
+  std::string out;
+  for (const auto& ev : events_) {
+    out += util::sformat("%12.3f %-16s %s\n", ns_to_us(ev.time),
+                         ev.category.c_str(), ev.detail.c_str());
+  }
+  return out;
+}
+
+}  // namespace nmad::sim

@@ -1,0 +1,46 @@
+// Optional event trace for debugging and for tests that assert on the
+// *sequence* of simulated actions (e.g. "both DMA flows overlapped",
+// "the two PIO sends serialized").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace nmad::sim {
+
+struct TraceEvent {
+  TimeNs time;
+  std::string category;  // e.g. "pio.start", "dma.done", "strat.pack"
+  std::string detail;
+};
+
+class Trace {
+ public:
+  /// Recording is off until enable() — benches keep it off so the virtual
+  /// timing work is not buried in string formatting.
+  void enable() noexcept { enabled_ = true; }
+  void disable() noexcept { enabled_ = false; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  void record(TimeNs time, std::string category, std::string detail);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  void clear() noexcept { events_.clear(); }
+
+  /// All events whose category matches exactly, in time order.
+  [[nodiscard]] std::vector<TraceEvent> by_category(const std::string& category) const;
+
+  /// Count of events with the given category.
+  [[nodiscard]] std::size_t count(const std::string& category) const;
+
+  /// Render as "time_us category detail" lines (debugging aid).
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace nmad::sim

@@ -1,0 +1,129 @@
+#include "sim/trace_export.hpp"
+
+#include <deque>
+#include <fstream>
+#include <map>
+
+#include "util/fmt.hpp"
+
+namespace nmad::sim {
+
+namespace {
+
+/// Categories forming begin/end pairs, matched FIFO per (begin-category,
+/// detail prefix).
+struct PairRule {
+  const char* begin;
+  const char* end;
+  const char* row;  // Chrome "thread" name
+};
+constexpr PairRule kPairs[] = {
+    {"pio.start", "pio.done", "pio"},
+    {"dma.start", "dma.done", "dma"},
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += util::sformat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// First whitespace-separated token of the detail string (the NIC name),
+/// used to pair begins with ends when several rails are active.
+std::string_view first_token(const std::string& s) {
+  const std::size_t pos = s.find(' ');
+  return pos == std::string::npos ? std::string_view(s)
+                                  : std::string_view(s).substr(0, pos);
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const Trace& trace) {
+  std::string out = "[\n";
+  bool first_event = true;
+  auto emit = [&](const std::string& line) {
+    if (!first_event) out += ",\n";
+    first_event = false;
+    out += line;
+  };
+
+  // Pending begin events, keyed by (pair index, rail token).
+  std::map<std::pair<int, std::string>, std::deque<const TraceEvent*>> open;
+
+  for (const TraceEvent& ev : trace.events()) {
+    int pair_idx = -1;
+    bool is_begin = false;
+    for (int i = 0; i < static_cast<int>(std::size(kPairs)); ++i) {
+      if (ev.category == kPairs[i].begin) {
+        pair_idx = i;
+        is_begin = true;
+        break;
+      }
+      if (ev.category == kPairs[i].end) {
+        pair_idx = i;
+        break;
+      }
+    }
+
+    if (pair_idx < 0) {
+      emit(util::sformat(
+          R"(  {"name": "%s", "ph": "i", "ts": %.3f, "pid": 1, "tid": 1, "s": "g", "args": {"detail": "%s"}})",
+          json_escape(ev.category).c_str(), ns_to_us(ev.time),
+          json_escape(ev.detail).c_str()));
+      continue;
+    }
+
+    const auto key =
+        std::make_pair(pair_idx, std::string(first_token(ev.detail)));
+    if (is_begin) {
+      open[key].push_back(&ev);
+      continue;
+    }
+    auto it = open.find(key);
+    if (it == open.end() || it->second.empty()) {
+      // Unmatched end: record as instant rather than dropping it.
+      emit(util::sformat(
+          R"(  {"name": "%s", "ph": "i", "ts": %.3f, "pid": 1, "tid": 1, "s": "g"})",
+          json_escape(ev.category).c_str(), ns_to_us(ev.time)));
+      continue;
+    }
+    const TraceEvent* begin = it->second.front();
+    it->second.pop_front();
+    emit(util::sformat(
+        R"(  {"name": "%s", "cat": "%s", "ph": "X", "ts": %.3f, "dur": %.3f, "pid": 1, "tid": "%s %s", "args": {"detail": "%s"}})",
+        json_escape(std::string(first_token(begin->detail))).c_str(),
+        kPairs[pair_idx].row, ns_to_us(begin->time),
+        ns_to_us(ev.time - begin->time), kPairs[pair_idx].row, key.second.c_str(),
+        json_escape(begin->detail).c_str()));
+  }
+  out += "\n]\n";
+  return out;
+}
+
+util::Status write_chrome_trace(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return util::make_error(
+        util::sformat("cannot open '%s' for writing", path.c_str()));
+  }
+  out << to_chrome_trace(trace);
+  if (!out.good()) {
+    return util::make_error(util::sformat("write to '%s' failed", path.c_str()));
+  }
+  return {};
+}
+
+}  // namespace nmad::sim

@@ -1,0 +1,20 @@
+// Export a simulation trace to the Chrome/Perfetto trace-event JSON
+// format (chrome://tracing, ui.perfetto.dev). Paired begin/end categories
+// ("pio.start"/"pio.done", "dma.start"/"dma.done") become duration events
+// on per-category rows; everything else becomes an instant event.
+#pragma once
+
+#include <string>
+
+#include "sim/trace.hpp"
+#include "util/expected.hpp"
+
+namespace nmad::sim {
+
+/// Render the trace as a Chrome trace-event JSON array (timestamps in µs).
+[[nodiscard]] std::string to_chrome_trace(const Trace& trace);
+
+/// Write to_chrome_trace(trace) to `path`.
+util::Status write_chrome_trace(const Trace& trace, const std::string& path);
+
+}  // namespace nmad::sim

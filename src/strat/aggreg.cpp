@@ -1,0 +1,42 @@
+// StrategyAggreg: single rail with opportunistic aggregation of small
+// segments (paper §3.1, the "with opportunistic aggregation" series of
+// Figures 2-3). Small segments accumulated in the backlog while the NIC is
+// busy are copied into one contiguous eager packet when it goes idle.
+
+#include "core/gate.hpp"
+#include "strat/backlog.hpp"
+#include "strat/builtin.hpp"
+
+namespace nmad::strat {
+
+namespace {
+
+class StrategyAggreg final : public BacklogBase {
+ public:
+  explicit StrategyAggreg(StrategyConfig cfg) : BacklogBase(cfg) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "aggreg"; }
+
+  std::optional<PacketPlan> try_pack(core::Gate& /*gate*/, core::Rail& rail,
+                                     drv::Track track) override {
+    if (rail.index() != cfg_.rail) return std::nullopt;
+    if (track == drv::Track::kSmall) return pack_small_aggregated(rail);
+    return pack_chunk(rail);
+  }
+
+ private:
+  void plan_grant(core::Gate& /*gate*/, core::MsgKey /*key*/,
+                  std::vector<LargeEntry> entries) override {
+    for (const LargeEntry& e : entries) {
+      push_whole_chunk(e, static_cast<std::int32_t>(cfg_.rail));
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Strategy> make_aggreg(const StrategyConfig& cfg) {
+  return std::make_unique<StrategyAggreg>(cfg);
+}
+
+}  // namespace nmad::strat

@@ -1,0 +1,49 @@
+// StrategyAggregGreedy: the paper's second multi-rail strategy (§3.3).
+// Small segments are aggregated and *favored onto the fastest-latency
+// rail* (Quadrics on the paper's platform); large segments are balanced
+// greedily across all rails. This fixes greedy's small-message regression
+// while keeping the large-message aggregation gains — at the price of the
+// Fig. 6 polling gap, which is a property of the platform (the idle NIC
+// still has to be polled), not of this strategy.
+
+#include "core/gate.hpp"
+#include "strat/backlog.hpp"
+#include "strat/builtin.hpp"
+
+namespace nmad::strat {
+
+namespace {
+
+class StrategyAggregGreedy final : public BacklogBase {
+ public:
+  explicit StrategyAggregGreedy(StrategyConfig cfg) : BacklogBase(cfg) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "aggreg_greedy";
+  }
+
+  std::optional<PacketPlan> try_pack(core::Gate& gate, core::Rail& rail,
+                                     drv::Track track) override {
+    if (track == drv::Track::kSmall) {
+      if (rail.index() != gate.fastest_rail()) return std::nullopt;
+      return pack_small_aggregated(rail);
+    }
+    return pack_chunk(rail);
+  }
+
+ private:
+  void plan_grant(core::Gate& /*gate*/, core::MsgKey /*key*/,
+                  std::vector<LargeEntry> entries) override {
+    for (const LargeEntry& e : entries) {
+      push_whole_chunk(e, Chunk::kAnyRail);
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Strategy> make_aggreg_greedy(const StrategyConfig& cfg) {
+  return std::make_unique<StrategyAggregGreedy>(cfg);
+}
+
+}  // namespace nmad::strat

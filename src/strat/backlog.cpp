@@ -1,0 +1,160 @@
+#include "strat/backlog.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/gate.hpp"
+#include "proto/wire.hpp"
+#include "util/panic.hpp"
+
+namespace nmad::strat {
+
+namespace {
+
+proto::SegHeader header_for(const core::SendRequest& req, std::uint32_t msg_offset,
+                            std::uint32_t len) {
+  return proto::SegHeader{req.tag(), req.seq(), msg_offset, len, req.total_len()};
+}
+
+}  // namespace
+
+void BacklogBase::on_submit_small(core::Gate& /*gate*/, SmallEntry entry) {
+  small_.push_back(entry);
+}
+
+void BacklogBase::on_submit_large(core::Gate& /*gate*/, LargeEntry entry) {
+  parked_[entry.req->key()].push_back(entry);
+}
+
+void BacklogBase::on_rdv_granted(core::Gate& gate, core::MsgKey key) {
+  auto it = parked_.find(key);
+  NMAD_ASSERT(it != parked_.end(), "rendezvous grant for unknown message");
+  std::vector<LargeEntry> entries = std::move(it->second);
+  parked_.erase(it);
+  plan_grant(gate, key, std::move(entries));
+}
+
+bool BacklogBase::has_backlog() const noexcept {
+  return !small_.empty() || !parked_.empty() || !chunks_.empty();
+}
+
+std::optional<PacketPlan> BacklogBase::pack_small_single(core::Rail& /*rail*/) {
+  if (small_.empty()) return std::nullopt;
+  SmallEntry entry = small_.front();
+  small_.pop_front();
+
+  const auto len = static_cast<std::uint32_t>(entry.data.size());
+  PacketPlan plan;
+  plan.desc.track = drv::Track::kSmall;
+  plan.desc.wire = proto::encode_data_packet(
+      header_for(*entry.req, entry.msg_offset, len), entry.data);
+  plan.contribs.push_back(Contribution{entry.req, len});
+  return plan;
+}
+
+std::optional<PacketPlan> BacklogBase::pack_small_aggregated(core::Rail& rail) {
+  if (small_.empty()) return std::nullopt;
+
+  const std::uint64_t budget =
+      std::min<std::uint64_t>(rail.caps().max_small_packet, cfg_.aggregation_limit);
+
+  proto::PacketBuilder builder(proto::PacketKind::kData);
+  PacketPlan plan;
+  plan.desc.track = drv::Track::kSmall;
+
+  std::uint64_t packed = 0;
+  while (!small_.empty() && builder.seg_count() < kMaxAggregatedSegments) {
+    const SmallEntry& entry = small_.front();
+    const std::uint64_t len = entry.data.size();
+    // Always take at least one entry (a lone segment can equal the budget);
+    // afterwards only while the payload still fits.
+    if (builder.seg_count() > 0 && packed + len > budget) break;
+    builder.add_segment(
+        header_for(*entry.req, entry.msg_offset, static_cast<std::uint32_t>(len)),
+        entry.data);
+    plan.contribs.push_back(
+        Contribution{entry.req, static_cast<std::uint32_t>(len)});
+    packed += len;
+    small_.pop_front();
+  }
+
+  // Aggregation implies memcpys into the contiguous staging area; a packet
+  // carrying a single segment is injected as-is (zero-copy).
+  if (builder.seg_count() > 1) {
+    plan.desc.extra_cpu_us =
+        static_cast<double>(packed) / rail.caps().copy_bandwidth_mbps;
+  }
+  plan.desc.wire = std::move(builder).finish();
+  return plan;
+}
+
+std::optional<PacketPlan> BacklogBase::pack_chunk(core::Rail& rail) {
+  const auto idx = static_cast<std::int32_t>(rail.index());
+  auto it = std::find_if(chunks_.begin(), chunks_.end(), [idx](const Chunk& c) {
+    return c.rail_affinity == Chunk::kAnyRail || c.rail_affinity == idx;
+  });
+  if (it == chunks_.end()) return std::nullopt;
+  Chunk chunk = *it;
+  chunks_.erase(it);
+
+  const auto len = static_cast<std::uint32_t>(chunk.data.size());
+  PacketPlan plan;
+  plan.desc.track = drv::Track::kLarge;
+  plan.desc.wire = proto::encode_data_packet(
+      header_for(*chunk.req, chunk.msg_offset, len), chunk.data);
+  plan.contribs.push_back(Contribution{chunk.req, len});
+  return plan;
+}
+
+void BacklogBase::push_whole_chunk(const LargeEntry& entry, std::int32_t affinity) {
+  chunks_.push_back(Chunk{entry.req, entry.data, entry.msg_offset, affinity});
+}
+
+void BacklogBase::push_split_chunks(
+    const LargeEntry& entry,
+    const std::vector<std::pair<std::int32_t, double>>& shares) {
+  NMAD_ASSERT(!shares.empty(), "split with no shares");
+  const std::uint64_t len = entry.data.size();
+
+  // Drop the lowest-weight shares until every chunk can be at least
+  // min_chunk (so no chunk falls back onto the PIO path — paper §3.4).
+  std::vector<std::pair<std::int32_t, double>> active(shares.begin(), shares.end());
+  std::sort(active.begin(), active.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  while (active.size() > 1 && len / active.size() < cfg_.min_chunk) {
+    active.pop_back();
+  }
+  // Also drop shares whose proportional slice would be below min_chunk.
+  for (;;) {
+    double total_w = 0;
+    for (const auto& [_, w] : active) total_w += w;
+    NMAD_ASSERT(total_w > 0.0, "split with zero total weight");
+    const double slice =
+        static_cast<double>(len) * active.back().second / total_w;
+    if (active.size() == 1 || slice >= static_cast<double>(cfg_.min_chunk)) break;
+    active.pop_back();
+  }
+
+  double total_w = 0;
+  for (const auto& [_, w] : active) total_w += w;
+
+  std::uint64_t offset = 0;
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    std::uint64_t chunk_len;
+    if (i + 1 == active.size()) {
+      chunk_len = len - offset;  // remainder absorbs rounding
+    } else {
+      chunk_len = static_cast<std::uint64_t>(
+          static_cast<double>(len) * active[i].second / total_w + 0.5);
+      chunk_len = std::min(chunk_len, len - offset);
+    }
+    if (chunk_len == 0) continue;
+    chunks_.push_back(Chunk{
+        entry.req, entry.data.subspan(offset, chunk_len),
+        entry.msg_offset + static_cast<std::uint32_t>(offset), active[i].first});
+    offset += chunk_len;
+  }
+  NMAD_ASSERT(offset == len, "split chunks do not cover the segment");
+}
+
+}  // namespace nmad::strat

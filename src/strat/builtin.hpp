@@ -1,0 +1,18 @@
+// Internal factory hooks for the built-in strategies (one per .cpp).
+// Applications use strat::make_strategy (strategy.hpp) instead.
+#pragma once
+
+#include <memory>
+
+#include "strat/strategy.hpp"
+
+namespace nmad::strat {
+
+std::unique_ptr<Strategy> make_single_rail(const StrategyConfig& cfg);
+std::unique_ptr<Strategy> make_aggreg(const StrategyConfig& cfg);
+std::unique_ptr<Strategy> make_greedy(const StrategyConfig& cfg);
+std::unique_ptr<Strategy> make_aggreg_greedy(const StrategyConfig& cfg);
+std::unique_ptr<Strategy> make_split_balance(const StrategyConfig& cfg);
+std::unique_ptr<Strategy> make_iso_split(const StrategyConfig& cfg);
+
+}  // namespace nmad::strat

@@ -1,0 +1,42 @@
+// StrategyGreedy: the paper's first multi-rail strategy (§3.2). "Each time
+// a NIC becomes idle, the strategy code is invoked and simply sends the
+// first available segment (if any) on the corresponding network." No
+// aggregation, no splitting: whole segments are balanced across whichever
+// rails report idle, for both the eager and the DMA paths.
+
+#include "core/gate.hpp"
+#include "strat/backlog.hpp"
+#include "strat/builtin.hpp"
+
+namespace nmad::strat {
+
+namespace {
+
+class StrategyGreedy final : public BacklogBase {
+ public:
+  explicit StrategyGreedy(StrategyConfig cfg) : BacklogBase(cfg) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "greedy"; }
+
+  std::optional<PacketPlan> try_pack(core::Gate& /*gate*/, core::Rail& rail,
+                                     drv::Track track) override {
+    if (track == drv::Track::kSmall) return pack_small_single(rail);
+    return pack_chunk(rail);
+  }
+
+ private:
+  void plan_grant(core::Gate& /*gate*/, core::MsgKey /*key*/,
+                  std::vector<LargeEntry> entries) override {
+    for (const LargeEntry& e : entries) {
+      push_whole_chunk(e, Chunk::kAnyRail);  // first free NIC takes it
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Strategy> make_greedy(const StrategyConfig& cfg) {
+  return std::make_unique<StrategyGreedy>(cfg);
+}
+
+}  // namespace nmad::strat

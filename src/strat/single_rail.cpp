@@ -1,0 +1,43 @@
+// StrategySingleRail: the non-rewriting baseline. Every segment travels on
+// one fixed rail, one segment per packet, in submission order. This is the
+// "regular messages" reference of Figures 2-5.
+
+#include "core/gate.hpp"
+#include "strat/backlog.hpp"
+#include "strat/builtin.hpp"
+
+namespace nmad::strat {
+
+namespace {
+
+class StrategySingleRail final : public BacklogBase {
+ public:
+  explicit StrategySingleRail(StrategyConfig cfg) : BacklogBase(cfg) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "single_rail";
+  }
+
+  std::optional<PacketPlan> try_pack(core::Gate& /*gate*/, core::Rail& rail,
+                                     drv::Track track) override {
+    if (rail.index() != cfg_.rail) return std::nullopt;
+    if (track == drv::Track::kSmall) return pack_small_single(rail);
+    return pack_chunk(rail);
+  }
+
+ private:
+  void plan_grant(core::Gate& /*gate*/, core::MsgKey /*key*/,
+                  std::vector<LargeEntry> entries) override {
+    for (const LargeEntry& e : entries) {
+      push_whole_chunk(e, static_cast<std::int32_t>(cfg_.rail));
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Strategy> make_single_rail(const StrategyConfig& cfg) {
+  return std::make_unique<StrategySingleRail>(cfg);
+}
+
+}  // namespace nmad::strat

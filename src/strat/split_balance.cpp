@@ -1,0 +1,101 @@
+// StrategySplitBalance: the paper's third, final multi-rail strategy
+// (§3.4) — and StrategyIsoSplit, the 50/50 baseline it is compared against
+// in Figure 7.
+//
+// Small segments behave as in v2 (aggregated, fastest rail). A granted
+// large message is *stripped* into chunks sized by per-rail ratios — from
+// boot-time sampling for split_balance ("an adaptive stripping ratio can
+// be determined... according to samplings performed on the different
+// available NICs"), equal for iso_split — across the rails whose DMA
+// tracks are idle at grant time. Every chunk is kept above the PIO
+// threshold. If fewer than two DMA tracks are idle, the whole segment goes
+// to the first free NIC, per the paper's closing recipe: "to split the
+// large ones following some previously processed ratios when both NICs
+// are available and if not, to send them over the first free one."
+
+#include "core/gate.hpp"
+#include "strat/backlog.hpp"
+#include "strat/builtin.hpp"
+
+namespace nmad::strat {
+
+namespace {
+
+class StrategySplitBase : public BacklogBase {
+ public:
+  explicit StrategySplitBase(StrategyConfig cfg) : BacklogBase(cfg) {}
+
+  std::optional<PacketPlan> try_pack(core::Gate& gate, core::Rail& rail,
+                                     drv::Track track) override {
+    if (track == drv::Track::kSmall) {
+      if (rail.index() != gate.fastest_rail()) return std::nullopt;
+      return pack_small_aggregated(rail);
+    }
+    return pack_chunk(rail);
+  }
+
+ protected:
+  /// Weight given to `rail` when splitting (policy hook).
+  [[nodiscard]] virtual double rail_weight(core::Gate& gate,
+                                           core::RailIndex rail) const = 0;
+
+  void plan_grant(core::Gate& gate, core::MsgKey /*key*/,
+                  std::vector<LargeEntry> entries) override {
+    // Just-in-time rail selection: split across the DMA tracks that are
+    // idle right now.
+    std::vector<std::pair<std::int32_t, double>> shares;
+    for (core::Rail& rail : gate.rails()) {
+      if (rail.idle(drv::Track::kLarge)) {
+        shares.emplace_back(static_cast<std::int32_t>(rail.index()),
+                            rail_weight(gate, rail.index()));
+      }
+    }
+    for (const LargeEntry& e : entries) {
+      if (shares.size() < 2) {
+        push_whole_chunk(e, Chunk::kAnyRail);
+      } else {
+        push_split_chunks(e, shares);
+      }
+    }
+  }
+};
+
+class StrategySplitBalance final : public StrategySplitBase {
+ public:
+  using StrategySplitBase::StrategySplitBase;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "split_balance";
+  }
+
+ protected:
+  [[nodiscard]] double rail_weight(core::Gate& gate,
+                                   core::RailIndex rail) const override {
+    return gate.ratio(rail);  // sampling-derived (or capability default)
+  }
+};
+
+class StrategyIsoSplit final : public StrategySplitBase {
+ public:
+  using StrategySplitBase::StrategySplitBase;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "iso_split";
+  }
+
+ protected:
+  [[nodiscard]] double rail_weight(core::Gate& /*gate*/,
+                                   core::RailIndex /*rail*/) const override {
+    return 1.0;  // equal stripes regardless of rail speed
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Strategy> make_split_balance(const StrategyConfig& cfg) {
+  return std::make_unique<StrategySplitBalance>(cfg);
+}
+
+std::unique_ptr<Strategy> make_iso_split(const StrategyConfig& cfg) {
+  return std::make_unique<StrategyIsoSplit>(cfg);
+}
+
+}  // namespace nmad::strat

@@ -1,0 +1,29 @@
+#include "strat/strategy.hpp"
+
+#include <array>
+
+#include "strat/builtin.hpp"
+#include "util/panic.hpp"
+
+namespace nmad::strat {
+
+namespace {
+constexpr std::array<std::string_view, 6> kNames{
+    "single_rail", "aggreg", "greedy", "aggreg_greedy", "split_balance",
+    "iso_split"};
+}  // namespace
+
+std::unique_ptr<Strategy> make_strategy(std::string_view name,
+                                        const StrategyConfig& cfg) {
+  if (name == "single_rail") return make_single_rail(cfg);
+  if (name == "aggreg") return make_aggreg(cfg);
+  if (name == "greedy") return make_greedy(cfg);
+  if (name == "aggreg_greedy") return make_aggreg_greedy(cfg);
+  if (name == "split_balance") return make_split_balance(cfg);
+  if (name == "iso_split") return make_iso_split(cfg);
+  NMAD_PANIC("unknown strategy name");
+}
+
+std::span<const std::string_view> strategy_names() noexcept { return kNames; }
+
+}  // namespace nmad::strat

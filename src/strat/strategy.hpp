@@ -1,0 +1,121 @@
+// The optimizing-scheduler ("strategy") plugin interface — the paper's
+// middle layer (§2): interchangeable modules that rewrite the backlog of
+// application requests into network packets, queried just-in-time whenever
+// a NIC track becomes idle.
+//
+// The core scheduler performs the mechanics every strategy shares:
+// classifying segments as small (eager-eligible) or large (rendezvous),
+// emitting/answering rendezvous control packets, crediting completions and
+// matching receives. Strategies own the *policy*: which backlog entry goes
+// out next, on which rail, whether small segments are aggregated into one
+// packet, and how a granted large message is split into chunks across
+// rails.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/request.hpp"
+#include "core/types.hpp"
+#include "drv/driver.hpp"
+
+namespace nmad::core {
+class Gate;
+class Rail;
+}  // namespace nmad::core
+
+namespace nmad::strat {
+
+/// One small (eager-eligible) segment waiting in the backlog.
+struct SmallEntry {
+  core::SendRequest* req = nullptr;
+  std::span<const std::byte> data;
+  std::uint32_t msg_offset = 0;
+};
+
+/// One large segment of a message whose rendezvous has been granted; the
+/// strategy turns it into chunks when large tracks go idle.
+struct LargeEntry {
+  core::SendRequest* req = nullptr;
+  std::span<const std::byte> data;
+  std::uint32_t msg_offset = 0;
+};
+
+/// Payload-bytes credit applied to a send request when the packet carrying
+/// it completes locally.
+struct Contribution {
+  core::SendRequest* req = nullptr;
+  std::uint32_t bytes = 0;
+};
+
+/// A packet the strategy decided to emit, plus its completion bookkeeping.
+struct PacketPlan {
+  drv::SendDesc desc;
+  std::vector<Contribution> contribs;
+};
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// A small segment entered the backlog (in submission order).
+  virtual void on_submit_small(core::Gate& gate, SmallEntry entry) = 0;
+
+  /// A large segment was submitted; it must be *parked* until
+  /// on_rdv_granted fires for its message.
+  virtual void on_submit_large(core::Gate& gate, LargeEntry entry) = 0;
+
+  /// The receiver granted the rendezvous for message `key`: the parked
+  /// large segments of that message become eligible for packing.
+  virtual void on_rdv_granted(core::Gate& gate, core::MsgKey key) = 0;
+
+  /// Just-in-time packing: `rail`'s `track` is idle — produce the next
+  /// packet for it, or nullopt to leave the track idle. Called repeatedly
+  /// until it returns nullopt.
+  virtual std::optional<PacketPlan> try_pack(core::Gate& gate, core::Rail& rail,
+                                             drv::Track track) = 0;
+
+  /// True while any backlog (small, parked or granted large) remains.
+  [[nodiscard]] virtual bool has_backlog() const noexcept = 0;
+
+  Strategy() = default;
+  Strategy(const Strategy&) = delete;
+  Strategy& operator=(const Strategy&) = delete;
+};
+
+/// Knobs shared by the built-in strategies; every field has the value used
+/// in the paper's experiments as its default.
+struct StrategyConfig {
+  /// Aggregate small segments while the packet's payload stays at or below
+  /// this (paper §3.1: copying wins below ~16 KB of accumulated data).
+  std::uint32_t aggregation_limit = 16 * 1024;
+  /// Never create a DMA chunk smaller than this when splitting, so every
+  /// chunk stays on the DMA path (paper §3.4: packs "large enough to avoid
+  /// the transfer of the different chunks with a PIO operation").
+  std::uint32_t min_chunk = 8 * 1024 + 1;
+  /// For single-rail strategies: which rail to use.
+  core::RailIndex rail = 0;
+};
+
+/// Instantiate a built-in strategy by name. Known names:
+///   "single_rail"    — everything on one rail (cfg.rail), no rewriting
+///   "aggreg"         — single rail + opportunistic aggregation (Figs. 2-3)
+///   "greedy"         — v1 greedy multi-rail balancing (Figs. 4-5)
+///   "aggreg_greedy"  — v2 aggregation on fastest rail + greedy large (Fig. 6)
+///   "split_balance"  — v3 sampling-ratio adaptive stripping (Fig. 7)
+///   "iso_split"      — 50/50 stripping baseline (Fig. 7)
+std::unique_ptr<Strategy> make_strategy(std::string_view name,
+                                        const StrategyConfig& cfg = {});
+
+/// Names accepted by make_strategy, in documentation order.
+std::span<const std::string_view> strategy_names() noexcept;
+
+}  // namespace nmad::strat

@@ -1,0 +1,71 @@
+#include "util/byte_size.hpp"
+
+#include <cctype>
+#include <cmath>
+#include "util/fmt.hpp"
+
+namespace nmad::util {
+
+Expected<std::uint64_t> parse_byte_size(std::string_view text) {
+  if (text.empty()) return make_error("empty byte size");
+
+  std::size_t i = 0;
+  while (i < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[i])) || text[i] == '.')) {
+    ++i;
+  }
+  if (i == 0) return make_error(std::string("byte size must start with a digit: '") +
+                                std::string(text) + "'");
+
+  double number = 0.0;
+  try {
+    number = std::stod(std::string(text.substr(0, i)));
+  } catch (const std::exception&) {
+    return make_error(std::string("bad number in byte size: '") + std::string(text) + "'");
+  }
+  if (number < 0.0) return make_error("negative byte size");
+
+  std::string_view suffix = text.substr(i);
+  double mult = 1.0;
+  if (!suffix.empty()) {
+    char c = static_cast<char>(std::toupper(static_cast<unsigned char>(suffix[0])));
+    switch (c) {
+      case 'K': mult = 1024.0; break;
+      case 'M': mult = 1024.0 * 1024.0; break;
+      case 'G': mult = 1024.0 * 1024.0 * 1024.0; break;
+      case 'B': mult = 1.0; break;
+      default:
+        return make_error(std::string("unknown byte-size suffix: '") +
+                          std::string(suffix) + "'");
+    }
+    // Allow "KB", "KiB", "MB", ... — everything after the first letter must
+    // be a plausible unit tail.
+    std::string_view tail = suffix.substr(1);
+    if (!(tail.empty() || tail == "B" || tail == "b" || tail == "iB" || tail == "ib")) {
+      return make_error(std::string("unknown byte-size suffix: '") +
+                        std::string(suffix) + "'");
+    }
+    if (c == 'B' && !tail.empty()) {
+      return make_error(std::string("unknown byte-size suffix: '") +
+                        std::string(suffix) + "'");
+    }
+  } else if (text.find('.') != std::string_view::npos) {
+    return make_error("fractional byte count requires a unit suffix");
+  }
+
+  double value = number * mult;
+  if (value > 9.0e18) return make_error("byte size overflows uint64");
+  return static_cast<std::uint64_t>(std::llround(value));
+}
+
+std::string format_byte_size(std::uint64_t bytes) {
+  constexpr std::uint64_t kKi = 1024;
+  constexpr std::uint64_t kMi = kKi * 1024;
+  constexpr std::uint64_t kGi = kMi * 1024;
+  if (bytes >= kGi && bytes % kGi == 0) return sformat("%lluG", static_cast<unsigned long long>(bytes / kGi));
+  if (bytes >= kMi && bytes % kMi == 0) return sformat("%lluM", static_cast<unsigned long long>(bytes / kMi));
+  if (bytes >= kKi && bytes % kKi == 0) return sformat("%lluK", static_cast<unsigned long long>(bytes / kKi));
+  return sformat("%llu", static_cast<unsigned long long>(bytes));
+}
+
+}  // namespace nmad::util

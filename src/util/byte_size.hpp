@@ -1,0 +1,24 @@
+// Parsing and formatting of byte sizes ("4K", "8M", "512", "1.5M").
+//
+// Used by benchmark sweeps, examples and the sampling cache file. Binary
+// units (K = 1024) throughout, matching the paper's axis labels.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/expected.hpp"
+
+namespace nmad::util {
+
+/// Parse a byte count. Accepts a non-negative decimal (possibly fractional
+/// when suffixed) followed by an optional K/M/G suffix (case-insensitive,
+/// optional trailing 'B' or 'iB'). Examples: "4", "4K", "1.5M", "2GiB".
+Expected<std::uint64_t> parse_byte_size(std::string_view text);
+
+/// Format a byte count compactly: exact multiples of 1024 use K/M/G
+/// ("32K", "8M"), everything else plain bytes ("4", "12345").
+std::string format_byte_size(std::uint64_t bytes);
+
+}  // namespace nmad::util

@@ -1,0 +1,87 @@
+// A small Expected<T, E> (C++23 std::expected is not available in C++20).
+//
+// Used for recoverable errors at API boundaries (configuration parsing,
+// file I/O, socket setup). Internal invariant violations use NMAD_ASSERT
+// instead — see panic.hpp for the rationale.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/panic.hpp"
+
+namespace nmad::util {
+
+/// Default error payload: a human-readable message.
+struct Error {
+  std::string message;
+};
+
+template <typename T, typename E = Error>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : data_(std::in_place_index<0>, std::move(value)) {}
+  Expected(E error) : data_(std::in_place_index<1>, std::move(error)) {}
+
+  [[nodiscard]] bool has_value() const noexcept { return data_.index() == 0; }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  /// Access the value; panics if this holds an error.
+  T& value() & {
+    NMAD_ASSERT(has_value(), "Expected::value() on error state");
+    return std::get<0>(data_);
+  }
+  const T& value() const& {
+    NMAD_ASSERT(has_value(), "Expected::value() on error state");
+    return std::get<0>(data_);
+  }
+  T&& value() && {
+    NMAD_ASSERT(has_value(), "Expected::value() on error state");
+    return std::get<0>(std::move(data_));
+  }
+
+  T value_or(T fallback) const& {
+    return has_value() ? std::get<0>(data_) : std::move(fallback);
+  }
+
+  /// Access the error; panics if this holds a value.
+  const E& error() const& {
+    NMAD_ASSERT(!has_value(), "Expected::error() on value state");
+    return std::get<1>(data_);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  std::variant<T, E> data_;
+};
+
+/// Expected<void>: success carries nothing.
+template <typename E>
+class [[nodiscard]] Expected<void, E> {
+ public:
+  Expected() : error_(), ok_(true) {}
+  Expected(E error) : error_(std::move(error)), ok_(false) {}
+
+  [[nodiscard]] bool has_value() const noexcept { return ok_; }
+  explicit operator bool() const noexcept { return ok_; }
+
+  const E& error() const& {
+    NMAD_ASSERT(!ok_, "Expected::error() on value state");
+    return error_;
+  }
+
+ private:
+  E error_;
+  bool ok_;
+};
+
+using Status = Expected<void, Error>;
+
+inline Error make_error(std::string msg) { return Error{std::move(msg)}; }
+
+}  // namespace nmad::util

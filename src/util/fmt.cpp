@@ -1,0 +1,24 @@
+#include "util/fmt.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "util/panic.hpp"
+
+namespace nmad::util {
+
+std::string sformat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  NMAD_ASSERT(needed >= 0, "vsnprintf encoding error");
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace nmad::util

@@ -1,0 +1,19 @@
+// printf-style string formatting.
+//
+// The toolchain this library targets (GCC 12 / C++20) predates
+// std::format; sformat() is the project-wide replacement. It is
+// type-checked by the compiler via the format attribute.
+#pragma once
+
+#include <string>
+
+namespace nmad::util {
+
+/// vsnprintf into a std::string. Panics on encoding errors.
+#if defined(__GNUC__)
+__attribute__((format(printf, 1, 2)))
+#endif
+std::string
+sformat(const char* fmt, ...);
+
+}  // namespace nmad::util

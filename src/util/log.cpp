@@ -1,0 +1,52 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace nmad::util {
+
+namespace {
+
+LogLevel level_from_env() noexcept {
+  const char* env = std::getenv("NMAD_LOG");
+  return env != nullptr ? parse_log_level(env) : LogLevel::kOff;
+}
+
+std::atomic<LogLevel> g_level{level_from_env()};
+
+constexpr const char* level_name(LogLevel lvl) noexcept {
+  switch (lvl) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn:  return "WARN ";
+    case LogLevel::kInfo:  return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kOff:   return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel lvl) noexcept { g_level.store(lvl); }
+
+LogLevel parse_log_level(std::string_view s) noexcept {
+  if (s == "error") return LogLevel::kError;
+  if (s == "warn") return LogLevel::kWarn;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "trace") return LogLevel::kTrace;
+  return LogLevel::kOff;
+}
+
+namespace detail {
+
+void log_write(LogLevel lvl, std::string_view tag, std::string_view msg) {
+  std::fprintf(stderr, "[nmad %s] %-8.*s %.*s\n", level_name(lvl),
+               static_cast<int>(tag.size()), tag.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace detail
+}  // namespace nmad::util

@@ -1,0 +1,49 @@
+// Minimal leveled logger.
+//
+// The library logs nothing by default (benchmarks measure virtual time and
+// must not be perturbed); set the NMAD_LOG environment variable to
+// error|warn|info|debug|trace to enable output, or call set_level().
+#pragma once
+
+#include <cstdio>
+#include <string_view>
+
+#include "util/fmt.hpp"
+
+namespace nmad::util {
+
+enum class LogLevel : int { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
+
+/// Global log level. Initialized once from $NMAD_LOG (default: off).
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel lvl) noexcept;
+
+/// Parse "error"/"warn"/"info"/"debug"/"trace" (case-sensitive); anything
+/// else maps to kOff.
+LogLevel parse_log_level(std::string_view s) noexcept;
+
+namespace detail {
+void log_write(LogLevel lvl, std::string_view tag, std::string_view msg);
+}  // namespace detail
+
+/// Log with printf semantics, e.g. NMAD_LOG_INFO("core", "gate %u", id).
+#define NMAD_LOG_AT(lvl, tag, ...)                                      \
+  do {                                                                  \
+    if (::nmad::util::log_level() >= (lvl)) {                           \
+      ::nmad::util::detail::log_write((lvl), (tag),                     \
+                                      ::nmad::util::sformat(__VA_ARGS__)); \
+    }                                                                   \
+  } while (0)
+
+#define NMAD_LOG_ERROR(tag, ...) \
+  NMAD_LOG_AT(::nmad::util::LogLevel::kError, tag, __VA_ARGS__)
+#define NMAD_LOG_WARN(tag, ...) \
+  NMAD_LOG_AT(::nmad::util::LogLevel::kWarn, tag, __VA_ARGS__)
+#define NMAD_LOG_INFO(tag, ...) \
+  NMAD_LOG_AT(::nmad::util::LogLevel::kInfo, tag, __VA_ARGS__)
+#define NMAD_LOG_DEBUG(tag, ...) \
+  NMAD_LOG_AT(::nmad::util::LogLevel::kDebug, tag, __VA_ARGS__)
+#define NMAD_LOG_TRACE(tag, ...) \
+  NMAD_LOG_AT(::nmad::util::LogLevel::kTrace, tag, __VA_ARGS__)
+
+}  // namespace nmad::util

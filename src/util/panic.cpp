@@ -1,0 +1,35 @@
+#include "util/panic.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace nmad::util {
+
+namespace {
+std::atomic<PanicHook> g_hook{nullptr};
+}  // namespace
+
+void set_panic_hook(PanicHook hook) noexcept { g_hook.store(hook); }
+PanicHook panic_hook() noexcept { return g_hook.load(); }
+
+void panic(std::string_view msg, const char* file, int line) {
+  if (PanicHook hook = g_hook.load()) {
+    std::string full(msg);
+    full += " (";
+    full += file;
+    full += ":";
+    full += std::to_string(line);
+    full += ")";
+    hook(full);
+    // A hook that returns violates its contract; fall through to abort so we
+    // never continue with corrupt state.
+  }
+  std::fprintf(stderr, "nmad panic: %.*s (%s:%d)\n",
+               static_cast<int>(msg.size()), msg.data(), file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace nmad::util

@@ -1,0 +1,38 @@
+// Fatal-error handling for the nmad library.
+//
+// Internal invariant violations abort via nmad::util::panic() rather than
+// throwing: a communication engine whose scheduler state is corrupt cannot
+// meaningfully recover, and an immediate abort with a precise message is far
+// easier to debug than an exception unwinding through event-loop callbacks.
+// Recoverable conditions (bad user arguments, I/O failures) use
+// nmad::util::Expected instead — see expected.hpp.
+#pragma once
+
+#include <string_view>
+
+namespace nmad::util {
+
+/// Print `msg` (with source location) to stderr and abort. Never returns.
+[[noreturn]] void panic(std::string_view msg, const char* file, int line);
+
+/// Installable hook for tests: when set, panic() calls it instead of
+/// aborting. The hook must not return (it may throw, e.g. a test exception).
+using PanicHook = void (*)(std::string_view msg);
+void set_panic_hook(PanicHook hook) noexcept;
+PanicHook panic_hook() noexcept;
+
+}  // namespace nmad::util
+
+/// Abort with a message if `cond` is false. Enabled in all build types:
+/// scheduler invariants are cheap relative to packet processing, and silent
+/// corruption is the worst possible failure mode for a communication engine.
+#define NMAD_ASSERT(cond, msg)                                  \
+  do {                                                          \
+    if (!(cond)) [[unlikely]] {                                 \
+      ::nmad::util::panic("assertion failed: " #cond " — " msg, \
+                          __FILE__, __LINE__);                  \
+    }                                                           \
+  } while (0)
+
+/// Unconditional failure (e.g. unreachable switch arms).
+#define NMAD_PANIC(msg) ::nmad::util::panic((msg), __FILE__, __LINE__)

@@ -1,0 +1,50 @@
+// Small statistics helpers for benchmark reporting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nmad::util {
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample set using linear interpolation between closest
+/// ranks. `q` in [0, 1]. The input vector is copied and sorted.
+double percentile(std::vector<double> samples, double q);
+
+/// Median convenience wrapper.
+inline double median(std::vector<double> samples) {
+  return percentile(std::move(samples), 0.5);
+}
+
+/// Least-squares fit of y = a + b*x. Returns {a, b}; requires >= 2 points
+/// with distinct x (panics otherwise).
+struct LinearFit {
+  double intercept;
+  double slope;
+  /// Coefficient of determination (1.0 = perfect fit).
+  double r2;
+};
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace nmad::util

@@ -1,0 +1,125 @@
+// Chaos property tests: the receive path (matching + rendezvous +
+// reassembly) must be fully order-independent, so scrambling delivery
+// order within each rail must never change what the application observes.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/session.hpp"
+#include "drv/chaos_driver.hpp"
+#include "drv/sim_driver.hpp"
+#include "drv/sim_world.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace nmad;
+using namespace nmad::core;
+
+std::vector<std::byte> random_bytes(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = std::byte(rng.next() & 0xff);
+  return out;
+}
+
+/// Paper platform with every rail endpoint wrapped in a ChaosDriver.
+struct ChaosFixture {
+  drv::SimWorld world;
+  std::vector<std::unique_ptr<drv::ChaosDriver>> wrappers;
+  std::unique_ptr<Session> a, b;
+  GateId gate_ab = 0, gate_ba = 0;
+
+  explicit ChaosFixture(std::uint64_t seed, const char* strategy,
+                        std::size_t window) {
+    netmodel::HostProfile host;
+    const auto na = world.add_node(host);
+    const auto nb = world.add_node(host);
+
+    std::vector<drv::Driver*> rails_a, rails_b;
+    for (const auto& nic : {netmodel::myri10g(), netmodel::quadrics_qm500()}) {
+      auto [ea, eb] = world.add_link(na, nb, nic);
+      wrappers.push_back(
+          std::make_unique<drv::ChaosDriver>(*ea, seed++, window));
+      rails_a.push_back(wrappers.back().get());
+      wrappers.push_back(
+          std::make_unique<drv::ChaosDriver>(*eb, seed++, window));
+      rails_b.push_back(wrappers.back().get());
+    }
+
+    auto clock = [this] { return world.now(); };
+    auto defer = [this](std::function<void()> fn) {
+      world.engine().schedule(0, std::move(fn));
+    };
+    // Progress: run the engine; when it drains with the predicate unmet,
+    // flush the chaos buffers (packets held below the window) and retry.
+    auto progress = [this](const std::function<bool()>& pred) {
+      for (int round = 0; round < 1000; ++round) {
+        if (world.engine().run_until(pred)) return;
+        bool flushed = false;
+        for (auto& w : wrappers) {
+          flushed |= w->buffered() > 0;
+          w->flush();
+        }
+        if (!flushed && world.engine().idle()) return;  // genuine deadlock
+      }
+    };
+    a = std::make_unique<Session>("A", clock, defer, progress);
+    b = std::make_unique<Session>("B", clock, defer, progress);
+    gate_ab = a->connect(rails_a, "aggreg_greedy");
+    gate_ba = b->connect(rails_b, "aggreg_greedy");
+    (void)strategy;
+  }
+};
+
+class ChaosSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosSweep, ScrambledDeliveryStillByteExact) {
+  ChaosFixture f(GetParam(), "aggreg_greedy", /*window=*/3);
+  util::Xoshiro256 rng(GetParam() * 7 + 1);
+
+  constexpr int kMessages = 30;
+  std::vector<std::vector<std::byte>> payloads, sinks;
+  std::vector<RecvHandle> recvs;
+  std::vector<SendHandle> sends;
+  for (int i = 0; i < kMessages; ++i) {
+    payloads.push_back(random_bytes(rng.next_below(120000), GetParam() + i));
+    sinks.emplace_back(payloads.back().size());
+  }
+  for (int i = 0; i < kMessages; ++i) {
+    recvs.push_back(f.b->irecv(f.gate_ba, static_cast<proto::Tag>(i % 4),
+                               sinks[i]));
+  }
+  for (int i = 0; i < kMessages; ++i) {
+    sends.push_back(f.a->isend(f.gate_ab, static_cast<proto::Tag>(i % 4),
+                               payloads[i]));
+  }
+  f.a->wait_all(sends, recvs);
+  for (int i = 0; i < kMessages; ++i) {
+    EXPECT_EQ(sinks[i], payloads[i]) << "message " << i;
+    EXPECT_EQ(recvs[i]->received_len(), payloads[i].size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweep,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u),
+                         [](const auto& pinfo) {
+                           return "seed" + std::to_string(pinfo.param);
+                         });
+
+TEST(Chaos, WindowOneIsTransparent) {
+  // window=1 releases every packet immediately: behavior must be identical
+  // to the unwrapped platform, including virtual timing.
+  ChaosFixture f(42, "aggreg_greedy", /*window=*/1);
+  const auto payload = random_bytes(100000, 5);
+  std::vector<std::byte> sink(100000);
+  auto recv = f.b->irecv(f.gate_ba, 0, sink);
+  auto send = f.a->isend(f.gate_ab, 0, payload);
+  f.b->wait(recv);
+  f.a->wait(send);
+  EXPECT_EQ(sink, payload);
+  for (auto& w : f.wrappers) EXPECT_EQ(w->buffered(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+// Tests of the max-min fair fluid-flow model — the substrate that produces
+// the paper's bus-contention effects (1675 MB/s greedy plateau, hetero-
+// split approaching the bus ceiling).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/fair_share.hpp"
+
+namespace {
+
+using namespace nmad::sim;
+
+constexpr double kMB = 1.0e6;  // bytes per "MB" in bandwidth units
+
+/// Expected ns to move `bytes` at `mbps`.
+TimeNs ns_for(double bytes, double mbps) {
+  return static_cast<TimeNs>(bytes * 1000.0 / mbps + 0.5);
+}
+
+TEST(FairShare, SingleFlowRunsAtLinkRate) {
+  Engine engine;
+  FairShareNet net(engine);
+  const auto link = net.add_constraint(1000.0, "link");
+  TimeNs done = -1;
+  net.start_flow(static_cast<std::uint64_t>(kMB), {link}, [&] { done = engine.now(); });
+  EXPECT_DOUBLE_EQ(net.flow_rate(FlowId{1}), 1000.0);
+  engine.run();
+  EXPECT_NEAR(static_cast<double>(done), static_cast<double>(ns_for(kMB, 1000.0)), 2.0);
+}
+
+TEST(FairShare, TwoFlowsShareOneLinkEqually) {
+  Engine engine;
+  FairShareNet net(engine);
+  const auto link = net.add_constraint(1000.0, "link");
+  std::vector<TimeNs> done;
+  net.start_flow(static_cast<std::uint64_t>(kMB), {link},
+                 [&] { done.push_back(engine.now()); });
+  net.start_flow(static_cast<std::uint64_t>(kMB), {link},
+                 [&] { done.push_back(engine.now()); });
+  EXPECT_DOUBLE_EQ(net.constraint_load(link), 1000.0);  // conservation
+  EXPECT_DOUBLE_EQ(net.flow_rate(FlowId{1}), 500.0);
+  EXPECT_DOUBLE_EQ(net.flow_rate(FlowId{2}), 500.0);
+  engine.run();
+  ASSERT_EQ(done.size(), 2u);
+  // Both finish together at 2 MB / 1000 MB/s.
+  EXPECT_NEAR(static_cast<double>(done[1]), 2.0 * kMB, 1e4);
+}
+
+TEST(FairShare, HeterogeneousLinksUnderSharedBus) {
+  // The paper's platform: myri (1210) + quadrics (858) crossing a 1950 bus.
+  // Water-filling: fair share 975 each; quadrics freezes at 858; myri gets
+  // the residual 1092.
+  Engine engine;
+  FairShareNet net(engine);
+  const auto bus = net.add_constraint(1950.0, "bus");
+  const auto myri = net.add_constraint(1210.0, "myri");
+  const auto quad = net.add_constraint(858.0, "quad");
+
+  net.start_flow(100 * static_cast<std::uint64_t>(kMB), {myri, bus}, nullptr);
+  net.start_flow(100 * static_cast<std::uint64_t>(kMB), {quad, bus}, nullptr);
+
+  EXPECT_NEAR(net.flow_rate(FlowId{1}), 1092.0, 1e-6);
+  EXPECT_NEAR(net.flow_rate(FlowId{2}), 858.0, 1e-6);
+  EXPECT_NEAR(net.constraint_load(bus), 1950.0, 1e-6);
+  engine.run();
+}
+
+TEST(FairShare, RatesRecomputeWhenFlowFinishes) {
+  Engine engine;
+  FairShareNet net(engine);
+  const auto link = net.add_constraint(1000.0, "link");
+  // Flow 1: 1 MB; flow 2: 3 MB. They share until flow 1 drains at 2 ms,
+  // then flow 2 runs alone.
+  TimeNs done1 = -1, done2 = -1;
+  net.start_flow(static_cast<std::uint64_t>(kMB), {link}, [&] { done1 = engine.now(); });
+  net.start_flow(static_cast<std::uint64_t>(3 * kMB), {link},
+                 [&] { done2 = engine.now(); });
+  engine.run();
+  // done1: 1MB at 500 => 2 ms. done2: 1MB at 500 (2ms) + 2MB at 1000 (2ms).
+  EXPECT_NEAR(static_cast<double>(done1), 2.0e6, 1e4);
+  EXPECT_NEAR(static_cast<double>(done2), 4.0e6, 1e4);
+}
+
+TEST(FairShare, LateJoinerSlowsExistingFlow) {
+  Engine engine;
+  FairShareNet net(engine);
+  const auto link = net.add_constraint(1000.0, "link");
+  TimeNs done1 = -1;
+  net.start_flow(static_cast<std::uint64_t>(2 * kMB), {link},
+                 [&] { done1 = engine.now(); });
+  // After 1 ms (1 MB moved), a second flow joins.
+  engine.schedule(1000000, [&] {
+    net.start_flow(static_cast<std::uint64_t>(kMB), {link}, nullptr);
+    EXPECT_DOUBLE_EQ(net.flow_rate(FlowId{1}), 500.0);
+  });
+  engine.run();
+  // Flow 1: 1 MB at 1000 (1 ms) + 1 MB at 500 (2 ms) = 3 ms.
+  EXPECT_NEAR(static_cast<double>(done1), 3.0e6, 1e4);
+}
+
+TEST(FairShare, ManyFlowsConserveEveryConstraint) {
+  Engine engine;
+  FairShareNet net(engine);
+  const auto bus_a = net.add_constraint(2000.0, "bus_a");
+  const auto bus_b = net.add_constraint(1500.0, "bus_b");
+  std::vector<ConstraintId> links;
+  for (int i = 0; i < 5; ++i) {
+    links.push_back(net.add_constraint(400.0 + 100.0 * i, "link"));
+  }
+  for (int i = 0; i < 5; ++i) {
+    net.start_flow(10 * static_cast<std::uint64_t>(kMB), {links[i], bus_a, bus_b},
+                   nullptr);
+  }
+  // No constraint oversubscribed; every flow gets a positive rate.
+  EXPECT_LE(net.constraint_load(bus_a), 2000.0 + 1e-6);
+  EXPECT_LE(net.constraint_load(bus_b), 1500.0 + 1e-6);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_LE(net.constraint_load(links[i]), 400.0 + 100.0 * i + 1e-6);
+    EXPECT_GT(net.flow_rate(FlowId{static_cast<std::uint64_t>(i + 1)}), 0.0);
+  }
+  // The tightest constraint (bus_b) is saturated.
+  EXPECT_NEAR(net.constraint_load(bus_b), 1500.0, 1e-6);
+  engine.run();
+  EXPECT_EQ(net.active_flows(), 0u);
+}
+
+TEST(FairShare, ZeroByteFlowCompletesInstantly) {
+  Engine engine;
+  FairShareNet net(engine);
+  const auto link = net.add_constraint(100.0, "link");
+  TimeNs done = -1;
+  net.start_flow(0, {link}, [&] { done = engine.now(); });
+  engine.run();
+  EXPECT_EQ(done, 0);
+}
+
+TEST(FairShare, CompletionCallbackCanStartNewFlow) {
+  Engine engine;
+  FairShareNet net(engine);
+  const auto link = net.add_constraint(1000.0, "link");
+  TimeNs done2 = -1;
+  net.start_flow(static_cast<std::uint64_t>(kMB), {link}, [&] {
+    net.start_flow(static_cast<std::uint64_t>(kMB), {link},
+                   [&] { done2 = engine.now(); });
+  });
+  engine.run();
+  EXPECT_NEAR(static_cast<double>(done2), 2.0e6, 1e4);
+}
+
+TEST(FairShare, MaxMinIsWorkConserving) {
+  // A flow crossing only an uncontended link must get that link's full
+  // capacity even while an unrelated bottleneck exists elsewhere.
+  Engine engine;
+  FairShareNet net(engine);
+  const auto narrow = net.add_constraint(10.0, "narrow");
+  const auto wide = net.add_constraint(1000.0, "wide");
+  net.start_flow(static_cast<std::uint64_t>(kMB), {narrow}, nullptr);
+  net.start_flow(static_cast<std::uint64_t>(kMB), {wide}, nullptr);
+  EXPECT_DOUBLE_EQ(net.flow_rate(FlowId{1}), 10.0);
+  EXPECT_DOUBLE_EQ(net.flow_rate(FlowId{2}), 1000.0);
+  engine.run();
+}
+
+}  // namespace

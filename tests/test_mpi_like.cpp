@@ -1,0 +1,103 @@
+// Tests of the MPI-flavored API layer.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "api/mpi_like.hpp"
+#include "core/platform.hpp"
+
+namespace {
+
+using namespace nmad;
+
+struct CommFixture {
+  core::TwoNodePlatform platform{core::paper_platform("aggreg_greedy")};
+  api::Communicator a{platform.a(), platform.gate_ab()};
+  api::Communicator b{platform.b(), platform.gate_ba()};
+};
+
+TEST(MpiLike, TypedBlockingSendRecv) {
+  CommFixture f;
+  std::vector<double> data(1000);
+  std::iota(data.begin(), data.end(), 0.0);
+  std::vector<double> out(1000);
+
+  auto recv = f.b.irecv(std::span<double>(out), 1);
+  f.a.send(std::span<const double>(data), 1);
+  recv.wait();
+  EXPECT_EQ(recv.status().bytes, 1000u * sizeof(double));
+  EXPECT_EQ(recv.status().tag, 1u);
+  EXPECT_EQ(out, data);
+}
+
+TEST(MpiLike, NonBlockingTestAndWait) {
+  CommFixture f;
+  std::vector<int> data(64, 7);
+  std::vector<int> out(64);
+
+  api::MpiRequest recv = f.b.irecv(std::span<int>(out), 2);
+  EXPECT_FALSE(recv.test());
+  api::MpiRequest send = f.a.isend(std::span<const int>(data), 2);
+  recv.wait();
+  send.wait();
+  EXPECT_TRUE(recv.test());
+  EXPECT_TRUE(send.test());
+  EXPECT_EQ(out, data);
+}
+
+TEST(MpiLike, SendrecvExchangesBothDirections) {
+  CommFixture f;
+  std::vector<std::byte> out_a(4096), out_b(4096);
+  std::vector<std::byte> data_a(4096, std::byte{0xaa});
+  std::vector<std::byte> data_b(4096, std::byte{0xbb});
+
+  // Both sides call sendrecv "simultaneously": to avoid driving the world
+  // from one side before the other posts, use the non-blocking pieces for
+  // side b and the blocking sendrecv on side a.
+  auto recv_b = f.b.irecv_bytes(out_b, 5);
+  auto send_b = f.a.session().scheduler().pending_requests();  // just probe
+  (void)send_b;
+  auto send_back = f.b.isend_bytes(data_b, 6);
+  const api::RecvStatus st = f.a.sendrecv(data_a, 5, out_a, 6);
+  recv_b.wait();
+  send_back.wait();
+
+  EXPECT_EQ(st.bytes, 4096u);
+  EXPECT_EQ(out_a, data_b);
+  EXPECT_EQ(out_b, data_a);
+}
+
+TEST(MpiLike, BarrierSynchronizesTwoParties) {
+  CommFixture f;
+  // a reaches the barrier "late": b posts its token first, then a enters.
+  auto token_b_recv = f.b.session().irecv(f.b.gate(), 0xffffffffu, {});
+  auto token_b_send = f.b.session().isend(f.b.gate(), 0xffffffffu, {});
+  f.a.barrier();
+  f.b.session().wait(token_b_recv);
+  f.b.session().wait(token_b_send);
+  EXPECT_GT(f.platform.now(), 0);
+}
+
+TEST(MpiLike, LargeTypedTransferUsesMultiRail) {
+  CommFixture f;
+  std::vector<std::uint64_t> data(1 << 17);  // 1 MB
+  std::iota(data.begin(), data.end(), 0u);
+  std::vector<std::uint64_t> out(data.size());
+
+  auto recv = f.b.irecv(std::span<std::uint64_t>(out), 3);
+  f.a.send(std::span<const std::uint64_t>(data), 3);
+  recv.wait();
+  EXPECT_EQ(out, data);
+  // The greedy strategy moved the bulk over at least one DMA track.
+  auto& gate = f.platform.a().scheduler().gate(f.platform.gate_ab());
+  EXPECT_GE(gate.rail(0).tx.packets[1] + gate.rail(1).tx.packets[1], 1u);
+}
+
+TEST(MpiLike, NullRequestIsTriviallyComplete) {
+  api::MpiRequest req;
+  EXPECT_TRUE(req.test());
+  req.wait();  // no-op, must not crash
+}
+
+}  // namespace

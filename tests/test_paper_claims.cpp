@@ -1,0 +1,174 @@
+// Tests pinned to the paper's §4 capability claims about the engine:
+//
+//   "Data segments can be aggregated into the same physical packet even if
+//    they belong to different logical channels (e.g. different MPI
+//    communicators). They can be reordered so as to group small segments,
+//    or even sent out-of-order. Finally, large data segments can be split
+//    on the sending side (and later reassembled on the receiving side)
+//    into several chunks that may be sent through different networks."
+//
+// Each sentence gets a test observing the claimed behavior directly.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/platform.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace nmad;
+using namespace nmad::core;
+
+std::vector<std::byte> random_bytes(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = std::byte(rng.next() & 0xff);
+  return out;
+}
+
+TEST(PaperClaims, AggregationAcrossLogicalChannels) {
+  // Four small messages on four different tags (the paper's "different
+  // logical channels"), submitted back-to-back: one physical packet.
+  TwoNodePlatform p(paper_platform("aggreg_greedy"));
+  const auto payload = random_bytes(64, 1);
+  std::vector<std::vector<std::byte>> sinks(4, std::vector<std::byte>(64));
+  std::vector<RecvHandle> recvs;
+  std::vector<SendHandle> sends;
+  for (Tag tag = 0; tag < 4; ++tag) {
+    recvs.push_back(p.b().irecv(p.gate_ba(), tag, sinks[tag]));
+  }
+  for (Tag tag = 0; tag < 4; ++tag) {
+    sends.push_back(p.a().isend(p.gate_ab(), tag, payload));
+  }
+  p.b().wait_all(sends, recvs);
+
+  auto& gate = p.a().scheduler().gate(p.gate_ab());
+  const auto eager_packets =
+      gate.rail(0).tx.packets[0] + gate.rail(1).tx.packets[0];
+  EXPECT_EQ(eager_packets, 1u);  // one physical packet for four channels
+  EXPECT_EQ(gate.rail(1).tx.segments, 4u);
+  for (auto& s : sinks) EXPECT_EQ(s, payload);
+}
+
+TEST(PaperClaims, SmallMessageOvertakesEarlierLargeMessage) {
+  // A large message is submitted FIRST, a small one after it. The small
+  // one must complete delivery long before the large one: the engine sends
+  // out-of-order with respect to submission.
+  TwoNodePlatform p(paper_platform("aggreg_greedy"));
+  const auto big = random_bytes(4 << 20, 2);
+  const auto small = random_bytes(32, 3);
+  std::vector<std::byte> sink_big(big.size());
+  std::vector<std::byte> sink_small(small.size());
+
+  auto recv_big = p.b().irecv(p.gate_ba(), 1, sink_big);
+  auto recv_small = p.b().irecv(p.gate_ba(), 2, sink_small);
+  auto send_big = p.a().isend(p.gate_ab(), 1, big);
+  auto send_small = p.a().isend(p.gate_ab(), 2, small);
+
+  p.b().wait_all(std::vector<SendHandle>{send_big, send_small},
+                 std::vector<RecvHandle>{recv_big, recv_small});
+  EXPECT_EQ(sink_big, big);
+  EXPECT_EQ(sink_small, small);
+  // Out-of-order: the small message (submitted second) landed first, by a
+  // wide margin — the big transfer takes milliseconds of virtual time.
+  EXPECT_LT(recv_small->completion_time(), recv_big->completion_time() / 10);
+}
+
+TEST(PaperClaims, BacklogSmallSegmentsAreGrouped) {
+  // "Reordered so as to group small segments": while the eager track is
+  // busy with a first packet, later small submissions accumulate and leave
+  // grouped. Submit one small message; then, once it is in flight, submit
+  // five more in a burst: they must travel as one packet, not five.
+  TwoNodePlatform p(paper_platform("aggreg_greedy"));
+  const auto payload = random_bytes(256, 4);
+  std::vector<std::vector<std::byte>> sinks(6, std::vector<std::byte>(256));
+  std::vector<RecvHandle> recvs;
+  std::vector<SendHandle> sends;
+  for (int i = 0; i < 6; ++i) {
+    recvs.push_back(p.b().irecv(p.gate_ba(), 0, sinks[i]));
+  }
+  sends.push_back(p.a().isend(p.gate_ab(), 0, payload));
+  // Let the first packet reach the NIC (track busy), then burst.
+  auto& gate_a = p.a().scheduler().gate(p.gate_ab());
+  p.world().engine().run_until([&] {
+    return gate_a.rail(0).tx.packets[0] + gate_a.rail(1).tx.packets[0] >= 1;
+  });
+  for (int i = 1; i < 6; ++i) {
+    sends.push_back(p.a().isend(p.gate_ab(), 0, payload));
+  }
+  p.b().wait_all(sends, recvs);
+
+  auto& gate = p.a().scheduler().gate(p.gate_ab());
+  const auto eager_packets =
+      gate.rail(0).tx.packets[0] + gate.rail(1).tx.packets[0];
+  EXPECT_EQ(eager_packets, 2u);  // 1 first + 1 grouped backlog
+  for (auto& s : sinks) EXPECT_EQ(s, payload);
+}
+
+TEST(PaperClaims, LargeSegmentSplitAcrossDifferentNetworks) {
+  // "Split on the sending side ... into several chunks that may be sent
+  // through different networks" — verify the chunks of ONE message really
+  // traveled on BOTH technologies and were reassembled byte-exactly.
+  PlatformConfig cfg = paper_platform("split_balance");
+  cfg.sampled_ratios = true;
+  TwoNodePlatform p(std::move(cfg));
+
+  const auto payload = random_bytes(2 << 20, 5);
+  std::vector<std::byte> sink(payload.size());
+  auto recv = p.b().irecv(p.gate_ba(), 0, sink);
+  auto send = p.a().isend(p.gate_ab(), 0, payload);
+  p.b().wait(recv);
+  p.a().wait(send);
+
+  auto& gate = p.a().scheduler().gate(p.gate_ab());
+  EXPECT_EQ(gate.rail(0).tx.packets[1], 1u);  // myri chunk
+  EXPECT_EQ(gate.rail(1).tx.packets[1], 1u);  // quadrics chunk
+  EXPECT_EQ(gate.rail(0).tx.payload_bytes[1] + gate.rail(1).tx.payload_bytes[1],
+            payload.size());
+  EXPECT_GT(gate.rail(0).tx.payload_bytes[1],
+            gate.rail(1).tx.payload_bytes[1]);  // "major part through Myri-10G"
+  EXPECT_EQ(sink, payload);
+}
+
+TEST(PaperClaims, ControlPacketsAreNotStarvedByDataBacklog) {
+  // The rendezvous handshake must cut ahead of a deep small-message
+  // backlog, or large transfers would be serialized behind eager traffic.
+  TwoNodePlatform p(paper_platform("aggreg_greedy"));
+  const auto small = random_bytes(8000, 6);
+  const auto big = random_bytes(4 << 20, 7);
+
+  // 40 near-threshold messages (64 KB of eager traffic backlog) + 1 large.
+  std::vector<std::vector<std::byte>> sinks(40, std::vector<std::byte>(small.size()));
+  std::vector<RecvHandle> recvs;
+  std::vector<SendHandle> sends;
+  for (int i = 0; i < 40; ++i) {
+    recvs.push_back(p.b().irecv(p.gate_ba(), 0, sinks[i]));
+  }
+  std::vector<std::byte> sink_big(big.size());
+  auto recv_big = p.b().irecv(p.gate_ba(), 1, sink_big);
+  for (int i = 0; i < 40; ++i) {
+    sends.push_back(p.a().isend(p.gate_ab(), 0, small));
+  }
+  auto send_big = p.a().isend(p.gate_ab(), 1, big);
+
+  // The large DMA must start while eager traffic is still flowing: its
+  // completion time must not exceed the eager drain time by much (the DMA
+  // overlaps the eager stream on the other rail).
+  sends.push_back(send_big);
+  recvs.push_back(recv_big);
+  p.b().wait_all(sends, recvs);
+
+  sim::TimeNs last_small = 0;
+  for (int i = 0; i < 40; ++i) {
+    last_small = std::max(last_small, recvs[i]->completion_time());
+  }
+  // 4 MB at >=1092 MB/s is ~3.8 ms; the eager stream is ~0.46 ms. If the
+  // handshake were starved behind the eager backlog the big transfer would
+  // finish around eager_drain + 3.8 ms; overlapped, it finishes ~3.8 ms.
+  EXPECT_LT(recv_big->completion_time(),
+            sim::us_to_ns(4200));
+  EXPECT_EQ(sink_big, big);
+}
+
+}  // namespace

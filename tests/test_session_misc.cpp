@@ -1,0 +1,116 @@
+// Session-level odds and ends: test(), scatter receives shorter than the
+// registered segments, the sampling cache wiring, and deadlock detection.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "core/platform.hpp"
+#include "sampling/ratio_table.hpp"
+#include "util/panic.hpp"
+
+namespace {
+
+using namespace nmad;
+using namespace nmad::core;
+
+TEST(Session, TestReflectsCompletion) {
+  TwoNodePlatform p(paper_platform("single_rail"));
+  std::vector<std::byte> payload(100, std::byte{1});
+  std::vector<std::byte> sink(100);
+  auto recv = p.b().irecv(p.gate_ba(), 0, sink);
+  auto send = p.a().isend(p.gate_ab(), 0, payload);
+  EXPECT_FALSE(Session::test(send));
+  EXPECT_FALSE(Session::test(recv));
+  p.b().wait(recv);
+  p.a().wait(send);
+  EXPECT_TRUE(Session::test(send));
+  EXPECT_TRUE(Session::test(recv));
+}
+
+TEST(Session, UnpackScattersShorterMessageIntoLeadingSegments) {
+  // The sender ships 150 bytes; the receiver registered 100+100. The first
+  // segment fills fully, the second only halfway.
+  TwoNodePlatform p(paper_platform("single_rail"));
+  std::vector<std::byte> payload(150, std::byte{0x5e});
+  std::vector<std::byte> out1(100, std::byte{0}), out2(100, std::byte{0});
+
+  auto unpack = p.b().unpack(p.gate_ba(), 0);
+  unpack.add(out1).add(out2);
+  auto recv = unpack.submit();
+  auto send = p.a().isend(p.gate_ab(), 0, payload);
+  p.b().wait(recv);
+  p.a().wait(send);
+
+  EXPECT_EQ(recv->received_len(), 150u);
+  EXPECT_EQ(out1, std::vector<std::byte>(100, std::byte{0x5e}));
+  EXPECT_TRUE(std::equal(out2.begin(), out2.begin() + 50,
+                         std::vector<std::byte>(50, std::byte{0x5e}).begin()));
+  EXPECT_EQ(out2[50], std::byte{0});  // beyond the message: untouched
+}
+
+TEST(Session, SamplingCacheWrittenAndReused) {
+  namespace fs = std::filesystem;
+  const std::string path =
+      (fs::temp_directory_path() / "nmad_platform_cache_test.txt").string();
+  std::error_code ec;
+  fs::remove(path, ec);
+
+  // First platform: measures and writes the cache.
+  {
+    PlatformConfig cfg = paper_platform("split_balance");
+    cfg.sampled_ratios = true;
+    cfg.sampling_cache_path = path;
+    TwoNodePlatform p(std::move(cfg));
+    EXPECT_NEAR(p.a().scheduler().gate(p.gate_ab()).ratio(0), 0.585, 0.02);
+  }
+  ASSERT_TRUE(fs::exists(path));
+
+  // Replace the cache with distinguishable fake ratios: a second platform
+  // must *load* them instead of re-measuring.
+  {
+    auto table = sampling::RatioTable::parse(
+        "# nmad sampling cache v1\n"
+        "myri10g 2.8 10.0 1.0e-03 1.0\n"     // 1000 MB/s
+        "quadrics 1.7 10.0 1.0e-03 1.0\n");  // 1000 MB/s -> 50/50 ratios
+    ASSERT_TRUE(table.has_value());
+    ASSERT_TRUE(table->save(path).has_value());
+
+    PlatformConfig cfg = paper_platform("split_balance");
+    cfg.sampled_ratios = true;
+    cfg.sampling_cache_path = path;
+    TwoNodePlatform p(std::move(cfg));
+    EXPECT_NEAR(p.a().scheduler().gate(p.gate_ab()).ratio(0), 0.5, 1e-9);
+  }
+
+  // A cache with the wrong rail count is ignored (re-measured).
+  {
+    auto table = sampling::RatioTable::parse(
+        "# nmad sampling cache v1\n"
+        "myri10g 2.8 10.0 1.0e-03 1.0\n");
+    ASSERT_TRUE(table.has_value());
+    ASSERT_TRUE(table->save(path).has_value());
+
+    PlatformConfig cfg = paper_platform("split_balance");
+    cfg.sampled_ratios = true;
+    cfg.sampling_cache_path = path;
+    TwoNodePlatform p(std::move(cfg));
+    EXPECT_NEAR(p.a().scheduler().gate(p.gate_ab()).ratio(0), 0.585, 0.02);
+  }
+  fs::remove(path, ec);
+}
+
+TEST(Session, WaitOnUnmatchableRequestPanics) {
+  util::set_panic_hook(+[](std::string_view msg) {
+    throw std::runtime_error(std::string(msg));
+  });
+  TwoNodePlatform p(paper_platform("single_rail"));
+  std::vector<std::byte> sink(10);
+  auto recv = p.b().irecv(p.gate_ba(), 0, sink);
+  // Nobody ever sends: the engine drains and wait() must detect the
+  // deadlock rather than spin or return silently.
+  EXPECT_THROW(p.b().wait(recv), std::runtime_error);
+  util::set_panic_hook(nullptr);
+}
+
+}  // namespace

@@ -1,0 +1,164 @@
+// Unit tests for the discrete-event engine: event ordering, cancellation,
+// run modes, and the serial (CPU) resource.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/serial_resource.hpp"
+
+namespace {
+
+using namespace nmad::sim;
+
+TEST(EventQueue, FiresInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule(30, [&] { order.push_back(3); });
+  engine.schedule(10, [&] { order.push_back(1); });
+  engine.schedule(20, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), 30);
+}
+
+TEST(EventQueue, TiesFireInScheduleOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  Engine engine;
+  int fired = 0;
+  const EventId id = engine.schedule(10, [&] { ++fired; });
+  engine.schedule(20, [&] { ++fired; });
+  EXPECT_TRUE(engine.cancel(id));
+  EXPECT_FALSE(engine.cancel(id));  // double cancel
+  engine.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelledHeadDoesNotBlockNextTime) {
+  Engine engine;
+  int fired = 0;
+  const EventId early = engine.schedule(1, [&] { ++fired; });
+  engine.schedule(5, [&] { ++fired; });
+  engine.cancel(early);
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(engine.now(), 5);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  Engine engine;
+  std::vector<TimeNs> stamps;
+  engine.schedule(10, [&] {
+    stamps.push_back(engine.now());
+    engine.schedule(5, [&] { stamps.push_back(engine.now()); });
+  });
+  engine.run();
+  EXPECT_EQ(stamps, (std::vector<TimeNs>{10, 15}));
+}
+
+TEST(Engine, RunUntilStopsAtPredicate) {
+  Engine engine;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    engine.schedule(i * 10, [&] { ++count; });
+  }
+  const bool satisfied = engine.run_until([&] { return count == 3; });
+  EXPECT_TRUE(satisfied);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(engine.now(), 30);
+  engine.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Engine, RunUntilReturnsFalseWhenDrained) {
+  Engine engine;
+  engine.schedule(10, [] {});
+  EXPECT_FALSE(engine.run_until([] { return false; }));
+}
+
+TEST(Engine, RunForAdvancesClockEvenWithoutEvents) {
+  Engine engine;
+  engine.run_for(1000);
+  EXPECT_EQ(engine.now(), 1000);
+  int fired = 0;
+  engine.schedule(500, [&] { ++fired; });
+  engine.schedule(5000, [&] { ++fired; });
+  engine.run_for(1000);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.now(), 2000);
+}
+
+TEST(Engine, CountsFiredEvents) {
+  Engine engine;
+  for (int i = 0; i < 7; ++i) engine.schedule(i, [] {});
+  engine.run();
+  EXPECT_EQ(engine.events_fired(), 7u);
+  EXPECT_TRUE(engine.idle());
+}
+
+// --- SerialResource ---------------------------------------------------------
+
+TEST(SerialResource, JobsSerializeFifo) {
+  Engine engine;
+  SerialResource cpu(engine, 1, "cpu");
+  std::vector<TimeNs> completions;
+  cpu.acquire(100, [&] { completions.push_back(engine.now()); });
+  cpu.acquire(50, [&] { completions.push_back(engine.now()); });
+  cpu.acquire(25, [&] { completions.push_back(engine.now()); });
+  engine.run();
+  EXPECT_EQ(completions, (std::vector<TimeNs>{100, 150, 175}));
+  EXPECT_EQ(cpu.total_busy(), 175);
+}
+
+TEST(SerialResource, CapacityTwoOverlaps) {
+  Engine engine;
+  SerialResource cpu(engine, 2, "cpu2");
+  std::vector<TimeNs> completions;
+  cpu.acquire(100, [&] { completions.push_back(engine.now()); });
+  cpu.acquire(100, [&] { completions.push_back(engine.now()); });
+  cpu.acquire(100, [&] { completions.push_back(engine.now()); });
+  engine.run();
+  EXPECT_EQ(completions, (std::vector<TimeNs>{100, 100, 200}));
+}
+
+TEST(SerialResource, SaturationReflectsQueue) {
+  Engine engine;
+  SerialResource cpu(engine, 1, "cpu");
+  EXPECT_FALSE(cpu.saturated());
+  EXPECT_EQ(cpu.earliest_start(), 0);
+  cpu.acquire(100, [] {});
+  EXPECT_TRUE(cpu.saturated());
+  EXPECT_EQ(cpu.earliest_start(), 100);
+  engine.run();  // advances the clock to the job's completion
+  EXPECT_FALSE(cpu.saturated());
+}
+
+TEST(SerialResource, LateSubmissionStartsAtNow) {
+  Engine engine;
+  SerialResource cpu(engine, 1, "cpu");
+  engine.schedule(500, [&] {
+    const TimeNs done = cpu.acquire(10, nullptr);
+    EXPECT_EQ(done, 510);
+  });
+  engine.run();
+}
+
+TEST(SerialResource, ZeroDurationJobCompletesImmediately) {
+  Engine engine;
+  SerialResource cpu(engine, 1, "cpu");
+  TimeNs at = -1;
+  cpu.acquire(0, [&] { at = engine.now(); });
+  engine.run();
+  EXPECT_EQ(at, 0);
+}
+
+}  // namespace

@@ -1,0 +1,225 @@
+// Strategy-policy tests: each built-in optimizing scheduler is checked for
+// the *decisions* it makes (which rail, aggregated or not, split sizes),
+// observed through per-rail transmit statistics — not just for data
+// integrity.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "drv/sim_driver.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace nmad;
+using namespace nmad::core;
+
+std::vector<std::byte> random_bytes(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = std::byte(rng.next() & 0xff);
+  return out;
+}
+
+/// Round-trip `count` messages of `size` bytes a->b under `strategy`;
+/// returns the platform for stats inspection.
+std::unique_ptr<TwoNodePlatform> run_burst(const std::string& strategy,
+                                           std::size_t count, std::size_t size,
+                                           strat::StrategyConfig cfg = {}) {
+  PlatformConfig pc = paper_platform(strategy, cfg);
+  auto p = std::make_unique<TwoNodePlatform>(std::move(pc));
+  const auto payload = random_bytes(size, size + count);
+  std::vector<std::vector<std::byte>> sinks(count, std::vector<std::byte>(size));
+  std::vector<RecvHandle> recvs;
+  std::vector<SendHandle> sends;
+  for (std::size_t i = 0; i < count; ++i) {
+    recvs.push_back(p->b().irecv(p->gate_ba(), 0, sinks[i]));
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    sends.push_back(p->a().isend(p->gate_ab(), 0, payload));
+  }
+  p->b().wait_all(sends, recvs);
+  for (auto& s : sinks) EXPECT_EQ(s, payload);
+  return p;
+}
+
+TEST(StrategySingleRail, UsesOnlyConfiguredRail) {
+  for (RailIndex rail : {0u, 1u}) {
+    strat::StrategyConfig cfg;
+    cfg.rail = rail;
+    auto p = run_burst("single_rail", 4, 2000, cfg);
+    auto& gate = p->a().scheduler().gate(p->gate_ab());
+    const RailIndex other = 1 - rail;
+    EXPECT_EQ(gate.rail(rail).tx.packets[0], 4u) << "rail " << rail;
+    EXPECT_EQ(gate.rail(other).tx.packets[0], 0u);
+    EXPECT_EQ(gate.rail(other).tx.packets[1], 0u);
+  }
+}
+
+TEST(StrategySingleRail, LargeMessagesStayOnConfiguredRail) {
+  strat::StrategyConfig cfg;
+  cfg.rail = 1;
+  auto p = run_burst("single_rail", 2, 500000, cfg);
+  EXPECT_EQ(p->rails_a()[0]->stats().dma_packets, 0u);
+  EXPECT_EQ(p->rails_a()[1]->stats().dma_packets, 2u);
+}
+
+TEST(StrategyAggreg, CoalescesBurstIntoFewPackets) {
+  auto no_agg = run_burst("single_rail", 16, 64);
+  auto agg = run_burst("aggreg", 16, 64);
+  const auto pkts = [](TwoNodePlatform& p) {
+    auto& gate = p.a().scheduler().gate(p.gate_ab());
+    return gate.rail(0).tx.packets[0] + gate.rail(1).tx.packets[0];
+  };
+  EXPECT_EQ(pkts(*no_agg), 16u);
+  EXPECT_EQ(pkts(*agg), 1u);
+}
+
+TEST(StrategyAggreg, RespectsPayloadBudget) {
+  // 16 x 1 KB = 16 KB total, but the eager packet budget is 8 KB: the
+  // strategy must emit at least two packets and never an oversized one.
+  auto p = run_burst("aggreg", 16, 1024);
+  auto& gate = p->a().scheduler().gate(p->gate_ab());
+  const auto packets = gate.rail(0).tx.packets[0];
+  EXPECT_GE(packets, 2u);
+  EXPECT_LE(packets, 4u);
+  EXPECT_EQ(gate.rail(0).tx.segments, 16u);
+}
+
+TEST(StrategyAggreg, AggregationLimitConfigurable) {
+  strat::StrategyConfig cfg;
+  cfg.aggregation_limit = 128;  // essentially disable aggregation
+  auto p = run_burst("aggreg", 8, 100, cfg);
+  auto& gate = p->a().scheduler().gate(p->gate_ab());
+  EXPECT_EQ(gate.rail(0).tx.packets[0], 8u);  // one packet per message
+}
+
+TEST(StrategyGreedy, BalancesSmallMessagesAcrossRails) {
+  auto p = run_burst("greedy", 8, 2000);
+  auto& gate = p->a().scheduler().gate(p->gate_ab());
+  // Both rails carried eager packets; nothing aggregated.
+  EXPECT_GT(gate.rail(0).tx.packets[0], 0u);
+  EXPECT_GT(gate.rail(1).tx.packets[0], 0u);
+  EXPECT_EQ(gate.rail(0).tx.packets[0] + gate.rail(1).tx.packets[0], 8u);
+}
+
+TEST(StrategyGreedy, BalancesLargeMessagesWholeAcrossRails) {
+  auto p = run_burst("greedy", 4, 400000);
+  auto& gate = p->a().scheduler().gate(p->gate_ab());
+  // Whole messages, one DMA packet each, spread over both rails.
+  EXPECT_EQ(gate.rail(0).tx.packets[1] + gate.rail(1).tx.packets[1], 4u);
+  EXPECT_GT(gate.rail(0).tx.packets[1], 0u);
+  EXPECT_GT(gate.rail(1).tx.packets[1], 0u);
+}
+
+TEST(StrategyAggregGreedy, SmallTrafficStaysOnFastestRail) {
+  auto p = run_burst("aggreg_greedy", 8, 64);
+  auto& gate = p->a().scheduler().gate(p->gate_ab());
+  EXPECT_EQ(gate.rail(0).tx.packets[0], 0u);  // myri carries nothing eager
+  EXPECT_EQ(gate.rail(1).tx.packets[0], 1u);  // one aggregated packet on quadrics
+  EXPECT_EQ(gate.rail(1).tx.segments, 8u);
+}
+
+TEST(StrategyAggregGreedy, LargeTrafficUsesBothRails) {
+  auto p = run_burst("aggreg_greedy", 4, 400000);
+  EXPECT_GT(p->rails_a()[0]->stats().dma_packets, 0u);
+  EXPECT_GT(p->rails_a()[1]->stats().dma_packets, 0u);
+}
+
+TEST(StrategySplitBalance, SplitsOneLargeMessageByRatio) {
+  PlatformConfig pc = paper_platform("split_balance");
+  TwoNodePlatform p(std::move(pc));
+  p.a().scheduler().gate(p.gate_ab()).set_ratios({0.75, 0.25});
+
+  const std::size_t size = 1 << 20;
+  const auto payload = random_bytes(size, 42);
+  std::vector<std::byte> sink(size);
+  auto recv = p.b().irecv(p.gate_ba(), 0, sink);
+  auto send = p.a().isend(p.gate_ab(), 0, payload);
+  p.b().wait(recv);
+  p.a().wait(send);
+  EXPECT_EQ(sink, payload);
+
+  auto& gate = p.a().scheduler().gate(p.gate_ab());
+  EXPECT_EQ(gate.rail(0).tx.packets[1], 1u);
+  EXPECT_EQ(gate.rail(1).tx.packets[1], 1u);
+  const double myri_share =
+      static_cast<double>(gate.rail(0).tx.payload_bytes[1]) / size;
+  EXPECT_NEAR(myri_share, 0.75, 0.01);
+}
+
+TEST(StrategyIsoSplit, SplitsEvenRegardlessOfRatios) {
+  PlatformConfig pc = paper_platform("iso_split");
+  TwoNodePlatform p(std::move(pc));
+  p.a().scheduler().gate(p.gate_ab()).set_ratios({0.9, 0.1});  // must be ignored
+
+  const std::size_t size = 1 << 20;
+  const auto payload = random_bytes(size, 43);
+  std::vector<std::byte> sink(size);
+  auto recv = p.b().irecv(p.gate_ba(), 0, sink);
+  auto send = p.a().isend(p.gate_ab(), 0, payload);
+  p.b().wait(recv);
+  p.a().wait(send);
+
+  auto& gate = p.a().scheduler().gate(p.gate_ab());
+  const double myri_share =
+      static_cast<double>(gate.rail(0).tx.payload_bytes[1]) / size;
+  EXPECT_NEAR(myri_share, 0.5, 0.01);
+}
+
+TEST(StrategySplitBalance, NeverCreatesSubThresholdChunks) {
+  // A message just above the split viability limit: both chunks must stay
+  // above min_chunk, or the message must not be split at all.
+  for (std::size_t size : {16u * 1024 + 100u, 20u * 1024, 64u * 1024}) {
+    PlatformConfig pc = paper_platform("split_balance");
+    TwoNodePlatform p(std::move(pc));
+    const auto payload = random_bytes(size, size);
+    std::vector<std::byte> sink(size);
+    auto recv = p.b().irecv(p.gate_ba(), 0, sink);
+    auto send = p.a().isend(p.gate_ab(), 0, payload);
+    p.b().wait(recv);
+    p.a().wait(send);
+    EXPECT_EQ(sink, payload);
+
+    auto& gate = p.a().scheduler().gate(p.gate_ab());
+    const auto min_chunk = gate.config().min_chunk;
+    for (auto rail_idx : {0u, 1u}) {
+      auto& rail = gate.rail(rail_idx);
+      if (rail.tx.packets[1] > 0) {
+        EXPECT_GE(rail.tx.payload_bytes[1] / rail.tx.packets[1], min_chunk)
+            << "size " << size << " rail " << rail_idx;
+      }
+    }
+  }
+}
+
+TEST(StrategySplitBalance, FallsBackToWholeTransferWhenOneRailBusy) {
+  // Two large messages submitted together: the first grabs both DMA tracks
+  // (split); the second is granted while they are busy and must go whole to
+  // the first free NIC — the paper's closing recipe.
+  auto p = run_burst("split_balance", 2, 1 << 20);
+  auto& gate = p->a().scheduler().gate(p->gate_ab());
+  // 2 chunks for message 1 + 1 whole transfer for message 2 = 3 DMA packets.
+  EXPECT_EQ(gate.rail(0).tx.packets[1] + gate.rail(1).tx.packets[1], 3u);
+}
+
+TEST(StrategyRegistry, NamesConstructAllStrategies) {
+  EXPECT_EQ(strat::strategy_names().size(), 6u);
+  for (std::string_view name : strat::strategy_names()) {
+    auto s = strat::make_strategy(name);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->name(), name);
+    EXPECT_FALSE(s->has_backlog());
+  }
+}
+
+TEST(StrategyConfigDefaults, MatchPaperValues) {
+  const strat::StrategyConfig cfg;
+  EXPECT_EQ(cfg.aggregation_limit, 16u * 1024);
+  EXPECT_EQ(cfg.min_chunk, 8u * 1024 + 1);
+  EXPECT_EQ(cfg.rail, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,78 @@
+// Chrome trace export tests.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/platform.hpp"
+#include "sim/trace_export.hpp"
+
+namespace {
+
+using namespace nmad;
+using namespace nmad::sim;
+
+Trace make_trace() {
+  Trace trace;
+  trace.enable();
+  trace.record(1000, "pio.start", "myri10g 128B");
+  trace.record(2500, "pio.done", "myri10g");
+  trace.record(3000, "dma.program", "quadrics 1000B");
+  trace.record(4000, "dma.start", "quadrics 1000B");
+  trace.record(9000, "dma.done", "quadrics");
+  trace.record(9500, "deliver", "quadrics large 1000B");
+  return trace;
+}
+
+TEST(TraceExport, PairsBecomeDurationEvents) {
+  const std::string json = to_chrome_trace(make_trace());
+  // One PIO duration of 1.5 us starting at 1 us.
+  EXPECT_NE(json.find(R"("ph": "X", "ts": 1.000, "dur": 1.500)"), std::string::npos)
+      << json;
+  // One DMA duration of 5 us.
+  EXPECT_NE(json.find(R"("dur": 5.000)"), std::string::npos);
+  // Unpaired categories become instants.
+  EXPECT_NE(json.find(R"("name": "deliver", "ph": "i")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name": "dma.program", "ph": "i")"), std::string::npos);
+  // Valid JSON array shape (no trailing comma).
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("]\n"), std::string::npos);
+  EXPECT_EQ(json.find(",\n]"), std::string::npos);
+}
+
+TEST(TraceExport, UnmatchedEndHandledGracefully) {
+  Trace trace;
+  trace.enable();
+  trace.record(100, "pio.done", "myri10g");
+  const std::string json = to_chrome_trace(trace);
+  EXPECT_NE(json.find(R"("name": "pio.done", "ph": "i")"), std::string::npos);
+}
+
+TEST(TraceExport, EscapesJsonSpecials) {
+  Trace trace;
+  trace.enable();
+  trace.record(1, "note", "say \"hi\"\\path");
+  const std::string json = to_chrome_trace(trace);
+  EXPECT_NE(json.find(R"(say \"hi\"\\path)"), std::string::npos);
+}
+
+TEST(TraceExport, EndToEndPlatformTraceIsWritable) {
+  core::TwoNodePlatform p(core::paper_platform("split_balance"));
+  p.world().trace().enable();
+  std::vector<std::byte> payload(1 << 20, std::byte{1});
+  std::vector<std::byte> sink(1 << 20);
+  auto recv = p.b().irecv(p.gate_ba(), 0, sink);
+  auto send = p.a().isend(p.gate_ab(), 0, payload);
+  p.b().wait(recv);
+  p.a().wait(send);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "nmad_trace_test.json").string();
+  ASSERT_TRUE(write_chrome_trace(p.world().trace(), path).has_value());
+  EXPECT_GT(std::filesystem::file_size(path), 100u);
+  std::filesystem::remove(path);
+
+  EXPECT_FALSE(
+      write_chrome_trace(p.world().trace(), "/nonexistent/dir/t.json").has_value());
+}
+
+}  // namespace

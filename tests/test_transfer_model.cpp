@@ -1,0 +1,76 @@
+// Analytic transfer-model tests, including cross-validation against the
+// simulator: the closed forms must agree with isolated-rail measurements.
+#include <gtest/gtest.h>
+
+#include "core/platform.hpp"
+#include "netmodel/transfer_model.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using namespace nmad;
+using namespace nmad::netmodel;
+
+TEST(TransferModel, MinimalEagerMatchesCalibration) {
+  const TransferModel myri(myri10g());
+  const TransferModel quad(quadrics_qm500());
+  EXPECT_NEAR(myri.eager_us(0), 2.8, 1e-9);
+  EXPECT_NEAR(quad.eager_us(0), 1.7, 1e-9);
+}
+
+TEST(TransferModel, MonotoneInSize) {
+  const TransferModel model(myri10g());
+  double prev = 0.0;
+  for (std::uint64_t s = 1; s <= (1u << 24); s *= 4) {
+    const double t = model.transfer_us(s);
+    EXPECT_GT(t, prev) << s;
+    prev = t;
+  }
+}
+
+TEST(TransferModel, PathSwitchesAtPioThreshold) {
+  const auto profile = myri10g();
+  const TransferModel model(profile);
+  EXPECT_DOUBLE_EQ(model.transfer_us(profile.pio_threshold),
+                   model.eager_us(profile.pio_threshold));
+  EXPECT_DOUBLE_EQ(model.transfer_us(profile.pio_threshold + 1),
+                   model.rendezvous_us(profile.pio_threshold + 1));
+  // The rendezvous handshake makes the bulk path more expensive right at
+  // the boundary.
+  EXPECT_GT(model.rendezvous_us(profile.pio_threshold),
+            model.eager_us(profile.pio_threshold));
+}
+
+TEST(TransferModel, BulkCostMatchesDmaBandwidth) {
+  const TransferModel model(quadrics_qm500());
+  EXPECT_NEAR(model.bulk_cost_per_byte_us(), 1.0 / 858.0, 1e-12);
+}
+
+TEST(TransferModel, AgreesWithIsolatedSimulatorRuns) {
+  // The analytic model and the simulator are independent implementations
+  // of the same physics; on an isolated rail they must agree within a few
+  // percent (the model ignores protocol headers).
+  for (const auto& profile : {myri10g(), quadrics_qm500()}) {
+    const TransferModel model(profile);
+    core::PlatformConfig cfg;
+    cfg.links = {profile};
+    cfg.strategy = "single_rail";
+    core::TwoNodePlatform p(std::move(cfg));
+
+    for (std::uint64_t size : {64ull, 4096ull, 262144ull, 4194304ull}) {
+      std::vector<std::byte> payload(size, std::byte{0x77});
+      std::vector<std::byte> sink(size);
+      auto recv = p.b().irecv(p.gate_ba(), 0, sink);
+      const sim::TimeNs t0 = p.now();
+      auto send = p.a().isend(p.gate_ab(), 0, payload);
+      p.b().wait(recv);
+      p.a().wait(send);
+      const double measured = sim::ns_to_us(recv->completion_time() - t0);
+      const double predicted = model.transfer_us(size);
+      EXPECT_NEAR(measured, predicted, predicted * 0.06 + 0.35)
+          << profile.name << " size " << size;
+    }
+  }
+}
+
+}  // namespace

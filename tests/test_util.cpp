@@ -1,0 +1,223 @@
+// Unit tests for the util subsystem: byte sizes, statistics, RNG, fmt,
+// Expected, logging.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/byte_size.hpp"
+#include "util/expected.hpp"
+#include "util/fmt.hpp"
+#include "util/log.hpp"
+#include "util/panic.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace nmad::util;
+
+// --- byte_size --------------------------------------------------------------
+
+TEST(ByteSize, ParsesPlainNumbers) {
+  EXPECT_EQ(parse_byte_size("0").value(), 0u);
+  EXPECT_EQ(parse_byte_size("4").value(), 4u);
+  EXPECT_EQ(parse_byte_size("123456").value(), 123456u);
+}
+
+TEST(ByteSize, ParsesSuffixes) {
+  EXPECT_EQ(parse_byte_size("4K").value(), 4096u);
+  EXPECT_EQ(parse_byte_size("4k").value(), 4096u);
+  EXPECT_EQ(parse_byte_size("4KB").value(), 4096u);
+  EXPECT_EQ(parse_byte_size("4KiB").value(), 4096u);
+  EXPECT_EQ(parse_byte_size("2M").value(), 2u * 1024 * 1024);
+  EXPECT_EQ(parse_byte_size("1G").value(), 1024u * 1024 * 1024);
+  EXPECT_EQ(parse_byte_size("8B").value(), 8u);
+}
+
+TEST(ByteSize, ParsesFractionsWithUnits) {
+  EXPECT_EQ(parse_byte_size("1.5K").value(), 1536u);
+  EXPECT_EQ(parse_byte_size("0.5M").value(), 512u * 1024);
+}
+
+TEST(ByteSize, RejectsGarbage) {
+  EXPECT_FALSE(parse_byte_size(""));
+  EXPECT_FALSE(parse_byte_size("K"));
+  EXPECT_FALSE(parse_byte_size("12X"));
+  EXPECT_FALSE(parse_byte_size("1.5"));     // fraction without unit
+  EXPECT_FALSE(parse_byte_size("4KQ"));
+  EXPECT_FALSE(parse_byte_size("4BB"));
+  EXPECT_FALSE(parse_byte_size("-3"));
+}
+
+TEST(ByteSize, FormatPicksLargestExactUnit) {
+  EXPECT_EQ(format_byte_size(4), "4");
+  EXPECT_EQ(format_byte_size(4096), "4K");
+  EXPECT_EQ(format_byte_size(8 * 1024 * 1024), "8M");
+  EXPECT_EQ(format_byte_size(1024ull * 1024 * 1024), "1G");
+  EXPECT_EQ(format_byte_size(1500), "1500");  // not an exact multiple
+}
+
+TEST(ByteSize, RoundTripPowerOfTwoSizes) {
+  for (std::uint64_t s = 1; s <= (1ull << 33); s *= 2) {
+    EXPECT_EQ(parse_byte_size(format_byte_size(s)).value(), s) << s;
+  }
+}
+
+// --- stats ------------------------------------------------------------------
+
+TEST(Stats, RunningStatsMatchesDirectComputation) {
+  RunningStats st;
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 10.0};
+  double sum = 0;
+  for (double x : xs) {
+    st.add(x);
+    sum += x;
+  }
+  EXPECT_EQ(st.count(), xs.size());
+  EXPECT_DOUBLE_EQ(st.mean(), sum / static_cast<double>(xs.size()));
+  EXPECT_DOUBLE_EQ(st.min(), 1.0);
+  EXPECT_DOUBLE_EQ(st.max(), 10.0);
+
+  double var = 0;
+  for (double x : xs) var += (x - st.mean()) * (x - st.mean());
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(st.variance(), var, 1e-12);
+}
+
+TEST(Stats, RunningStatsEdgeCases) {
+  RunningStats st;
+  EXPECT_EQ(st.mean(), 0.0);
+  st.add(5.0);
+  EXPECT_EQ(st.variance(), 0.0);  // single sample
+  EXPECT_EQ(st.stddev(), 0.0);
+  st.reset();
+  EXPECT_EQ(st.count(), 0u);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.5 + 2.0 * i);
+  }
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.intercept, 3.5, 1e-9);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, LinearFitR2DropsWithNoise) {
+  std::vector<double> x{0, 1, 2, 3}, y{0, 5, 1, 6};
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_LT(fit.r2, 1.0);
+  EXPECT_GE(fit.r2, 0.0);
+}
+
+// --- rng --------------------------------------------------------------------
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // uniform mean
+}
+
+// --- fmt --------------------------------------------------------------------
+
+TEST(Fmt, FormatsLikePrintf) {
+  EXPECT_EQ(sformat("x=%d y=%s", 3, "abc"), "x=3 y=abc");
+  EXPECT_EQ(sformat("%.2f", 1.2345), "1.23");
+  EXPECT_EQ(sformat("%s", ""), "");
+}
+
+TEST(Fmt, HandlesLongOutput) {
+  const std::string big(5000, 'q');
+  EXPECT_EQ(sformat("%s!", big.c_str()).size(), 5001u);
+}
+
+// --- Expected ---------------------------------------------------------------
+
+TEST(Expected, ValueAndErrorStates) {
+  Expected<int> ok(5);
+  EXPECT_TRUE(ok.has_value());
+  EXPECT_EQ(ok.value(), 5);
+  EXPECT_EQ(ok.value_or(9), 5);
+
+  Expected<int> bad(make_error("nope"));
+  EXPECT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error().message, "nope");
+  EXPECT_EQ(bad.value_or(9), 9);
+}
+
+TEST(Expected, VoidSpecialization) {
+  nmad::util::Status ok{};
+  EXPECT_TRUE(ok.has_value());
+  nmad::util::Status bad = make_error("broken");
+  EXPECT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error().message, "broken");
+}
+
+// --- panic hook -------------------------------------------------------------
+
+TEST(Panic, HookInterceptsAssertFailure) {
+  set_panic_hook(+[](std::string_view msg) {
+    throw std::runtime_error(std::string(msg));
+  });
+  EXPECT_THROW(NMAD_PANIC("boom"), std::runtime_error);
+  try {
+    NMAD_ASSERT(1 == 2, "math is broken");
+    FAIL() << "assert did not fire";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("math is broken"), std::string::npos);
+  }
+  set_panic_hook(nullptr);
+}
+
+// --- log --------------------------------------------------------------------
+
+TEST(Log, ParseLevels) {
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level(""), LogLevel::kOff);
+}
+
+TEST(Log, SetAndGetLevel) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(before);
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+// Wire-format tests: round trips, aggregated packets, malformed-input
+// rejection, and a randomized encode/decode property sweep.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "proto/wire.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace nmad::proto;
+
+std::vector<std::byte> bytes_of(std::initializer_list<int> xs) {
+  std::vector<std::byte> out;
+  for (int x : xs) out.push_back(std::byte(static_cast<unsigned char>(x)));
+  return out;
+}
+
+TEST(Wire, SingleSegmentRoundTrip) {
+  const auto payload = bytes_of({1, 2, 3, 4, 5});
+  const SegHeader h{7, 42, 100, 5, 4096};
+  const auto wire = encode_data_packet(h, payload);
+  EXPECT_EQ(wire.size(), packet_wire_size(1, 5));
+
+  const auto decoded = decode_packet(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->kind, PacketKind::kData);
+  ASSERT_EQ(decoded->segments.size(), 1u);
+  EXPECT_EQ(decoded->segments[0].header, h);
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                         decoded->segments[0].payload.begin()));
+}
+
+TEST(Wire, AggregatedPacketPreservesAllSegments) {
+  PacketBuilder builder(PacketKind::kData);
+  std::vector<std::vector<std::byte>> payloads;
+  for (std::uint32_t i = 0; i < 9; ++i) {
+    payloads.push_back(std::vector<std::byte>(i * 3, std::byte(i)));
+    builder.add_segment(
+        SegHeader{i, i * 10, 0, static_cast<std::uint32_t>(i * 3), i * 3 + 1},
+        payloads.back());
+  }
+  const auto wire = std::move(builder).finish();
+  const auto decoded = decode_packet(wire);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->segments.size(), 9u);
+  for (std::uint32_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(decoded->segments[i].header.tag, i);
+    EXPECT_EQ(decoded->segments[i].header.msg_seq, i * 10);
+    ASSERT_EQ(decoded->segments[i].payload.size(), i * 3);
+    EXPECT_TRUE(std::equal(payloads[i].begin(), payloads[i].end(),
+                           decoded->segments[i].payload.begin()));
+  }
+}
+
+TEST(Wire, ControlPacketsRoundTrip) {
+  const auto req = encode_rdv_req(3, 9, 1 << 20);
+  auto decoded = decode_packet(req);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->kind, PacketKind::kRdvReq);
+  EXPECT_EQ(decoded->segments[0].header.tag, 3u);
+  EXPECT_EQ(decoded->segments[0].header.msg_seq, 9u);
+  EXPECT_EQ(decoded->segments[0].header.total_len, 1u << 20);
+  EXPECT_TRUE(decoded->segments[0].payload.empty());
+
+  const auto ack = encode_rdv_ack(3, 9);
+  decoded = decode_packet(ack);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->kind, PacketKind::kRdvAck);
+}
+
+TEST(Wire, RejectsTruncatedPacket) {
+  const auto wire = encode_data_packet(SegHeader{1, 1, 0, 4, 4}, bytes_of({1, 2, 3, 4}));
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    const auto truncated =
+        std::span<const std::byte>(wire.data(), cut);
+    EXPECT_FALSE(decode_packet(truncated).has_value()) << "cut at " << cut;
+  }
+}
+
+TEST(Wire, RejectsBadMagicVersionKind) {
+  auto wire = encode_data_packet(SegHeader{1, 1, 0, 0, 0}, {});
+  auto corrupt = wire;
+  corrupt[0] = std::byte{0x00};
+  EXPECT_FALSE(decode_packet(corrupt).has_value());
+
+  corrupt = wire;
+  corrupt[2] = std::byte{99};  // version
+  EXPECT_FALSE(decode_packet(corrupt).has_value());
+
+  corrupt = wire;
+  corrupt[3] = std::byte{7};  // kind
+  EXPECT_FALSE(decode_packet(corrupt).has_value());
+}
+
+TEST(Wire, RejectsTrailingGarbage) {
+  auto wire = encode_data_packet(SegHeader{1, 1, 0, 2, 2}, bytes_of({1, 2}));
+  wire.push_back(std::byte{0});
+  EXPECT_FALSE(decode_packet(wire).has_value());
+}
+
+TEST(Wire, RejectsExtentBeyondMessage) {
+  // Hand-corrupt the offset field of an otherwise valid packet.
+  auto wire = encode_data_packet(SegHeader{1, 1, 0, 4, 4}, bytes_of({1, 2, 3, 4}));
+  // SegHeader at offset 16; its 'offset' field at +8.
+  wire[16 + 8] = std::byte{0xff};
+  EXPECT_FALSE(decode_packet(wire).has_value());
+}
+
+TEST(Wire, RandomizedRoundTripSweep) {
+  nmad::util::Xoshiro256 rng(2024);
+  for (int round = 0; round < 200; ++round) {
+    const auto nseg = 1 + rng.next_below(12);
+    PacketBuilder builder(PacketKind::kData);
+    std::vector<SegHeader> headers;
+    std::vector<std::vector<std::byte>> payloads;
+    for (std::uint64_t i = 0; i < nseg; ++i) {
+      const auto len = static_cast<std::uint32_t>(rng.next_below(300));
+      const auto offset = static_cast<std::uint32_t>(rng.next_below(1000));
+      SegHeader h{static_cast<Tag>(rng.next_below(5)),
+                  static_cast<MsgSeq>(rng.next_below(100)), offset, len,
+                  offset + len + static_cast<std::uint32_t>(rng.next_below(50))};
+      std::vector<std::byte> payload(len);
+      for (auto& b : payload) b = std::byte(rng.next() & 0xff);
+      builder.add_segment(h, payload);
+      headers.push_back(h);
+      payloads.push_back(std::move(payload));
+    }
+    const auto wire = std::move(builder).finish();
+    const auto decoded = decode_packet(wire);
+    ASSERT_TRUE(decoded.has_value());
+    ASSERT_EQ(decoded->segments.size(), nseg);
+    for (std::uint64_t i = 0; i < nseg; ++i) {
+      EXPECT_EQ(decoded->segments[i].header, headers[i]);
+      EXPECT_TRUE(std::equal(payloads[i].begin(), payloads[i].end(),
+                             decoded->segments[i].payload.begin()));
+    }
+  }
+}
+
+}  // namespace
