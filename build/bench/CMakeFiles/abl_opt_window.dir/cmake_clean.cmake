@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_opt_window.dir/abl_opt_window.cpp.o"
+  "CMakeFiles/abl_opt_window.dir/abl_opt_window.cpp.o.d"
+  "abl_opt_window"
+  "abl_opt_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_opt_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_parallel_pio.dir/abl_parallel_pio.cpp.o"
+  "CMakeFiles/abl_parallel_pio.dir/abl_parallel_pio.cpp.o.d"
+  "abl_parallel_pio"
+  "abl_parallel_pio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_parallel_pio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pio_threshold.dir/abl_pio_threshold.cpp.o"
+  "CMakeFiles/abl_pio_threshold.dir/abl_pio_threshold.cpp.o.d"
+  "abl_pio_threshold"
+  "abl_pio_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pio_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_poll_cost.dir/abl_poll_cost.cpp.o"
+  "CMakeFiles/abl_poll_cost.dir/abl_poll_cost.cpp.o.d"
+  "abl_poll_cost"
+  "abl_poll_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_poll_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_split_ratio.dir/abl_split_ratio.cpp.o"
+  "CMakeFiles/abl_split_ratio.dir/abl_split_ratio.cpp.o.d"
+  "abl_split_ratio"
+  "abl_split_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_split_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

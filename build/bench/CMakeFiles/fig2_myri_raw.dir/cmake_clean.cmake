@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_myri_raw.dir/fig2_myri_raw.cpp.o"
+  "CMakeFiles/fig2_myri_raw.dir/fig2_myri_raw.cpp.o.d"
+  "fig2_myri_raw"
+  "fig2_myri_raw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_myri_raw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_myri_raw.
+# This may be replaced when dependencies are built.

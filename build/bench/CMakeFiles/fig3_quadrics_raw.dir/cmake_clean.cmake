@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_quadrics_raw.dir/fig3_quadrics_raw.cpp.o"
+  "CMakeFiles/fig3_quadrics_raw.dir/fig3_quadrics_raw.cpp.o.d"
+  "fig3_quadrics_raw"
+  "fig3_quadrics_raw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_quadrics_raw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

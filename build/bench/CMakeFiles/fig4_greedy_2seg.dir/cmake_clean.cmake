@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_greedy_2seg.dir/fig4_greedy_2seg.cpp.o"
+  "CMakeFiles/fig4_greedy_2seg.dir/fig4_greedy_2seg.cpp.o.d"
+  "fig4_greedy_2seg"
+  "fig4_greedy_2seg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_greedy_2seg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_greedy_2seg.
+# This may be replaced when dependencies are built.

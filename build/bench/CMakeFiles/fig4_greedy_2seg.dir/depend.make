@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_greedy_2seg.
+# This may be replaced when dependencies are built.

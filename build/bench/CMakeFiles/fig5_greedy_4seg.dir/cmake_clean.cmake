@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_greedy_4seg.dir/fig5_greedy_4seg.cpp.o"
+  "CMakeFiles/fig5_greedy_4seg.dir/fig5_greedy_4seg.cpp.o.d"
+  "fig5_greedy_4seg"
+  "fig5_greedy_4seg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_greedy_4seg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_aggreg_fastest.dir/fig6_aggreg_fastest.cpp.o"
+  "CMakeFiles/fig6_aggreg_fastest.dir/fig6_aggreg_fastest.cpp.o.d"
+  "fig6_aggreg_fastest"
+  "fig6_aggreg_fastest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_aggreg_fastest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

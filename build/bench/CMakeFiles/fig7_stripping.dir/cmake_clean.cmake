@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_stripping.dir/fig7_stripping.cpp.o"
+  "CMakeFiles/fig7_stripping.dir/fig7_stripping.cpp.o.d"
+  "fig7_stripping"
+  "fig7_stripping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_stripping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmad_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/nmad_bench_harness.dir/harness.cpp.o.d"
+  "libnmad_bench_harness.a"
+  "libnmad_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmad_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multirail_matrix.dir/multirail_matrix.cpp.o"
+  "CMakeFiles/multirail_matrix.dir/multirail_matrix.cpp.o.d"
+  "multirail_matrix"
+  "multirail_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multirail_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_rails.dir/three_rails.cpp.o"
+  "CMakeFiles/three_rails.dir/three_rails.cpp.o.d"
+  "three_rails"
+  "three_rails.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_rails.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/mpi_like.cpp" "src/CMakeFiles/nmad.dir/api/mpi_like.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/api/mpi_like.cpp.o.d"
+  "/root/repo/src/core/gate.cpp" "src/CMakeFiles/nmad.dir/core/gate.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/core/gate.cpp.o.d"
+  "/root/repo/src/core/platform.cpp" "src/CMakeFiles/nmad.dir/core/platform.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/core/platform.cpp.o.d"
+  "/root/repo/src/core/request.cpp" "src/CMakeFiles/nmad.dir/core/request.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/core/request.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/CMakeFiles/nmad.dir/core/scheduler.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/core/scheduler.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/CMakeFiles/nmad.dir/core/session.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/core/session.cpp.o.d"
+  "/root/repo/src/drv/chaos_driver.cpp" "src/CMakeFiles/nmad.dir/drv/chaos_driver.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/drv/chaos_driver.cpp.o.d"
+  "/root/repo/src/drv/driver.cpp" "src/CMakeFiles/nmad.dir/drv/driver.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/drv/driver.cpp.o.d"
+  "/root/repo/src/drv/real_world.cpp" "src/CMakeFiles/nmad.dir/drv/real_world.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/drv/real_world.cpp.o.d"
+  "/root/repo/src/drv/sim_driver.cpp" "src/CMakeFiles/nmad.dir/drv/sim_driver.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/drv/sim_driver.cpp.o.d"
+  "/root/repo/src/drv/sim_world.cpp" "src/CMakeFiles/nmad.dir/drv/sim_world.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/drv/sim_world.cpp.o.d"
+  "/root/repo/src/drv/tcp_driver.cpp" "src/CMakeFiles/nmad.dir/drv/tcp_driver.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/drv/tcp_driver.cpp.o.d"
+  "/root/repo/src/netmodel/nic_profile.cpp" "src/CMakeFiles/nmad.dir/netmodel/nic_profile.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/netmodel/nic_profile.cpp.o.d"
+  "/root/repo/src/netmodel/transfer_model.cpp" "src/CMakeFiles/nmad.dir/netmodel/transfer_model.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/netmodel/transfer_model.cpp.o.d"
+  "/root/repo/src/proto/reassembly.cpp" "src/CMakeFiles/nmad.dir/proto/reassembly.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/proto/reassembly.cpp.o.d"
+  "/root/repo/src/proto/wire.cpp" "src/CMakeFiles/nmad.dir/proto/wire.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/proto/wire.cpp.o.d"
+  "/root/repo/src/sampling/ratio_table.cpp" "src/CMakeFiles/nmad.dir/sampling/ratio_table.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/sampling/ratio_table.cpp.o.d"
+  "/root/repo/src/sampling/sampler.cpp" "src/CMakeFiles/nmad.dir/sampling/sampler.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/sampling/sampler.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/nmad.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/nmad.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/fair_share.cpp" "src/CMakeFiles/nmad.dir/sim/fair_share.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/sim/fair_share.cpp.o.d"
+  "/root/repo/src/sim/serial_resource.cpp" "src/CMakeFiles/nmad.dir/sim/serial_resource.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/sim/serial_resource.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/nmad.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/sim/trace_export.cpp" "src/CMakeFiles/nmad.dir/sim/trace_export.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/sim/trace_export.cpp.o.d"
+  "/root/repo/src/strat/aggreg.cpp" "src/CMakeFiles/nmad.dir/strat/aggreg.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/strat/aggreg.cpp.o.d"
+  "/root/repo/src/strat/aggreg_greedy.cpp" "src/CMakeFiles/nmad.dir/strat/aggreg_greedy.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/strat/aggreg_greedy.cpp.o.d"
+  "/root/repo/src/strat/backlog.cpp" "src/CMakeFiles/nmad.dir/strat/backlog.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/strat/backlog.cpp.o.d"
+  "/root/repo/src/strat/greedy.cpp" "src/CMakeFiles/nmad.dir/strat/greedy.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/strat/greedy.cpp.o.d"
+  "/root/repo/src/strat/single_rail.cpp" "src/CMakeFiles/nmad.dir/strat/single_rail.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/strat/single_rail.cpp.o.d"
+  "/root/repo/src/strat/split_balance.cpp" "src/CMakeFiles/nmad.dir/strat/split_balance.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/strat/split_balance.cpp.o.d"
+  "/root/repo/src/strat/strategy.cpp" "src/CMakeFiles/nmad.dir/strat/strategy.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/strat/strategy.cpp.o.d"
+  "/root/repo/src/util/byte_size.cpp" "src/CMakeFiles/nmad.dir/util/byte_size.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/util/byte_size.cpp.o.d"
+  "/root/repo/src/util/fmt.cpp" "src/CMakeFiles/nmad.dir/util/fmt.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/util/fmt.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/nmad.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/panic.cpp" "src/CMakeFiles/nmad.dir/util/panic.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/util/panic.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/nmad.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/nmad.dir/util/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_behavior_trace.cpp" "tests/CMakeFiles/nmad_tests.dir/test_behavior_trace.cpp.o" "gcc" "tests/CMakeFiles/nmad_tests.dir/test_behavior_trace.cpp.o.d"
+  "/root/repo/tests/test_chaos.cpp" "tests/CMakeFiles/nmad_tests.dir/test_chaos.cpp.o" "gcc" "tests/CMakeFiles/nmad_tests.dir/test_chaos.cpp.o.d"
+  "/root/repo/tests/test_core_matching.cpp" "tests/CMakeFiles/nmad_tests.dir/test_core_matching.cpp.o" "gcc" "tests/CMakeFiles/nmad_tests.dir/test_core_matching.cpp.o.d"
+  "/root/repo/tests/test_error_paths.cpp" "tests/CMakeFiles/nmad_tests.dir/test_error_paths.cpp.o" "gcc" "tests/CMakeFiles/nmad_tests.dir/test_error_paths.cpp.o.d"
+  "/root/repo/tests/test_fair_share.cpp" "tests/CMakeFiles/nmad_tests.dir/test_fair_share.cpp.o" "gcc" "tests/CMakeFiles/nmad_tests.dir/test_fair_share.cpp.o.d"
+  "/root/repo/tests/test_integration_property.cpp" "tests/CMakeFiles/nmad_tests.dir/test_integration_property.cpp.o" "gcc" "tests/CMakeFiles/nmad_tests.dir/test_integration_property.cpp.o.d"
+  "/root/repo/tests/test_model_properties.cpp" "tests/CMakeFiles/nmad_tests.dir/test_model_properties.cpp.o" "gcc" "tests/CMakeFiles/nmad_tests.dir/test_model_properties.cpp.o.d"
+  "/root/repo/tests/test_mpi_like.cpp" "tests/CMakeFiles/nmad_tests.dir/test_mpi_like.cpp.o" "gcc" "tests/CMakeFiles/nmad_tests.dir/test_mpi_like.cpp.o.d"
+  "/root/repo/tests/test_multi_node.cpp" "tests/CMakeFiles/nmad_tests.dir/test_multi_node.cpp.o" "gcc" "tests/CMakeFiles/nmad_tests.dir/test_multi_node.cpp.o.d"
+  "/root/repo/tests/test_paper_claims.cpp" "tests/CMakeFiles/nmad_tests.dir/test_paper_claims.cpp.o" "gcc" "tests/CMakeFiles/nmad_tests.dir/test_paper_claims.cpp.o.d"
+  "/root/repo/tests/test_reassembly.cpp" "tests/CMakeFiles/nmad_tests.dir/test_reassembly.cpp.o" "gcc" "tests/CMakeFiles/nmad_tests.dir/test_reassembly.cpp.o.d"
+  "/root/repo/tests/test_sampling.cpp" "tests/CMakeFiles/nmad_tests.dir/test_sampling.cpp.o" "gcc" "tests/CMakeFiles/nmad_tests.dir/test_sampling.cpp.o.d"
+  "/root/repo/tests/test_session_misc.cpp" "tests/CMakeFiles/nmad_tests.dir/test_session_misc.cpp.o" "gcc" "tests/CMakeFiles/nmad_tests.dir/test_session_misc.cpp.o.d"
+  "/root/repo/tests/test_sim_driver.cpp" "tests/CMakeFiles/nmad_tests.dir/test_sim_driver.cpp.o" "gcc" "tests/CMakeFiles/nmad_tests.dir/test_sim_driver.cpp.o.d"
+  "/root/repo/tests/test_sim_engine.cpp" "tests/CMakeFiles/nmad_tests.dir/test_sim_engine.cpp.o" "gcc" "tests/CMakeFiles/nmad_tests.dir/test_sim_engine.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/nmad_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/nmad_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_soak.cpp" "tests/CMakeFiles/nmad_tests.dir/test_soak.cpp.o" "gcc" "tests/CMakeFiles/nmad_tests.dir/test_soak.cpp.o.d"
+  "/root/repo/tests/test_strategies.cpp" "tests/CMakeFiles/nmad_tests.dir/test_strategies.cpp.o" "gcc" "tests/CMakeFiles/nmad_tests.dir/test_strategies.cpp.o.d"
+  "/root/repo/tests/test_tcp_driver.cpp" "tests/CMakeFiles/nmad_tests.dir/test_tcp_driver.cpp.o" "gcc" "tests/CMakeFiles/nmad_tests.dir/test_tcp_driver.cpp.o.d"
+  "/root/repo/tests/test_trace_export.cpp" "tests/CMakeFiles/nmad_tests.dir/test_trace_export.cpp.o" "gcc" "tests/CMakeFiles/nmad_tests.dir/test_trace_export.cpp.o.d"
+  "/root/repo/tests/test_transfer_model.cpp" "tests/CMakeFiles/nmad_tests.dir/test_transfer_model.cpp.o" "gcc" "tests/CMakeFiles/nmad_tests.dir/test_transfer_model.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/nmad_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/nmad_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_wire.cpp" "tests/CMakeFiles/nmad_tests.dir/test_wire.cpp.o" "gcc" "tests/CMakeFiles/nmad_tests.dir/test_wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nmad.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
