@@ -61,12 +61,16 @@ WindowResult run_spaced_burst(double spacing_us) {
   sim::TimeNs last = 0;
   for (const auto& r : recvs) last = std::max(last, r->completion_time());
   result.total_us = sim::ns_to_us(last);
+  char label[32];
+  std::snprintf(label, sizeof(label), "spacing=%.2fus", spacing_us);
+  record_metrics(label, p);
   return result;
 }
 
 }  // namespace
 
 int main() {
+  set_report_name("abl_opt_window");
   std::printf("=== Ablation A5: the NIC-activity optimization window ===\n\n");
   std::printf("# 16 x 128B messages, submission spacing swept\n");
   std::printf("# %-14s %-10s %s\n", "spacing_us", "packets", "last_delivery_us");

@@ -27,6 +27,7 @@ core::PlatformConfig greedy_with_cores(int cores) {
 }  // namespace
 
 int main() {
+  set_report_name("abl_parallel_pio");
   std::printf("=== Ablation A4: parallel PIO (multi-threaded progression) ===\n\n");
 
   const auto sizes = doubling_sizes(256, 16 * 1024);

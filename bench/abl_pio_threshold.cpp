@@ -43,8 +43,10 @@ core::PlatformConfig platform_with_threshold(const char* strategy,
 std::uint64_t crossover_size(std::uint32_t threshold,
                              const std::vector<std::uint64_t>& sizes) {
   const PingPongOpts two_seg{.segments = 2};
-  Series balanced = sweep_latency(platform_with_threshold("greedy", threshold, 2),
-                                  "balanced", sizes, two_seg);
+  Series balanced = sweep_latency(
+      platform_with_threshold("greedy", threshold, 2),
+      util::sformat("balanced t=%uK", threshold / 1024), sizes, two_seg);
+  record_series("us", sizes, balanced);
   Series myri = sweep_latency(platform_with_threshold("aggreg", threshold, 0),
                               "myri", sizes, two_seg);
   Series quad = sweep_latency(platform_with_threshold("aggreg", threshold, 1),
@@ -59,6 +61,7 @@ std::uint64_t crossover_size(std::uint32_t threshold,
 }  // namespace
 
 int main() {
+  set_report_name("abl_pio_threshold");
   std::printf("=== Ablation A1: PIO threshold vs multi-rail crossover ===\n\n");
   const auto sizes = doubling_sizes(1024, 1024 * 1024);
 

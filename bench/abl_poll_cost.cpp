@@ -12,20 +12,23 @@ using namespace nmad::bench;
 
 namespace {
 
-double small_latency(const core::PlatformConfig& cfg) {
+double small_latency(const core::PlatformConfig& cfg, const char* label) {
   core::TwoNodePlatform p(cfg);
-  return pingpong_oneway_us(p, 4, PingPongOpts{.segments = 2});
+  const double us = pingpong_oneway_us(p, 4, PingPongOpts{.segments = 2});
+  record_metrics(label, p);
+  return us;
 }
 
 }  // namespace
 
 int main() {
+  set_report_name("abl_poll_cost");
   std::printf("=== Ablation A2: polling cost vs Fig.6 gap ===\n\n");
 
   core::PlatformConfig quad_only;
   quad_only.links = {netmodel::quadrics_qm500()};
   quad_only.strategy = "aggreg";
-  const double reference = small_latency(quad_only);
+  const double reference = small_latency(quad_only, "quadrics-only");
   std::printf("# quadrics-only reference latency: %.3f us\n", reference);
   std::printf("# %-18s %-12s %s\n", "myri_poll_cost_us", "latency_us", "gap_us");
 
@@ -33,7 +36,9 @@ int main() {
   for (double poll : {0.0, 0.2, 0.4, 0.8, 1.6}) {
     core::PlatformConfig cfg = core::paper_platform("aggreg_greedy");
     cfg.links[0].poll_cost_us = poll;  // Myri-10G rail
-    const double latency = small_latency(cfg);
+    char label[32];
+    std::snprintf(label, sizeof(label), "poll=%.1fus", poll);
+    const double latency = small_latency(cfg, label);
     gaps.push_back(latency - reference);
     std::printf("%-20.2f %-12.3f %.3f\n", poll, latency, gaps.back());
   }

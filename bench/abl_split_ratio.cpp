@@ -13,17 +13,19 @@ using namespace nmad::bench;
 
 namespace {
 
-double bandwidth_with_ratio(double myri_share) {
+double bandwidth_with_ratio(double myri_share, const char* label = nullptr) {
   core::TwoNodePlatform p(core::paper_platform("split_balance"));
   p.a().scheduler().gate(p.gate_ab()).set_ratios({myri_share, 1.0 - myri_share});
   p.b().scheduler().gate(p.gate_ba()).set_ratios({myri_share, 1.0 - myri_share});
   const double us = pingpong_oneway_us(p, 8 * 1024 * 1024, PingPongOpts{});
+  if (label != nullptr) record_metrics(label, p);
   return 8.0 * 1024 * 1024 / us;
 }
 
 }  // namespace
 
 int main() {
+  set_report_name("abl_split_ratio");
   std::printf("=== Ablation A3: forced stripping ratio vs sampled ratio ===\n\n");
 
   std::printf("# %-12s %s\n", "myri_share", "bandwidth_MB/s");
@@ -41,7 +43,7 @@ int main() {
   const core::PlatformConfig paper = core::paper_platform("split_balance");
   const std::vector<double> sampled = sampling::measure_rail_weights(
       paper.host_a, paper.host_b, paper.links);
-  const double sampled_bw = bandwidth_with_ratio(sampled[0]);
+  const double sampled_bw = bandwidth_with_ratio(sampled[0], "sampled-ratio");
   std::printf("\n# sampled myri share: %.3f -> %.2f MB/s (sweep best: %.2f at %.2f)\n\n",
               sampled[0], sampled_bw, best_bw, best_ratio);
 

@@ -22,6 +22,7 @@ core::PlatformConfig myri_only(const char* strategy) {
 }  // namespace
 
 int main() {
+  set_report_name("fig2_myri_raw");
   std::printf("=== Figure 2: raw NewMadeleine over Myri-10G ===\n\n");
 
   const auto lat_sizes = latency_sizes();

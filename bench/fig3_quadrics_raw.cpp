@@ -22,6 +22,7 @@ core::PlatformConfig quadrics_only(const char* strategy) {
 }  // namespace
 
 int main() {
+  set_report_name("fig3_quadrics_raw");
   std::printf("=== Figure 3: raw NewMadeleine over Quadrics ===\n\n");
 
   const auto lat_sizes = latency_sizes();

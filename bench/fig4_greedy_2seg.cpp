@@ -26,6 +26,7 @@ core::PlatformConfig one_rail(netmodel::NicProfile nic) {
 }  // namespace
 
 int main() {
+  set_report_name("fig4_greedy_2seg");
   std::printf("=== Figure 4: greedy balancing, 2-segment messages ===\n\n");
 
   const auto lat_sizes = latency_sizes();

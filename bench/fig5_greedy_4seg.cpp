@@ -24,6 +24,7 @@ core::PlatformConfig one_rail(netmodel::NicProfile nic) {
 }  // namespace
 
 int main() {
+  set_report_name("fig5_greedy_4seg");
   std::printf("=== Figure 5: greedy balancing, 4-segment messages ===\n\n");
 
   const auto lat_sizes = doubling_sizes(16, 32 * 1024);

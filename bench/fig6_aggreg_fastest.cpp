@@ -27,6 +27,7 @@ core::PlatformConfig one_rail(netmodel::NicProfile nic) {
 }  // namespace
 
 int main() {
+  set_report_name("fig6_aggreg_fastest");
   std::printf("=== Figure 6: v2 strategy (aggregate small on fastest rail) ===\n\n");
 
   const auto lat_sizes = doubling_sizes(4, 16 * 1024);

@@ -26,6 +26,7 @@ core::PlatformConfig one_rail(netmodel::NicProfile nic) {
 }  // namespace
 
 int main() {
+  set_report_name("fig7_stripping");
   std::printf("=== Figure 7: adaptive packet stripping (v3) ===\n\n");
 
   const auto bw_sizes = bandwidth_sizes();

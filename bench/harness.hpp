@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/platform.hpp"
+#include "obs/registry.hpp"
 
 namespace nmad::bench {
 
@@ -23,6 +24,12 @@ struct PingPongOpts {
   /// confirm steady state.
   int iters = 3;
 };
+
+/// True when NMAD_BENCH_SMOKE is set in the environment (CI smoke runs):
+/// iterations are forced to 1 and paper-shape checks become advisory (they
+/// print and are recorded in the JSON report but never fail the exit code).
+/// Sweep sizes are never thinned — benches index into specific positions.
+bool smoke_mode();
 
 /// One-way time (µs) to move `total_size` bytes (split into opts.segments
 /// messages) from a to b, at ping-pong steady state.
@@ -41,6 +48,10 @@ struct Series {
   std::string label;
   /// One value per sweep size: µs (latency tables) or MB/s (bandwidth).
   std::vector<double> values;
+  /// Metrics snapshot of both sessions ("a." / "b." prefixes) taken at the
+  /// end of the sweep, before the platform is torn down. Value-typed: safe
+  /// to keep and compare after the platform is gone.
+  obs::Snapshot metrics;
 };
 
 /// Run a full sweep of pingpong_oneway_us over `sizes` on a fresh platform
@@ -68,7 +79,27 @@ bool check(const std::string& what, double measured, double expected,
 bool check_greater(const std::string& what, double measured, double bound);
 bool check_less(const std::string& what, double measured, double bound);
 
-/// Exit status helper: 0 if all checks passed so far, 1 otherwise.
+/// Enable the JSON report for this benchmark: on checks_exit_code() a
+/// machine-readable BENCH_<name>.json is written to the current directory
+/// with every printed series (sizes, values, per-rail metrics) and every
+/// check verdict. CI's bench-smoke job gates on this file.
+void set_report_name(std::string name);
+
+/// Snapshot both sessions of `p` into the report as a values-free series
+/// (for benches that drive platforms by hand instead of via sweep_*).
+void record_metrics(const std::string& label, core::TwoNodePlatform& p);
+
+/// Add a sweep series to the report without printing it (print_table
+/// records automatically; use this for series that are only analysed).
+void record_series(const std::string& unit,
+                   const std::vector<std::uint64_t>& sizes, const Series& s);
+
+/// Register both sessions of `p` into `registry` under "a." / "b.".
+void register_platform_metrics(obs::MetricsRegistry& registry,
+                               core::TwoNodePlatform& p);
+
+/// Exit status helper: 0 if all checks passed so far, 1 otherwise (always 0
+/// in smoke mode). Also writes the JSON report if set_report_name was called.
 int checks_exit_code();
 
 }  // namespace nmad::bench

@@ -7,6 +7,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/registry.hpp"
 #include "proto/reassembly.hpp"
 #include "proto/wire.hpp"
 #include "sim/engine.hpp"
@@ -116,5 +118,49 @@ void BM_FairShareRecompute(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FairShareRecompute)->Arg(2)->Arg(16);
+
+// --- obs/ hot-path cost (the <=2% overhead budget) --------------------------
+// Counter::inc and Histogram::record are the only operations instrumented
+// code runs per packet; both must stay in the couple-of-nanoseconds range
+// (and at exactly zero with NMAD_METRICS=OFF, where they compile out).
+
+void BM_MetricsCounterInc(benchmark::State& state) {
+  obs::Counter counter;
+  std::uint64_t bytes = 1;
+  for (auto _ : state) {
+    counter.inc(bytes);
+    bytes += 7;
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_MetricsCounterInc);
+
+void BM_MetricsHistogramRecord(benchmark::State& state) {
+  obs::Histogram hist;
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    hist.record(v);
+    v = (v * 2862933555777941757ULL) + 3037000493ULL;  // cheap LCG spread
+    benchmark::DoNotOptimize(hist);
+  }
+}
+BENCHMARK(BM_MetricsHistogramRecord);
+
+void BM_MetricsSnapshot(benchmark::State& state) {
+  // Cold path: registry walk + map construction. Not on the hot path, but
+  // keep an eye on it — benches snapshot once per sweep.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<obs::Counter> counters(n);
+  obs::MetricsRegistry registry;
+  for (std::size_t i = 0; i < n; ++i) {
+    registry.add("g.rail" + std::to_string(i % 4) + ".c" + std::to_string(i),
+                 &counters[i]);
+  }
+  for (auto _ : state) {
+    obs::Snapshot snap = registry.snapshot();
+    benchmark::DoNotOptimize(snap);
+  }
+}
+BENCHMARK(BM_MetricsSnapshot)->Arg(64)->Arg(512);
 
 }  // namespace

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Gate on benchmark metrics reports (BENCH_<name>.json).
+
+The bench-smoke CI job runs selected fig*/abl_* benchmarks with
+NMAD_BENCH_SMOKE=1 and feeds the emitted JSON files through this checker,
+which fails the build when:
+
+  * the file is missing, unparsable, or was produced by a metrics-off
+    build (metrics_enabled != true);
+  * a series' per-rail metrics object lacks any of the required counters;
+  * a rail is dead: neither endpoint sent bytes on it and neither endpoint
+    ever polled it. A rail that carries zero bytes is legitimate (the v2
+    strategy aggregates small messages on the fastest rail, so in a latency
+    sweep the slow rail only gets polled — the paper's Fig. 6 polling gap),
+    but a rail no progression engine ever touches is unwired
+    instrumentation or a broken platform. Liveness is judged per physical
+    rail: the two sessions' views ("a.gate0.rail0" / "b.gate0.rail0") are
+    summed, since one-way traffic leaves the sender's idle rail untouched
+    while the receiver's side of it is polled on every arrival;
+  * no rail in the whole report carried any bytes at all.
+
+Usage: check_bench_json.py BENCH_foo.json [BENCH_bar.json ...]
+"""
+
+import json
+import sys
+
+REQUIRED_RAIL_KEYS = (
+    "bytes_sent",
+    "packets_sent",
+    "pio_transfers",
+    "rdv_transfers",
+    "aggregation_hits",
+)
+
+
+def iter_rails(node, path=""):
+    """Yield (path, rail_object) for every railN sub-object in a metrics tree."""
+    if not isinstance(node, dict):
+        return
+    for key, value in node.items():
+        if key.startswith("rail") and key[4:].isdigit() and isinstance(value, dict):
+            yield f"{path}{key}", value
+        else:
+            yield from iter_rails(value, f"{path}{key}.")
+
+
+def check_report(path):
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, ValueError) as exc:
+        return [f"{path}: cannot load: {exc}"]
+
+    if report.get("metrics_enabled") is not True:
+        errors.append(f"{path}: metrics_enabled is not true "
+                      "(bench built with NMAD_METRICS=OFF?)")
+        return errors
+
+    total_rails = 0
+    total_bytes = 0
+    for series in report.get("series", []):
+        label = series.get("label", "<unlabeled>")
+        # physical rail id (path minus the session prefix) -> [bytes, polls]
+        physical = {}
+        for rail_path, rail in iter_rails(series.get("metrics", {})):
+            total_rails += 1
+            where = f"{path}: series '{label}': {rail_path}"
+            missing = [k for k in REQUIRED_RAIL_KEYS if k not in rail]
+            if missing:
+                errors.append(f"{where}: missing keys {missing}")
+                continue
+            rail_id = rail_path.split(".", 1)[-1]
+            acc = physical.setdefault(rail_id, [0, 0])
+            acc[0] += rail["bytes_sent"]
+            acc[1] += rail.get("drv", {}).get("polls", 0)
+            total_bytes += rail["bytes_sent"]
+        for rail_id, (bytes_sent, polls) in sorted(physical.items()):
+            if bytes_sent == 0 and polls == 0:
+                errors.append(f"{path}: series '{label}': {rail_id}: dead rail "
+                              "(bytes_sent=0 and drv.polls=0 on both endpoints)")
+
+    if total_rails == 0:
+        errors.append(f"{path}: no per-rail metrics found in any series")
+    elif total_bytes == 0:
+        errors.append(f"{path}: every rail reports bytes_sent=0")
+
+    if not errors:
+        print(f"OK   {path}: {total_rails} rails checked, "
+              f"{total_bytes} bytes accounted")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    failures = []
+    for path in argv[1:]:
+        failures.extend(check_report(path))
+    for msg in failures:
+        print(f"FAIL {msg}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -3,10 +3,27 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/registry.hpp"
 #include "proto/wire.hpp"
 #include "util/panic.hpp"
 
 namespace nmad::core {
+
+void Rail::Metrics::register_into(obs::MetricsRegistry& registry,
+                                  const std::string& prefix) const {
+  registry.add(prefix + "packets_sent", &packets_sent);
+  registry.add(prefix + "bytes_sent", &bytes_sent);
+  registry.add(prefix + "small_payload_bytes", &small_payload_bytes);
+  registry.add(prefix + "large_payload_bytes", &large_payload_bytes);
+  registry.add(prefix + "pio_transfers", &pio_transfers);
+  registry.add(prefix + "rdv_transfers", &rdv_transfers);
+  registry.add(prefix + "control_packets", &control_packets);
+  registry.add(prefix + "segments_sent", &segments_sent);
+  registry.add(prefix + "aggregation_hits", &aggregation_hits);
+  registry.add(prefix + "aggregation_misses", &aggregation_misses);
+  registry.add(prefix + "nic_wakeups", &nic_wakeups);
+  registry.add(prefix + "packet_size", &packet_size);
+}
 
 Gate::Gate(GateId id, std::vector<drv::Driver*> drivers,
            std::unique_ptr<strat::Strategy> strategy, strat::StrategyConfig config)

@@ -16,8 +16,13 @@
 #include "core/request.hpp"
 #include "core/types.hpp"
 #include "drv/driver.hpp"
+#include "obs/metrics.hpp"
 #include "proto/reassembly.hpp"
 #include "strat/strategy.hpp"
+
+namespace nmad::obs {
+class MetricsRegistry;
+}  // namespace nmad::obs
 
 namespace nmad::core {
 
@@ -47,6 +52,37 @@ class Rail {
     std::uint64_t control_packets = 0;
   };
   TxStats tx;
+
+  /// Rail-level event counters (obs layer; compile out with NMAD_METRICS=OFF).
+  /// Maintained by the scheduler on every packet it posts to this rail.
+  struct Metrics {
+    /// Every packet posted (data + control, both tracks).
+    obs::Counter packets_sent;
+    /// Wire bytes posted (encoded packets, headers included).
+    obs::Counter bytes_sent;
+    /// Data payload bytes per track.
+    obs::Counter small_payload_bytes;
+    obs::Counter large_payload_bytes;
+    /// Posts on the eager track (Programmed I/O path, incl. control).
+    obs::Counter pio_transfers;
+    /// Posts on the large track (rendezvous/DMA path).
+    obs::Counter rdv_transfers;
+    /// Rendezvous REQ/ACK control packets.
+    obs::Counter control_packets;
+    /// Data segments carried (an aggregated packet carries several).
+    obs::Counter segments_sent;
+    /// Eager data packets that coalesced >= 2 backlog segments / exactly 1.
+    obs::Counter aggregation_hits;
+    obs::Counter aggregation_misses;
+    /// Posts that found the whole NIC idle (idle -> busy transitions).
+    obs::Counter nic_wakeups;
+    /// Wire size of every posted packet.
+    obs::Histogram packet_size;
+
+    void register_into(obs::MetricsRegistry& registry,
+                       const std::string& prefix) const;
+  };
+  Metrics metrics;
 
  private:
   drv::Driver* driver_;

@@ -47,6 +47,9 @@ class SendRequest {
   /// whole message has left the node. Zero-length messages complete on
   /// their (empty) packet's completion.
   void credit_sent(std::uint32_t bytes, sim::TimeNs now);
+  /// Stamp the submission instant (set once by the scheduler at isend).
+  void note_submit_time(sim::TimeNs t) noexcept { submit_time_ = t; }
+  [[nodiscard]] sim::TimeNs submit_time() const noexcept { return submit_time_; }
 
  private:
   Tag tag_;
@@ -56,6 +59,7 @@ class SendRequest {
   std::uint32_t bytes_sent_ = 0;
   RequestState state_ = RequestState::kPending;
   sim::TimeNs completion_time_ = -1;
+  sim::TimeNs submit_time_ = 0;
 };
 
 class RecvRequest {
@@ -78,6 +82,9 @@ class RecvRequest {
 
   // --- scheduling-layer interface ----------------------------------------
   void complete(std::uint32_t received_len, sim::TimeNs now);
+  /// Stamp the posting instant (set once by the scheduler at irecv).
+  void note_submit_time(sim::TimeNs t) noexcept { submit_time_ = t; }
+  [[nodiscard]] sim::TimeNs submit_time() const noexcept { return submit_time_; }
 
  private:
   Tag tag_;
@@ -86,6 +93,7 @@ class RecvRequest {
   std::uint32_t received_len_ = 0;
   RequestState state_ = RequestState::kPending;
   sim::TimeNs completion_time_ = -1;
+  sim::TimeNs submit_time_ = 0;
 };
 
 using SendHandle = std::shared_ptr<SendRequest>;

@@ -3,11 +3,36 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/registry.hpp"
 #include "proto/wire.hpp"
 #include "util/log.hpp"
 #include "util/panic.hpp"
 
 namespace nmad::core {
+
+namespace {
+
+/// ns elapsed between two instants, clamped for histogram recording.
+std::uint64_t elapsed_ns(sim::TimeNs from, sim::TimeNs to) {
+  return to > from ? static_cast<std::uint64_t>(to - from) : 0;
+}
+
+}  // namespace
+
+void RequestMetrics::register_into(obs::MetricsRegistry& registry,
+                                   const std::string& prefix) const {
+  registry.add(prefix + "sends_posted", &sends_posted);
+  registry.add(prefix + "recvs_posted", &recvs_posted);
+  registry.add(prefix + "sends_completed", &sends_completed);
+  registry.add(prefix + "recvs_completed", &recvs_completed);
+  registry.add(prefix + "send_bytes_submitted", &send_bytes_submitted);
+  registry.add(prefix + "recv_bytes_delivered", &recv_bytes_delivered);
+  registry.add(prefix + "unexpected_msgs", &unexpected_msgs);
+  registry.add(prefix + "send_size", &send_size);
+  registry.add(prefix + "recv_size", &recv_size);
+  registry.add(prefix + "send_latency_ns", &send_latency_ns);
+  registry.add(prefix + "recv_latency_ns", &recv_latency_ns);
+}
 
 Scheduler::Scheduler(ClockFn now, DeferFn defer)
     : now_(std::move(now)), defer_(std::move(defer)) {
@@ -38,6 +63,25 @@ GateId Scheduler::add_gate(std::vector<drv::Driver*> rails,
 Gate& Scheduler::gate(GateId id) {
   NMAD_ASSERT(id < gates_.size(), "unknown gate id");
   return *gates_[id];
+}
+
+void Scheduler::register_metrics(obs::MetricsRegistry& registry,
+                                 const std::string& prefix) {
+  metrics_.register_into(registry, prefix + "requests.");
+  for (const auto& gate_ptr : gates_) {
+    Gate& g = *gate_ptr;
+    const std::string gate_prefix =
+        prefix + "gate" + std::to_string(g.id()) + ".";
+    registry.label(gate_prefix + "strategy", std::string(g.strategy().name()));
+    g.strategy().metrics().register_into(registry, gate_prefix + "strat.");
+    for (Rail& rail : g.rails()) {
+      const std::string rail_prefix =
+          gate_prefix + "rail" + std::to_string(rail.index()) + ".";
+      registry.label(rail_prefix + "nic", rail.caps().name);
+      rail.metrics.register_into(registry, rail_prefix);
+      rail.driver().register_metrics(registry, rail_prefix + "drv.");
+    }
+  }
 }
 
 std::size_t Scheduler::pending_requests() const noexcept {
@@ -86,6 +130,10 @@ SendHandle Scheduler::isend(GateId gate_id, Tag tag,
   const auto total = static_cast<std::uint32_t>(offset);
 
   auto req = std::make_shared<SendRequest>(tag, seq, std::move(views), total);
+  req->note_submit_time(now_());
+  metrics_.sends_posted.inc();
+  metrics_.send_bytes_submitted.inc(total);
+  metrics_.send_size.record(total);
   live_sends_.push_back(req);
 
   strat::Strategy& strat = g.strategy();
@@ -119,6 +167,8 @@ RecvHandle Scheduler::irecv(GateId gate_id, Tag tag, std::span<std::byte> buffer
   Gate& g = gate(gate_id);
   const MsgSeq seq = g.next_recv_seq_[tag]++;
   auto req = std::make_shared<RecvRequest>(tag, seq, buffer);
+  req->note_submit_time(now_());
+  metrics_.recvs_posted.inc();
   live_recvs_.push_back(req);
 
   const MsgKey key{tag, seq};
@@ -197,6 +247,8 @@ bool Scheduler::pump_once(Gate& gate) {
 
 void Scheduler::post_control(Gate& gate, Rail& rail, drv::SendDesc desc) {
   rail.tx.control_packets += 1;
+  note_rail_post(rail, desc);
+  rail.metrics.control_packets.inc();
   const drv::Track track = desc.track;
   rail.driver().post_send(std::move(desc),
                           [this, &gate, track] { on_sent(gate, track, {}); });
@@ -210,6 +262,19 @@ void Scheduler::post_plan(Gate& gate, Rail& rail, strat::PacketPlan plan) {
   for (const auto& c : plan.contribs) payload += c.bytes;
   rail.tx.payload_bytes[track_idx] += payload;
 
+  note_rail_post(rail, plan.desc);
+  rail.metrics.segments_sent.inc(plan.contribs.size());
+  if (plan.desc.track == drv::Track::kSmall) {
+    rail.metrics.small_payload_bytes.inc(payload);
+    if (plan.contribs.size() >= 2) {
+      rail.metrics.aggregation_hits.inc();
+    } else {
+      rail.metrics.aggregation_misses.inc();
+    }
+  } else {
+    rail.metrics.large_payload_bytes.inc(payload);
+  }
+
   const drv::Track track = plan.desc.track;
   rail.driver().post_send(
       std::move(plan.desc),
@@ -218,11 +283,31 @@ void Scheduler::post_plan(Gate& gate, Rail& rail, strat::PacketPlan plan) {
       });
 }
 
+void Scheduler::note_rail_post(Rail& rail, const drv::SendDesc& desc) {
+  Rail::Metrics& m = rail.metrics;
+  if (rail.idle(drv::Track::kSmall) && rail.idle(drv::Track::kLarge)) {
+    m.nic_wakeups.inc();
+  }
+  m.packets_sent.inc();
+  m.bytes_sent.inc(desc.wire.size());
+  m.packet_size.record(desc.wire.size());
+  if (desc.track == drv::Track::kSmall) {
+    m.pio_transfers.inc();
+  } else {
+    m.rdv_transfers.inc();
+  }
+}
+
 void Scheduler::on_sent(Gate& gate, drv::Track /*track*/,
                         std::vector<strat::Contribution> contribs) {
   const sim::TimeNs t = now_();
   for (const strat::Contribution& c : contribs) {
+    const bool was_completed = c.req->completed();
     c.req->credit_sent(c.bytes, t);
+    if (!was_completed && c.req->completed()) {
+      metrics_.sends_completed.inc();
+      metrics_.send_latency_ns.record(elapsed_ns(c.req->submit_time(), t));
+    }
   }
   pump(gate);
 }
@@ -326,6 +411,7 @@ void Scheduler::ensure_assembly(Gate::Incoming& inc) {
   } else {
     inc.temp.resize(inc.total_len);
     dest = inc.temp;
+    metrics_.unexpected_msgs.inc();
   }
   inc.assembly = std::make_unique<proto::MessageAssembly>(dest);
 }
@@ -335,7 +421,12 @@ void Scheduler::try_finalize(Gate& gate, MsgKey key) {
   if (it == gate.incoming_.end()) return;
   Gate::Incoming& inc = it->second;
   if (!inc.data_complete || inc.recv == nullptr) return;
-  inc.recv->complete(inc.total_len, now_());
+  const sim::TimeNs t = now_();
+  inc.recv->complete(inc.total_len, t);
+  metrics_.recvs_completed.inc();
+  metrics_.recv_bytes_delivered.inc(inc.total_len);
+  metrics_.recv_size.record(inc.total_len);
+  metrics_.recv_latency_ns.record(elapsed_ns(inc.recv->submit_time(), t));
   gate.incoming_.erase(it);
 }
 

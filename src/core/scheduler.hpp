@@ -23,9 +23,36 @@
 #include "core/gate.hpp"
 #include "core/request.hpp"
 #include "core/types.hpp"
+#include "obs/metrics.hpp"
 #include "strat/strategy.hpp"
 
+namespace nmad::obs {
+class MetricsRegistry;
+}  // namespace nmad::obs
+
 namespace nmad::core {
+
+/// Scheduler-wide request aggregates (the collect layer's view: what the
+/// application submitted and when it completed).
+struct RequestMetrics {
+  obs::Counter sends_posted;
+  obs::Counter recvs_posted;
+  obs::Counter sends_completed;
+  obs::Counter recvs_completed;
+  /// Total message payload submitted / delivered to matched receives.
+  obs::Counter send_bytes_submitted;
+  obs::Counter recv_bytes_delivered;
+  /// Messages whose data arrived before a matching receive was posted.
+  obs::Counter unexpected_msgs;
+  /// Message sizes (bytes) and request lifetimes (ns, submit->complete).
+  obs::Histogram send_size;
+  obs::Histogram recv_size;
+  obs::Histogram send_latency_ns;
+  obs::Histogram recv_latency_ns;
+
+  void register_into(obs::MetricsRegistry& registry,
+                     const std::string& prefix) const;
+};
 
 class Scheduler {
  public:
@@ -70,6 +97,17 @@ class Scheduler {
   /// Pending (uncompleted) requests — drained-state check for tests.
   [[nodiscard]] std::size_t pending_requests() const noexcept;
 
+  /// Request-level aggregates (per-rail counters live on the gates' rails).
+  [[nodiscard]] const RequestMetrics& metrics() const noexcept { return metrics_; }
+
+  /// Register every metric of this scheduler — request aggregates plus,
+  /// per gate, the strategy counters and each rail's counters (including
+  /// the driver's own, under "drv.") — into `registry` with hierarchical
+  /// names: `<prefix>requests.*`, `<prefix>gate<G>.strat.*`,
+  /// `<prefix>gate<G>.rail<R>.*`.
+  void register_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix);
+
  private:
   /// Request a pump at the next progression point (idempotent per gate).
   void schedule_pump(Gate& gate);
@@ -77,6 +115,9 @@ class Scheduler {
   bool pump_once(Gate& gate);
   void post_control(Gate& gate, Rail& rail, drv::SendDesc desc);
   void post_plan(Gate& gate, Rail& rail, strat::PacketPlan plan);
+  /// Rail-level accounting shared by every post (data and control); must
+  /// run before the driver post so the idle->busy transition is observable.
+  void note_rail_post(Rail& rail, const drv::SendDesc& desc);
   void on_sent(Gate& gate, drv::Track track, std::vector<strat::Contribution> contribs);
   void on_packet(Gate& gate, Rail& rail, drv::Track track,
                  std::vector<std::byte> wire);
@@ -97,6 +138,7 @@ class Scheduler {
   std::vector<std::unique_ptr<Gate>> gates_;
   std::vector<SendHandle> live_sends_;
   std::vector<RecvHandle> live_recvs_;
+  RequestMetrics metrics_;
 };
 
 }  // namespace nmad::core

@@ -39,6 +39,11 @@ Session::Session(std::string name, Scheduler::ClockFn clock,
   NMAD_ASSERT(progress_ != nullptr, "Session needs a progress function");
 }
 
+void Session::register_metrics(obs::MetricsRegistry& registry, std::string prefix) {
+  if (prefix.empty()) prefix = name_ + ".";
+  scheduler_.register_metrics(registry, prefix);
+}
+
 GateId Session::connect(std::vector<drv::Driver*> rails,
                         std::string_view strategy_name,
                         const strat::StrategyConfig& cfg) {

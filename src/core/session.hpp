@@ -102,6 +102,12 @@ class Session {
 
   [[nodiscard]] sim::TimeNs now() const { return scheduler_.now(); }
 
+  // --- observability --------------------------------------------------------
+  /// Register every metric of this session (request aggregates, per-gate
+  /// strategy counters, per-rail counters incl. driver internals) under
+  /// `prefix` (e.g. "a."). Empty prefix uses "<session name>.".
+  void register_metrics(obs::MetricsRegistry& registry, std::string prefix = "");
+
  private:
   friend class UnpackBuilder;
 

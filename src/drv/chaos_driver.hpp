@@ -36,6 +36,10 @@ class ChaosDriver final : public Driver {
   }
   void set_deliver(DeliverFn deliver) override;
   bool progress() override { return inner_->progress(); }
+  void register_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix) const override {
+    inner_->register_metrics(registry, prefix);
+  }
 
   /// Release every buffered packet (in scrambled order).
   void flush();

@@ -23,6 +23,10 @@
 
 #include "netmodel/nic_profile.hpp"
 
+namespace nmad::obs {
+class MetricsRegistry;
+}  // namespace nmad::obs
+
 namespace nmad::drv {
 
 enum class Track : std::uint8_t { kSmall = 0, kLarge = 1 };
@@ -85,6 +89,16 @@ class Driver {
   /// Returns true if any work was performed. Simulated drivers are pumped
   /// by the event engine and return false.
   virtual bool progress() { return false; }
+
+  /// Register this driver's own counters (NIC-level transfer and polling
+  /// stats) under `prefix` — the scheduling layer calls this for each rail
+  /// so driver internals appear in the same metrics tree as the rail
+  /// counters. Default: nothing to expose.
+  virtual void register_metrics(obs::MetricsRegistry& registry,
+                                const std::string& prefix) const {
+    (void)registry;
+    (void)prefix;
+  }
 
   Driver() = default;
   Driver(const Driver&) = delete;

@@ -4,6 +4,7 @@
 #include "util/fmt.hpp"
 #include <utility>
 
+#include "obs/registry.hpp"
 #include "util/panic.hpp"
 
 namespace nmad::drv {
@@ -24,6 +25,16 @@ bool SimDriver::send_idle(Track track) const noexcept {
 }
 
 void SimDriver::set_deliver(DeliverFn deliver) { deliver_ = std::move(deliver); }
+
+void SimDriver::register_metrics(obs::MetricsRegistry& registry,
+                                 const std::string& prefix) const {
+  registry.add_raw(prefix + "eager_packets", &stats_.eager_packets);
+  registry.add_raw(prefix + "eager_bytes", &stats_.eager_bytes);
+  registry.add_raw(prefix + "dma_packets", &stats_.dma_packets);
+  registry.add_raw(prefix + "dma_bytes", &stats_.dma_bytes);
+  registry.add_raw(prefix + "delivered_packets", &stats_.delivered_packets);
+  registry.add_raw(prefix + "polls", &stats_.polls);
+}
 
 void SimDriver::post_send(SendDesc desc, Callback on_sent) {
   NMAD_ASSERT(send_idle(desc.track), "post_send on busy track");
@@ -121,7 +132,11 @@ void SimDriver::send_dma(SendDesc desc, Callback on_sent) {
 
 void SimDriver::arrive(Track track, std::vector<std::byte> wire) {
   // Receive-side host processing: per-packet overhead plus the progression
-  // engine's cost of having polled the node's other rails.
+  // engine's cost of having polled the node's other rails. Each sibling
+  // rail is charged one poll — the counter behind the Fig. 6 gap.
+  for (SimDriver* rail : world_.rails(node_)) {
+    if (rail != this) rail->stats_.polls += 1;
+  }
   const sim::TimeNs penalty = world_.poll_penalty(node_, this);
   const sim::TimeNs recv_cost = sim::us_to_ns(profile_.recv_overhead_us) + penalty;
   auto buf = std::make_shared<std::vector<std::byte>>(std::move(wire));

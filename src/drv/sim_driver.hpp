@@ -31,6 +31,8 @@ class SimDriver final : public Driver {
   [[nodiscard]] bool send_idle(Track track) const noexcept override;
   void post_send(SendDesc desc, Callback on_sent) override;
   void set_deliver(DeliverFn deliver) override;
+  void register_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix) const override;
 
   [[nodiscard]] const netmodel::NicProfile& profile() const noexcept { return profile_; }
   [[nodiscard]] NodeId node() const noexcept { return node_; }
@@ -43,6 +45,12 @@ class SimDriver final : public Driver {
     std::uint64_t dma_packets = 0;
     std::uint64_t dma_bytes = 0;
     std::uint64_t delivered_packets = 0;
+    /// Times the progression engine polled this NIC because a packet
+    /// arrived on a *sibling* rail of the same node — the per-rail cost
+    /// behind the paper's Fig. 6 polling gap. A rail that is connected but
+    /// carries no traffic still accumulates polls; a silently-dead rail
+    /// shows zero here *and* zero bytes (what CI's bench-smoke gate keys on).
+    std::uint64_t polls = 0;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 

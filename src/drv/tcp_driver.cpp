@@ -11,6 +11,7 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/registry.hpp"
 #include "util/fmt.hpp"
 #include "util/panic.hpp"
 
@@ -220,12 +221,22 @@ bool TcpDriver::drain_reads(Track track, TrackState& ts) {
 }
 
 bool TcpDriver::progress() {
+  stats_.progress_polls += 1;
   bool worked = false;
   for (std::size_t i = 0; i < tracks_.size(); ++i) {
     worked |= flush_writes(tracks_[i]);
     worked |= drain_reads(static_cast<Track>(i), tracks_[i]);
   }
   return worked;
+}
+
+void TcpDriver::register_metrics(obs::MetricsRegistry& registry,
+                                 const std::string& prefix) const {
+  registry.add_raw(prefix + "packets_sent", &stats_.packets_sent);
+  registry.add_raw(prefix + "bytes_sent", &stats_.bytes_sent);
+  registry.add_raw(prefix + "packets_received", &stats_.packets_received);
+  registry.add_raw(prefix + "bytes_received", &stats_.bytes_received);
+  registry.add_raw(prefix + "polls", &stats_.progress_polls);
 }
 
 }  // namespace nmad::drv

@@ -52,8 +52,13 @@ class TcpDriver final : public Driver {
     std::uint64_t bytes_sent = 0;
     std::uint64_t packets_received = 0;
     std::uint64_t bytes_received = 0;
+    /// Progression rounds that polled this endpoint's sockets.
+    std::uint64_t progress_polls = 0;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  void register_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix) const override;
 
  private:
   struct TrackState {

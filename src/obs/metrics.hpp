@@ -1,0 +1,135 @@
+// Observability primitives: the event-counter vocabulary every layer of
+// the library speaks (rail counters in the scheduler and drivers, strategy
+// counters in strat/, request aggregates in core/).
+//
+// Design constraints (docs/ARCHITECTURE.md §Observability):
+//  - zero heap allocation and no branches beyond the arithmetic on the hot
+//    path: Counter::inc is one add, Histogram::record is a bit_width plus
+//    two adds into fixed storage;
+//  - the whole layer compiles out: with NMAD_METRICS_ENABLED=0 (CMake
+//    option NMAD_METRICS=OFF) every type below collapses to an empty
+//    no-op shell with the identical API, so instrumented code builds
+//    unchanged and readers observe zeros;
+//  - single-threaded by design, like the progression engine that drives
+//    all instrumented paths — increments are plain (non-atomic) stores.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#if !defined(NMAD_METRICS_ENABLED)
+#define NMAD_METRICS_ENABLED 1
+#endif
+
+namespace nmad::obs {
+
+inline constexpr bool kMetricsEnabled = NMAD_METRICS_ENABLED != 0;
+
+/// Number of log2 buckets in every Histogram: bucket 0 holds exact zeros,
+/// bucket i (i >= 1) holds values in [2^(i-1), 2^i), and the last bucket
+/// absorbs everything beyond it.
+inline constexpr std::size_t kHistogramBuckets = 64;
+
+/// Index of the bucket a value falls into (shared by the live histogram
+/// and snapshot consumers).
+[[nodiscard]] constexpr std::size_t histogram_bucket_index(std::uint64_t v) noexcept {
+  if (v == 0) return 0;
+  const auto w = static_cast<std::size_t>(std::bit_width(v));
+  return w < kHistogramBuckets ? w : kHistogramBuckets - 1;
+}
+
+/// Smallest value belonging to bucket `i` (0, 1, 2, 4, 8, ...).
+[[nodiscard]] constexpr std::uint64_t histogram_bucket_lower_bound(std::size_t i) noexcept {
+  return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+}
+
+#if NMAD_METRICS_ENABLED
+
+/// Monotonic event counter. Wraps around on overflow (mod 2^64), which
+/// snapshot deltas handle transparently via unsigned subtraction.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Signed level indicator with a high-water mark (e.g. backlog depth).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_ = v;
+    if (v > high_water_) high_water_ = v;
+  }
+  void add(std::int64_t d) noexcept { set(value_ + d); }
+  void sub(std::int64_t d) noexcept { set(value_ - d); }
+  [[nodiscard]] std::int64_t value() const noexcept { return value_; }
+  [[nodiscard]] std::int64_t high_water() const noexcept { return high_water_; }
+  void reset() noexcept { value_ = 0; high_water_ = 0; }
+
+ private:
+  std::int64_t value_ = 0;
+  std::int64_t high_water_ = 0;
+};
+
+/// Fixed-log2-bucket histogram for sizes and latencies. All storage is
+/// inline; record() never allocates.
+class Histogram {
+ public:
+  void record(std::uint64_t v) noexcept {
+    buckets_[histogram_bucket_index(v)] += 1;
+    count_ += 1;
+    sum_ += v;
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i];
+  }
+  void reset() noexcept {
+    buckets_.fill(0);
+    count_ = 0;
+    sum_ = 0;
+  }
+
+ private:
+  std::array<std::uint64_t, kHistogramBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+#else  // NMAD_METRICS_ENABLED == 0: no-op shells, identical API.
+
+class Counter {
+ public:
+  void inc(std::uint64_t = 1) noexcept {}
+  [[nodiscard]] std::uint64_t value() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t) noexcept {}
+  void add(std::int64_t) noexcept {}
+  void sub(std::int64_t) noexcept {}
+  [[nodiscard]] std::int64_t value() const noexcept { return 0; }
+  [[nodiscard]] std::int64_t high_water() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class Histogram {
+ public:
+  void record(std::uint64_t) noexcept {}
+  [[nodiscard]] std::uint64_t count() const noexcept { return 0; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return 0; }
+  [[nodiscard]] std::uint64_t bucket(std::size_t) const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+#endif  // NMAD_METRICS_ENABLED
+
+}  // namespace nmad::obs

@@ -1,0 +1,210 @@
+#include "obs/registry.hpp"
+
+#include <utility>
+
+#include "util/fmt.hpp"
+#include "util/panic.hpp"
+
+namespace nmad::obs {
+
+namespace {
+
+/// Intermediate tree for the nested-JSON renderer: either an object (has
+/// children) or a leaf holding an already-rendered JSON value.
+struct JsonNode {
+  std::map<std::string, JsonNode> children;
+  std::string value;
+  bool leaf = false;
+};
+
+void insert_path(JsonNode& root, const std::string& dotted, std::string value) {
+  JsonNode* node = &root;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t dot = dotted.find('.', start);
+    const std::string part = dotted.substr(start, dot - start);
+    NMAD_ASSERT(!part.empty(), "empty component in metric name");
+    NMAD_ASSERT(!node->leaf, "metric name nests under a leaf value");
+    node = &node->children[part];
+    if (dot == std::string::npos) break;
+    start = dot + 1;
+  }
+  NMAD_ASSERT(!node->leaf && node->children.empty(),
+              "duplicate or conflicting metric name");
+  node->leaf = true;
+  node->value = std::move(value);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += util::sformat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void render(const JsonNode& node, std::string& out, int depth, int indent) {
+  if (node.leaf) {
+    out += node.value;
+    return;
+  }
+  if (node.children.empty()) {
+    out += "{}";
+    return;
+  }
+  const std::string pad(static_cast<std::size_t>(depth + 1) * indent, ' ');
+  out += "{\n";
+  bool first = true;
+  for (const auto& [key, child] : node.children) {
+    if (!first) out += ",\n";
+    first = false;
+    out += pad;
+    out += '"';
+    out += json_escape(key);
+    out += "\": ";
+    render(child, out, depth + 1, indent);
+  }
+  out += "\n";
+  out.append(static_cast<std::size_t>(depth) * indent, ' ');
+  out += "}";
+}
+
+std::string render_histogram(const HistogramData& h) {
+  std::string buckets;
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    if (h.buckets[i] == 0) continue;
+    if (!buckets.empty()) buckets += ", ";
+    buckets += util::sformat("\"%llu\": %llu",
+                             static_cast<unsigned long long>(histogram_bucket_lower_bound(i)),
+                             static_cast<unsigned long long>(h.buckets[i]));
+  }
+  return util::sformat("{\"count\": %llu, \"sum\": %llu, \"buckets\": {%s}}",
+                       static_cast<unsigned long long>(h.count),
+                       static_cast<unsigned long long>(h.sum), buckets.c_str());
+}
+
+}  // namespace
+
+Snapshot delta(const Snapshot& before, const Snapshot& after) {
+  Snapshot d;
+  for (const auto& [name, v] : after.counters) {
+    auto it = before.counters.find(name);
+    const std::uint64_t base = it == before.counters.end() ? 0 : it->second;
+    d.counters[name] = v - base;  // wraparound-correct by unsigned arithmetic
+  }
+  d.gauges = after.gauges;
+  for (const auto& [name, h] : after.histograms) {
+    HistogramData out = h;
+    if (auto it = before.histograms.find(name); it != before.histograms.end()) {
+      out.count -= it->second.count;
+      out.sum -= it->second.sum;
+      for (std::size_t i = 0; i < out.buckets.size(); ++i) {
+        out.buckets[i] -= it->second.buckets[i];
+      }
+    }
+    d.histograms[name] = out;
+  }
+  d.labels = after.labels;
+  return d;
+}
+
+std::string dump_json(const Snapshot& snapshot, int indent) {
+  JsonNode root;
+  for (const auto& [name, v] : snapshot.counters) {
+    insert_path(root, name,
+                util::sformat("%llu", static_cast<unsigned long long>(v)));
+  }
+  for (const auto& [name, g] : snapshot.gauges) {
+    insert_path(root, name,
+                util::sformat("{\"value\": %lld, \"hwm\": %lld}",
+                              static_cast<long long>(g.value),
+                              static_cast<long long>(g.high_water)));
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    insert_path(root, name, render_histogram(h));
+  }
+  for (const auto& [name, s] : snapshot.labels) {
+    insert_path(root, name, "\"" + json_escape(s) + "\"");
+  }
+  std::string out;
+  render(root, out, 0, indent);
+  return out;
+}
+
+void MetricsRegistry::check_fresh(const std::string& name) const {
+  const bool taken = counters_.contains(name) || raw_counters_.contains(name) ||
+                     gauges_.contains(name) || histograms_.contains(name) ||
+                     labels_.contains(name);
+  NMAD_ASSERT(!taken, "duplicate metric name registered");
+}
+
+void MetricsRegistry::add(std::string name, const Counter* counter) {
+  NMAD_ASSERT(counter != nullptr, "null counter registered");
+  check_fresh(name);
+  counters_.emplace(std::move(name), counter);
+}
+
+void MetricsRegistry::add(std::string name, const Gauge* gauge) {
+  NMAD_ASSERT(gauge != nullptr, "null gauge registered");
+  check_fresh(name);
+  gauges_.emplace(std::move(name), gauge);
+}
+
+void MetricsRegistry::add(std::string name, const Histogram* histogram) {
+  NMAD_ASSERT(histogram != nullptr, "null histogram registered");
+  check_fresh(name);
+  histograms_.emplace(std::move(name), histogram);
+}
+
+void MetricsRegistry::add_raw(std::string name, const std::uint64_t* cell) {
+  NMAD_ASSERT(cell != nullptr, "null raw counter registered");
+  check_fresh(name);
+  raw_counters_.emplace(std::move(name), cell);
+}
+
+void MetricsRegistry::label(std::string name, std::string value) {
+  check_fresh(name);
+  labels_.emplace(std::move(name), std::move(value));
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  Snapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, cell] : raw_counters_) s.counters[name] = *cell;
+  for (const auto& [name, g] : gauges_) {
+    s.gauges[name] = GaugeData{g->value(), g->high_water()};
+  }
+  for (const auto& [name, h] : histograms_) {
+    HistogramData data;
+    data.count = h->count();
+    data.sum = h->sum();
+    for (std::size_t i = 0; i < data.buckets.size(); ++i) data.buckets[i] = h->bucket(i);
+    s.histograms[name] = data;
+  }
+  s.labels = labels_;
+  return s;
+}
+
+std::string MetricsRegistry::dump_json(int indent) const {
+  return obs::dump_json(snapshot(), indent);
+}
+
+std::size_t MetricsRegistry::size() const noexcept {
+  return counters_.size() + raw_counters_.size() + gauges_.size() +
+         histograms_.size() + labels_.size();
+}
+
+}  // namespace nmad::obs

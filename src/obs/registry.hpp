@@ -1,0 +1,88 @@
+// MetricsRegistry: a cold-path directory of live metrics.
+//
+// Instrumented components own their metric objects inline (hot path);
+// registration only records {dotted name -> pointer} so tools can read
+// everything in one place. Reading is done through value-typed Snapshots —
+// plain data that outlives the instrumented objects — so benchmarks can
+// capture a platform's counters right before tearing it down, and tests
+// can diff two captures with delta().
+//
+// Naming convention: dot-separated hierarchical names
+// ("a.gate0.rail1.bytes_sent"); dump_json() nests objects on the dots, so
+// a snapshot renders as a tree CI tooling can walk (ci/check_bench_json.py
+// gates on the per-rail subtrees).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace nmad::obs {
+
+/// Value-typed copy of one Histogram.
+struct HistogramData {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+};
+
+/// Value-typed copy of one Gauge.
+struct GaugeData {
+  std::int64_t value = 0;
+  std::int64_t high_water = 0;
+};
+
+/// A point-in-time copy of every registered metric. Plain data: safe to
+/// keep after the instrumented objects are gone.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, GaugeData> gauges;
+  std::map<std::string, HistogramData> histograms;
+  /// Non-numeric annotations (NIC names, strategy names).
+  std::map<std::string, std::string> labels;
+};
+
+/// Per-name difference `after - before`. Counters and histogram buckets
+/// subtract with unsigned wraparound (so counter overflow between the two
+/// snapshots still yields the true event count); gauges and labels are
+/// level/state, not flow — they are taken from `after` as-is. Names absent
+/// from `before` are treated as zero.
+[[nodiscard]] Snapshot delta(const Snapshot& before, const Snapshot& after);
+
+/// Render a snapshot as pretty-printed JSON, nesting objects on the '.'
+/// separators in metric names. Deterministic (keys sorted). Histograms
+/// render as {"count", "sum", "buckets": {"<lower_bound>": n, ...}} with
+/// empty buckets omitted; gauges as {"value", "hwm"}.
+[[nodiscard]] std::string dump_json(const Snapshot& snapshot, int indent = 2);
+
+class MetricsRegistry {
+ public:
+  /// Register a live metric under `name`. The pointed-to object must stay
+  /// alive for any later snapshot()/dump_json() call. Names must be unique
+  /// across all kinds.
+  void add(std::string name, const Counter* counter);
+  void add(std::string name, const Gauge* gauge);
+  void add(std::string name, const Histogram* histogram);
+  /// Register a plain uint64 cell (pre-obs driver stats) as a counter.
+  void add_raw(std::string name, const std::uint64_t* cell);
+  /// Attach a string annotation (copied immediately, no lifetime coupling).
+  void label(std::string name, std::string value);
+
+  [[nodiscard]] Snapshot snapshot() const;
+  [[nodiscard]] std::string dump_json(int indent = 2) const;
+  [[nodiscard]] std::size_t size() const noexcept;
+
+ private:
+  void check_fresh(const std::string& name) const;
+
+  std::map<std::string, const Counter*> counters_;
+  std::map<std::string, const std::uint64_t*> raw_counters_;
+  std::map<std::string, const Gauge*> gauges_;
+  std::map<std::string, const Histogram*> histograms_;
+  std::map<std::string, std::string> labels_;
+};
+
+}  // namespace nmad::obs

@@ -18,12 +18,22 @@ proto::SegHeader header_for(const core::SendRequest& req, std::uint32_t msg_offs
 
 }  // namespace
 
+void BacklogBase::update_depth() noexcept {
+  metrics_.backlog_depth.set(
+      static_cast<std::int64_t>(small_.size() + parked_count_ + chunks_.size()));
+}
+
 void BacklogBase::on_submit_small(core::Gate& /*gate*/, SmallEntry entry) {
   small_.push_back(entry);
+  metrics_.small_submitted.inc();
+  update_depth();
 }
 
 void BacklogBase::on_submit_large(core::Gate& /*gate*/, LargeEntry entry) {
   parked_[entry.req->key()].push_back(entry);
+  parked_count_ += 1;
+  metrics_.large_submitted.inc();
+  update_depth();
 }
 
 void BacklogBase::on_rdv_granted(core::Gate& gate, core::MsgKey key) {
@@ -31,7 +41,10 @@ void BacklogBase::on_rdv_granted(core::Gate& gate, core::MsgKey key) {
   NMAD_ASSERT(it != parked_.end(), "rendezvous grant for unknown message");
   std::vector<LargeEntry> entries = std::move(it->second);
   parked_.erase(it);
+  parked_count_ -= entries.size();
+  metrics_.rdv_grants.inc();
   plan_grant(gate, key, std::move(entries));
+  update_depth();
 }
 
 bool BacklogBase::has_backlog() const noexcept {
@@ -49,6 +62,8 @@ std::optional<PacketPlan> BacklogBase::pack_small_single(core::Rail& /*rail*/) {
   plan.desc.wire = proto::encode_data_packet(
       header_for(*entry.req, entry.msg_offset, len), entry.data);
   plan.contribs.push_back(Contribution{entry.req, len});
+  metrics_.aggregation_misses.inc();
+  update_depth();
   return plan;
 }
 
@@ -83,8 +98,12 @@ std::optional<PacketPlan> BacklogBase::pack_small_aggregated(core::Rail& rail) {
   if (builder.seg_count() > 1) {
     plan.desc.extra_cpu_us =
         static_cast<double>(packed) / rail.caps().copy_bandwidth_mbps;
+    metrics_.aggregation_hits.inc();
+  } else {
+    metrics_.aggregation_misses.inc();
   }
   plan.desc.wire = std::move(builder).finish();
+  update_depth();
   return plan;
 }
 
@@ -103,11 +122,14 @@ std::optional<PacketPlan> BacklogBase::pack_chunk(core::Rail& rail) {
   plan.desc.wire = proto::encode_data_packet(
       header_for(*chunk.req, chunk.msg_offset, len), chunk.data);
   plan.contribs.push_back(Contribution{chunk.req, len});
+  update_depth();
   return plan;
 }
 
 void BacklogBase::push_whole_chunk(const LargeEntry& entry, std::int32_t affinity) {
   chunks_.push_back(Chunk{entry.req, entry.data, entry.msg_offset, affinity});
+  metrics_.chunks_created.inc();
+  update_depth();
 }
 
 void BacklogBase::push_split_chunks(
@@ -139,6 +161,7 @@ void BacklogBase::push_split_chunks(
   for (const auto& [_, w] : active) total_w += w;
 
   std::uint64_t offset = 0;
+  std::uint64_t chunks_made = 0;
   for (std::size_t i = 0; i < active.size(); ++i) {
     std::uint64_t chunk_len;
     if (i + 1 == active.size()) {
@@ -153,8 +176,12 @@ void BacklogBase::push_split_chunks(
         entry.req, entry.data.subspan(offset, chunk_len),
         entry.msg_offset + static_cast<std::uint32_t>(offset), active[i].first});
     offset += chunk_len;
+    chunks_made += 1;
   }
   NMAD_ASSERT(offset == len, "split chunks do not cover the segment");
+  metrics_.chunks_created.inc(chunks_made);
+  if (chunks_made >= 2) metrics_.segments_split.inc();
+  update_depth();
 }
 
 }  // namespace nmad::strat

@@ -62,10 +62,15 @@ class BacklogBase : public Strategy {
   /// Queue one unsplit chunk covering the whole entry.
   void push_whole_chunk(const LargeEntry& entry, std::int32_t affinity);
 
+  /// Refresh the backlog-depth gauge (small + parked + granted chunks).
+  void update_depth() noexcept;
+
   StrategyConfig cfg_;
   std::deque<SmallEntry> small_;
   std::map<core::MsgKey, std::vector<LargeEntry>> parked_;
   std::deque<Chunk> chunks_;
+  /// Large entries currently parked (avoids walking parked_ per update).
+  std::size_t parked_count_ = 0;
   /// Cap on segments per aggregated packet (bounds header overhead).
   static constexpr std::size_t kMaxAggregatedSegments = 64;
 };

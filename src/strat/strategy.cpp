@@ -2,10 +2,23 @@
 
 #include <array>
 
+#include "obs/registry.hpp"
 #include "strat/builtin.hpp"
 #include "util/panic.hpp"
 
 namespace nmad::strat {
+
+void StrategyMetrics::register_into(obs::MetricsRegistry& registry,
+                                    const std::string& prefix) const {
+  registry.add(prefix + "small_submitted", &small_submitted);
+  registry.add(prefix + "large_submitted", &large_submitted);
+  registry.add(prefix + "rdv_grants", &rdv_grants);
+  registry.add(prefix + "aggregation_hits", &aggregation_hits);
+  registry.add(prefix + "aggregation_misses", &aggregation_misses);
+  registry.add(prefix + "segments_split", &segments_split);
+  registry.add(prefix + "chunks_created", &chunks_created);
+  registry.add(prefix + "backlog_depth", &backlog_depth);
+}
 
 namespace {
 constexpr std::array<std::string_view, 6> kNames{

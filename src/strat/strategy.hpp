@@ -24,11 +24,16 @@
 #include "core/request.hpp"
 #include "core/types.hpp"
 #include "drv/driver.hpp"
+#include "obs/metrics.hpp"
 
 namespace nmad::core {
 class Gate;
 class Rail;
 }  // namespace nmad::core
+
+namespace nmad::obs {
+class MetricsRegistry;
+}  // namespace nmad::obs
 
 namespace nmad::strat {
 
@@ -60,6 +65,28 @@ struct PacketPlan {
   std::vector<Contribution> contribs;
 };
 
+/// Policy-level event counters, one set per strategy instance (i.e. per
+/// gate). Compiled out with NMAD_METRICS=OFF like all obs types.
+struct StrategyMetrics {
+  /// Backlog entries accepted, by class.
+  obs::Counter small_submitted;
+  obs::Counter large_submitted;
+  /// Rendezvous grants received from the peer.
+  obs::Counter rdv_grants;
+  /// Eager packets that coalesced >= 2 segments / went out alone.
+  obs::Counter aggregation_hits;
+  obs::Counter aggregation_misses;
+  /// Large segments split into >= 2 chunks, and total chunks queued.
+  obs::Counter segments_split;
+  obs::Counter chunks_created;
+  /// Entries waiting (small + parked + granted chunks); high-water mark is
+  /// the optimization-window depth the paper's §2 mechanism builds up.
+  obs::Gauge backlog_depth;
+
+  void register_into(obs::MetricsRegistry& registry,
+                     const std::string& prefix) const;
+};
+
 class Strategy {
  public:
   virtual ~Strategy() = default;
@@ -86,9 +113,14 @@ class Strategy {
   /// True while any backlog (small, parked or granted large) remains.
   [[nodiscard]] virtual bool has_backlog() const noexcept = 0;
 
+  [[nodiscard]] const StrategyMetrics& metrics() const noexcept { return metrics_; }
+
   Strategy() = default;
   Strategy(const Strategy&) = delete;
   Strategy& operator=(const Strategy&) = delete;
+
+ protected:
+  StrategyMetrics metrics_;
 };
 
 /// Knobs shared by the built-in strategies; every field has the value used
