@@ -1,14 +1,23 @@
 // Micro-benchmarks of the library's hot paths (google-benchmark): these
 // run in *real* time and guard against regressions in the code the
 // progression engine executes per packet.
+//
+// The custom main() additionally measures the scatter-gather packet path
+// (packets/sec, copied vs total bytes, pool behaviour) and writes the
+// machine-readable BENCH_micro_hotpaths.json that CI's bench-smoke job
+// gates on via ci/check_bench_json.py.
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/registry.hpp"
+#include "proto/pool.hpp"
 #include "proto/reassembly.hpp"
 #include "proto/wire.hpp"
 #include "sim/engine.hpp"
@@ -33,6 +42,46 @@ void BM_PacketEncodeSingle(benchmark::State& state) {
                           static_cast<std::int64_t>(len));
 }
 BENCHMARK(BM_PacketEncodeSingle)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_PacketViewEncodeSingle(benchmark::State& state) {
+  // The zero-copy replacement for BM_PacketEncodeSingle: pooled header
+  // block + in-place payload span. Cost must be flat in payload size.
+  const auto len = static_cast<std::size_t>(state.range(0));
+  std::vector<std::byte> payload(len, std::byte{0x42});
+  proto::BufferPool pool(proto::packet_wire_size(1, 0));
+  for (auto _ : state) {
+    auto view = proto::encode_data_packet_view(
+        pool,
+        proto::SegHeader{1, 2, 0, static_cast<std::uint32_t>(len),
+                         static_cast<std::uint32_t>(len)},
+        payload);
+    benchmark::DoNotOptimize(view.head().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_PacketViewEncodeSingle)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_PacketViewAggregatedStaged(benchmark::State& state) {
+  // Aggregation keeps the paper's deliberate memcpy, but headers and the
+  // staging area come from recycled pooled blocks.
+  const auto nseg = static_cast<std::size_t>(state.range(0));
+  std::vector<std::byte> payload(256, std::byte{0x17});
+  proto::BufferPool heads(proto::packet_wire_size(nseg, 0));
+  proto::BufferPool staging(nseg * 256);
+  for (auto _ : state) {
+    proto::GatherBuilder builder(proto::PacketKind::kData, heads.acquire(),
+                                 staging.acquire());
+    for (std::size_t i = 0; i < nseg; ++i) {
+      builder.add_segment_staged(
+          proto::SegHeader{7, static_cast<std::uint32_t>(i), 0, 256, 256},
+          payload);
+    }
+    auto view = std::move(builder).finish();
+    benchmark::DoNotOptimize(view.head().data());
+  }
+}
+BENCHMARK(BM_PacketViewAggregatedStaged)->Arg(2)->Arg(8)->Arg(64);
 
 void BM_PacketDecode(benchmark::State& state) {
   const auto len = static_cast<std::size_t>(state.range(0));
@@ -163,4 +212,160 @@ void BM_MetricsSnapshot(benchmark::State& state) {
 }
 BENCHMARK(BM_MetricsSnapshot)->Arg(64)->Arg(512);
 
+// --- packet-path report (BENCH_micro_hotpaths.json) -------------------------
+// Hand-timed measurement of the three packet construction paths the
+// strategies exercise per packet. CI gates on the invariants: the
+// zero-copy paths must report bytes_copied == 0, aggregation may copy at
+// most what it carries, and steady state must run entirely from the pools.
+
+struct PacketPathResult {
+  const char* name;
+  bool zero_copy;  ///< contract: this path must never copy payload bytes
+  double packets_per_sec = 0.0;
+  std::uint64_t bytes_copied = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
+};
+
+template <typename BuildFn>
+PacketPathResult measure_packet_path(const char* name, bool zero_copy,
+                                     std::size_t payload_per_packet,
+                                     proto::BufferPool& heads,
+                                     proto::BufferPool& staging,
+                                     BuildFn&& build) {
+  const bool smoke = std::getenv("NMAD_BENCH_SMOKE") != nullptr;
+  const std::uint64_t iters = smoke ? 2'000 : 200'000;
+  for (std::uint64_t i = 0; i < 64; ++i) (void)build();  // warm the pools
+
+  const auto hits0 = heads.hit_count() + staging.hit_count();
+  const auto misses0 = heads.miss_count() + staging.miss_count();
+  std::uint64_t copied = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    proto::PacketView view = build();
+    copied += view.copied_bytes();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+
+  PacketPathResult r;
+  r.name = name;
+  r.zero_copy = zero_copy;
+  r.packets_per_sec = secs > 0.0 ? static_cast<double>(iters) / secs : 0.0;
+  r.bytes_copied = copied;
+  r.total_bytes = iters * payload_per_packet;
+  r.pool_hits = heads.hit_count() + staging.hit_count() - hits0;
+  r.pool_misses = heads.miss_count() + staging.miss_count() - misses0;
+  return r;
+}
+
+std::vector<PacketPathResult> run_packet_path_report() {
+  std::vector<PacketPathResult> results;
+
+  {  // single-segment eager packet: pooled header + in-place payload span
+    constexpr std::size_t kLen = 4096;
+    std::vector<std::byte> payload(kLen, std::byte{0x42});
+    proto::BufferPool heads(proto::packet_wire_size(1, 0));
+    proto::BufferPool staging;
+    results.push_back(measure_packet_path(
+        "single_eager", /*zero_copy=*/true, kLen, heads, staging, [&] {
+          return proto::encode_data_packet_view(
+              heads, proto::SegHeader{1, 2, 0, kLen, kLen}, payload);
+        }));
+  }
+
+  {  // DMA chunk: same zero-copy path, bulk-sized payload referenced in place
+    constexpr std::size_t kLen = 256 * 1024;
+    std::vector<std::byte> payload(kLen, std::byte{0x17});
+    proto::BufferPool heads(proto::packet_wire_size(1, 0));
+    proto::BufferPool staging;
+    results.push_back(measure_packet_path(
+        "dma_chunk", /*zero_copy=*/true, kLen, heads, staging, [&] {
+          return proto::encode_data_packet_view(
+              heads, proto::SegHeader{3, 4, 0, kLen, kLen}, payload);
+        }));
+  }
+
+  {  // aggregation: the paper's deliberate memcpy into pooled staging
+    constexpr std::size_t kSegs = 8;
+    constexpr std::size_t kSegLen = 256;
+    std::vector<std::byte> payload(kSegLen, std::byte{0x3c});
+    proto::BufferPool heads(proto::packet_wire_size(kSegs, 0));
+    proto::BufferPool staging(kSegs * kSegLen);
+    results.push_back(measure_packet_path(
+        "aggregated", /*zero_copy=*/false, kSegs * kSegLen, heads, staging,
+        [&] {
+          proto::GatherBuilder builder(proto::PacketKind::kData,
+                                       heads.acquire(), staging.acquire());
+          for (std::size_t i = 0; i < kSegs; ++i) {
+            builder.add_segment_staged(
+                proto::SegHeader{7, static_cast<std::uint32_t>(i), 0, kSegLen,
+                                 kSegLen},
+                payload);
+          }
+          return std::move(builder).finish();
+        }));
+  }
+  return results;
+}
+
+bool write_packet_path_report(const std::vector<PacketPathResult>& results) {
+  const char* path = "BENCH_micro_hotpaths.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "micro_hotpaths: cannot write %s\n", path);
+    return false;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"micro_hotpaths\",\n");
+  std::fprintf(f, "  \"metrics_enabled\": %s,\n",
+               obs::kMetricsEnabled ? "true" : "false");
+  std::fprintf(f, "  \"smoke\": %s,\n",
+               std::getenv("NMAD_BENCH_SMOKE") != nullptr ? "true" : "false");
+  std::fprintf(f, "  \"packet_path\": [");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const PacketPathResult& r = results[i];
+    std::fprintf(f,
+                 "%s\n    {\"name\": \"%s\", \"zero_copy\": %s, "
+                 "\"packets_per_sec\": %.6g, \"bytes_copied\": %llu, "
+                 "\"total_bytes\": %llu, \"pool_hits\": %llu, "
+                 "\"pool_misses\": %llu}",
+                 i == 0 ? "" : ",", r.name, r.zero_copy ? "true" : "false",
+                 r.packets_per_sec,
+                 static_cast<unsigned long long>(r.bytes_copied),
+                 static_cast<unsigned long long>(r.total_bytes),
+                 static_cast<unsigned long long>(r.pool_hits),
+                 static_cast<unsigned long long>(r.pool_misses));
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("REPORT written %s (%zu packet paths)\n", path, results.size());
+  return true;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  const auto results = run_packet_path_report();
+  for (const PacketPathResult& r : results) {
+    std::printf("packet_path %-14s %12.0f pkt/s  copied %llu / %llu bytes  "
+                "pool %llu hits / %llu misses\n",
+                r.name, r.packets_per_sec,
+                static_cast<unsigned long long>(r.bytes_copied),
+                static_cast<unsigned long long>(r.total_bytes),
+                static_cast<unsigned long long>(r.pool_hits),
+                static_cast<unsigned long long>(r.pool_misses));
+  }
+  if (!write_packet_path_report(results)) return 1;
+
+  // The google-benchmark suite runs in full mode only; smoke CI just needs
+  // the JSON above and should not spend minutes on timing loops.
+  if (std::getenv("NMAD_BENCH_SMOKE") == nullptr) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return 0;
+}

@@ -8,6 +8,12 @@ which fails the build when:
   * the file is missing, unparsable, or was produced by a metrics-off
     build (metrics_enabled != true);
   * a series' per-rail metrics object lacks any of the required counters;
+  * a rail copied more payload bytes than it sent (bytes_copied is charged
+    only for the aggregation staging memcpy, which is always a subset of
+    the bytes that reach the wire);
+  * a packet_path entry (micro_hotpaths) violates the zero-copy contract:
+    bytes_copied must never exceed total_bytes, paths flagged zero_copy
+    must report bytes_copied == 0, and packets_per_sec must be positive;
   * a rail is dead: neither endpoint sent bytes on it and neither endpoint
     ever polled it. A rail that carries zero bytes is legitimate (the v2
     strategy aggregates small messages on the fastest rail, so in a latency
@@ -28,9 +34,20 @@ import sys
 REQUIRED_RAIL_KEYS = (
     "bytes_sent",
     "packets_sent",
+    "bytes_copied",
     "pio_transfers",
     "rdv_transfers",
     "aggregation_hits",
+)
+
+REQUIRED_PACKET_PATH_KEYS = (
+    "name",
+    "zero_copy",
+    "packets_per_sec",
+    "bytes_copied",
+    "total_bytes",
+    "pool_hits",
+    "pool_misses",
 )
 
 
@@ -71,6 +88,11 @@ def check_report(path):
             if missing:
                 errors.append(f"{where}: missing keys {missing}")
                 continue
+            if rail["bytes_copied"] > rail["bytes_sent"]:
+                errors.append(
+                    f"{where}: bytes_copied={rail['bytes_copied']} exceeds "
+                    f"bytes_sent={rail['bytes_sent']} (staging copies must be "
+                    "a subset of wire traffic)")
             rail_id = rail_path.split(".", 1)[-1]
             acc = physical.setdefault(rail_id, [0, 0])
             acc[0] += rail["bytes_sent"]
@@ -81,14 +103,37 @@ def check_report(path):
                 errors.append(f"{path}: series '{label}': {rail_id}: dead rail "
                               "(bytes_sent=0 and drv.polls=0 on both endpoints)")
 
-    if total_rails == 0:
-        errors.append(f"{path}: no per-rail metrics found in any series")
-    elif total_bytes == 0:
+    packet_paths = report.get("packet_path", [])
+    for entry in packet_paths:
+        name = entry.get("name", "<unnamed>")
+        where = f"{path}: packet_path '{name}'"
+        missing = [k for k in REQUIRED_PACKET_PATH_KEYS if k not in entry]
+        if missing:
+            errors.append(f"{where}: missing keys {missing}")
+            continue
+        if entry["bytes_copied"] > entry["total_bytes"]:
+            errors.append(f"{where}: bytes_copied={entry['bytes_copied']} "
+                          f"exceeds total_bytes={entry['total_bytes']}")
+        if entry["zero_copy"] and entry["bytes_copied"] != 0:
+            errors.append(f"{where}: flagged zero_copy but "
+                          f"bytes_copied={entry['bytes_copied']}")
+        if entry["packets_per_sec"] <= 0:
+            errors.append(f"{where}: packets_per_sec="
+                          f"{entry['packets_per_sec']} is not positive")
+
+    # A report must demonstrate life through at least one modality: rail
+    # traffic (fig*/abl_* sweeps) or packet-path measurements
+    # (micro_hotpaths).
+    if total_rails == 0 and not packet_paths:
+        errors.append(f"{path}: no per-rail metrics and no packet_path "
+                      "entries found")
+    elif total_rails > 0 and total_bytes == 0:
         errors.append(f"{path}: every rail reports bytes_sent=0")
 
     if not errors:
         print(f"OK   {path}: {total_rails} rails checked, "
-              f"{total_bytes} bytes accounted")
+              f"{total_bytes} bytes accounted, "
+              f"{len(packet_paths)} packet paths")
     return errors
 
 

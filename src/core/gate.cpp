@@ -22,12 +22,25 @@ void Rail::Metrics::register_into(obs::MetricsRegistry& registry,
   registry.add(prefix + "aggregation_hits", &aggregation_hits);
   registry.add(prefix + "aggregation_misses", &aggregation_misses);
   registry.add(prefix + "nic_wakeups", &nic_wakeups);
+  registry.add(prefix + "bytes_copied", &bytes_copied);
+  registry.add(prefix + "allocs_hot_path", &allocs_hot_path);
   registry.add(prefix + "packet_size", &packet_size);
 }
 
+namespace {
+
+/// Header blocks hold the packet header plus one SegHeader per aggregated
+/// segment (strategies cap aggregation well below this); control packets
+/// also fit. Rounded up so recycled blocks never regrow.
+constexpr std::size_t kHeaderBlockCapacity = 2048;
+
+}  // namespace
+
 Gate::Gate(GateId id, std::vector<drv::Driver*> drivers,
            std::unique_ptr<strat::Strategy> strategy, strat::StrategyConfig config)
-    : id_(id), strategy_(std::move(strategy)), config_(config) {
+    : id_(id), strategy_(std::move(strategy)), config_(config),
+      header_pool_(kHeaderBlockCapacity),
+      staging_pool_(config.aggregation_limit) {
   NMAD_ASSERT(!drivers.empty(), "gate needs at least one rail");
   NMAD_ASSERT(strategy_ != nullptr, "gate needs a strategy");
   rails_.reserve(drivers.size());

@@ -17,6 +17,7 @@
 #include "core/types.hpp"
 #include "drv/driver.hpp"
 #include "obs/metrics.hpp"
+#include "proto/pool.hpp"
 #include "proto/reassembly.hpp"
 #include "strat/strategy.hpp"
 
@@ -76,6 +77,13 @@ class Rail {
     obs::Counter aggregation_misses;
     /// Posts that found the whole NIC idle (idle -> busy transitions).
     obs::Counter nic_wakeups;
+    /// Payload bytes memcpy'd while building the posted packets. Only the
+    /// aggregation staging copy is charged (paper §3.1); the zero-copy
+    /// paths (single-segment eager, DMA chunks, control) contribute zero.
+    obs::Counter bytes_copied;
+    /// Heap allocations on the packet-build hot path (pool misses + span
+    /// list spills); ~zero in steady state once the pools are warm.
+    obs::Counter allocs_hot_path;
     /// Wire size of every posted packet.
     obs::Histogram packet_size;
 
@@ -112,6 +120,14 @@ class Gate {
   /// aggregated small messages there — Quadrics on the paper's platform).
   [[nodiscard]] RailIndex fastest_rail() const noexcept { return fastest_rail_; }
 
+  // --- packet buffer arenas -------------------------------------------------
+  /// Pool of header blocks (packet header + seg headers; also whole
+  /// control packets). Blocks recycle when the driver finishes the send.
+  [[nodiscard]] proto::BufferPool& header_pool() noexcept { return header_pool_; }
+  /// Pool of aggregation staging buffers (the paper's contiguous copy
+  /// area); sized to the strategy's aggregation limit.
+  [[nodiscard]] proto::BufferPool& staging_pool() noexcept { return staging_pool_; }
+
   // --- split ratios ---------------------------------------------------------
   /// Install per-rail bulk-bandwidth weights (from boot-time sampling).
   /// Weights are normalized internally; they need not sum to 1.
@@ -142,6 +158,8 @@ class Gate {
   std::vector<Rail> rails_;
   std::unique_ptr<strat::Strategy> strategy_;
   strat::StrategyConfig config_;
+  proto::BufferPool header_pool_;
+  proto::BufferPool staging_pool_;
   std::uint32_t small_threshold_ = 0;
   RailIndex fastest_rail_ = 0;
   std::vector<double> ratios_;

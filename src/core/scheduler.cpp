@@ -52,9 +52,9 @@ GateId Scheduler::add_gate(std::vector<drv::Driver*> rails,
   for (Rail& rail : g.rails()) {
     rail.driver().set_deliver(
         [this, id, idx = rail.index()](drv::Track track,
-                                       std::vector<std::byte> wire) {
+                                       std::span<const std::byte> wire) {
           Gate& target = gate(id);
-          on_packet(target, target.rail(idx), track, std::move(wire));
+          on_packet(target, target.rail(idx), track, wire);
         });
   }
   return id;
@@ -74,6 +74,8 @@ void Scheduler::register_metrics(obs::MetricsRegistry& registry,
         prefix + "gate" + std::to_string(g.id()) + ".";
     registry.label(gate_prefix + "strategy", std::string(g.strategy().name()));
     g.strategy().metrics().register_into(registry, gate_prefix + "strat.");
+    g.header_pool().register_into(registry, gate_prefix + "pool.header_");
+    g.staging_pool().register_into(registry, gate_prefix + "pool.staging_");
     for (Rail& rail : g.rails()) {
       const std::string rail_prefix =
           gate_prefix + "rail" + std::to_string(rail.index()) + ".";
@@ -156,7 +158,8 @@ SendHandle Scheduler::isend(GateId gate_id, Tag tag,
   }
   if (has_large) {
     g.control_.push_back(drv::SendDesc{
-        drv::Track::kSmall, proto::encode_rdv_req(tag, seq, total), 0.0});
+        drv::Track::kSmall,
+        proto::encode_rdv_req_view(g.header_pool(), tag, seq, total), 0.0});
   }
   schedule_pump(g);
   return req;
@@ -289,8 +292,10 @@ void Scheduler::note_rail_post(Rail& rail, const drv::SendDesc& desc) {
     m.nic_wakeups.inc();
   }
   m.packets_sent.inc();
-  m.bytes_sent.inc(desc.wire.size());
-  m.packet_size.record(desc.wire.size());
+  m.bytes_sent.inc(desc.wire_size());
+  m.packet_size.record(desc.wire_size());
+  m.bytes_copied.inc(desc.view.copied_bytes());
+  m.allocs_hot_path.inc(desc.view.heap_allocs());
   if (desc.track == drv::Track::kSmall) {
     m.pio_transfers.inc();
   } else {
@@ -317,7 +322,7 @@ void Scheduler::on_sent(Gate& gate, drv::Track /*track*/,
 // --------------------------------------------------------------------------
 
 void Scheduler::on_packet(Gate& gate, Rail& rail, drv::Track /*track*/,
-                          std::vector<std::byte> wire) {
+                          std::span<const std::byte> wire) {
   auto decoded = proto::decode_packet(wire);
   if (!decoded) {
     NMAD_PANIC("undecodable packet received");
@@ -432,7 +437,8 @@ void Scheduler::try_finalize(Gate& gate, MsgKey key) {
 
 void Scheduler::enqueue_ack(Gate& gate, MsgKey key) {
   gate.control_.push_back(drv::SendDesc{
-      drv::Track::kSmall, proto::encode_rdv_ack(key.tag, key.seq), 0.0});
+      drv::Track::kSmall,
+      proto::encode_rdv_ack_view(gate.header_pool(), key.tag, key.seq), 0.0});
 }
 
 }  // namespace nmad::core

@@ -119,8 +119,10 @@ class Scheduler {
   /// run before the driver post so the idle->busy transition is observable.
   void note_rail_post(Rail& rail, const drv::SendDesc& desc);
   void on_sent(Gate& gate, drv::Track track, std::vector<strat::Contribution> contribs);
+  /// `wire` is the driver's non-owning view of the received frame; every
+  /// byte kept past this call is copied by reassembly into its message.
   void on_packet(Gate& gate, Rail& rail, drv::Track track,
-                 std::vector<std::byte> wire);
+                 std::span<const std::byte> wire);
   void handle_data_segment(Gate& gate, const proto::SegHeader& h,
                            std::span<const std::byte> payload);
   void handle_rdv_req(Gate& gate, const proto::SegHeader& h);

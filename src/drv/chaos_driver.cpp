@@ -14,8 +14,8 @@ ChaosDriver::ChaosDriver(Driver& inner, std::uint64_t seed, std::size_t window)
 
 void ChaosDriver::set_deliver(DeliverFn deliver) {
   deliver_ = std::move(deliver);
-  inner_->set_deliver([this](Track track, std::vector<std::byte> wire) {
-    pending_.push_back(Held{track, std::move(wire)});
+  inner_->set_deliver([this](Track track, std::span<const std::byte> wire) {
+    pending_.push_back(Held{track, std::vector<std::byte>(wire.begin(), wire.end())});
     if (pending_.size() >= window_) release_all();
   });
 }
@@ -28,7 +28,7 @@ void ChaosDriver::release_all() {
   batch.swap(pending_);
   for (Held& held : batch) {
     NMAD_ASSERT(deliver_ != nullptr, "chaos delivery with no upcall");
-    deliver_(held.track, std::move(held.wire));
+    deliver_(held.track, std::span<const std::byte>(held.wire));
   }
 }
 

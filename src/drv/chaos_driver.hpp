@@ -53,6 +53,8 @@ class ChaosDriver final : public Driver {
   util::Xoshiro256 rng_;
   std::size_t window_;
   DeliverFn deliver_;
+  /// Deferred deliveries must own their bytes: the inner driver's span is
+  /// only valid during its upcall, and these are released later.
   struct Held {
     Track track;
     std::vector<std::byte> wire;

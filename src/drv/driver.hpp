@@ -18,10 +18,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "netmodel/nic_profile.hpp"
+#include "proto/wire.hpp"
 
 namespace nmad::obs {
 class MetricsRegistry;
@@ -54,22 +57,41 @@ struct Capabilities {
   double poll_cost_us = 0.0;
 };
 
-/// A fully encoded packet handed to a driver, plus scheduling metadata.
+/// An encoded packet handed to a driver, plus scheduling metadata. The
+/// packet is a scatter-gather PacketView (proto/wire.hpp format): a pooled
+/// header block plus payload spans referencing the request's segments in
+/// place. The driver gathers the pieces at the wire boundary and releases
+/// the view — recycling the pooled blocks — on local send completion.
 struct SendDesc {
   Track track = Track::kSmall;
-  std::vector<std::byte> wire;  ///< encoded packet (proto/wire.hpp format)
+  proto::PacketView view;
   /// Extra CPU time the progression engine spent building this packet
   /// (e.g. aggregation memcpys); the driver charges it to the host CPU
   /// before the transfer starts.
   double extra_cpu_us = 0.0;
+
+  SendDesc() = default;
+  SendDesc(Track t, proto::PacketView v, double cpu = 0.0)
+      : track(t), view(std::move(v)), extra_cpu_us(cpu) {}
+  /// Legacy flat-buffer form (tests, pre-gather call sites).
+  SendDesc(Track t, std::vector<std::byte> wire, double cpu = 0.0)
+      : track(t), view(proto::PacketView::flat(std::move(wire))),
+        extra_cpu_us(cpu) {}
+
+  [[nodiscard]] std::size_t wire_size() const noexcept {
+    return view.wire_size();
+  }
 };
 
 class Driver {
  public:
   using Callback = std::function<void()>;
-  /// Upcall invoked on the receiving side with the track and the raw
-  /// encoded packet bytes.
-  using DeliverFn = std::function<void(Track, std::vector<std::byte>)>;
+  /// Upcall invoked on the receiving side with the track and a view of the
+  /// raw encoded packet bytes. The span is NOT owning: it points into the
+  /// driver's receive storage and is valid only for the duration of the
+  /// upcall — consumers must decode (and copy what they keep) before
+  /// returning.
+  using DeliverFn = std::function<void(Track, std::span<const std::byte>)>;
 
   virtual ~Driver() = default;
 

@@ -38,12 +38,12 @@ void SimDriver::register_metrics(obs::MetricsRegistry& registry,
 
 void SimDriver::post_send(SendDesc desc, Callback on_sent) {
   NMAD_ASSERT(send_idle(desc.track), "post_send on busy track");
-  NMAD_ASSERT(!desc.wire.empty(), "post_send of empty packet");
+  NMAD_ASSERT(desc.wire_size() > 0, "post_send of empty packet");
   busy_[static_cast<std::size_t>(desc.track)] = true;
   if (desc.track == Track::kSmall) {
     // max_small_packet caps the *payload*; allow protocol headers on top
     // (generously: aggregated packets carry one SegHeader per segment).
-    NMAD_ASSERT(desc.wire.size() <= caps_.max_small_packet + 4096,
+    NMAD_ASSERT(desc.wire_size() <= caps_.max_small_packet + 4096,
                 "eager packet exceeds small-track limit");
     send_eager(std::move(desc), std::move(on_sent));
   } else {
@@ -53,7 +53,7 @@ void SimDriver::post_send(SendDesc desc, Callback on_sent) {
 
 void SimDriver::send_eager(SendDesc desc, Callback on_sent) {
   auto& engine = world_.engine();
-  const std::size_t wire_bytes = desc.wire.size();
+  const std::size_t wire_bytes = desc.wire_size();
   stats_.eager_packets += 1;
   stats_.eager_bytes += wire_bytes;
 
@@ -65,9 +65,14 @@ void SimDriver::send_eager(SendDesc desc, Callback on_sent) {
   world_.trace().record(engine.now(), "pio.start",
                         util::sformat("%s %zuB", profile_.name.c_str(), wire_bytes));
 
-  // Move the payload into a shared state so both the completion and the
-  // delivery closures can reference it.
-  auto wire = std::make_shared<std::vector<std::byte>>(std::move(desc.wire));
+  // Gather the scatter-gather view into the transit buffer now, while the
+  // request's segments are guaranteed alive (completion has not fired).
+  // This models the NIC reading host memory during the PIO injection — it
+  // is the simulated wire, not a host-side staging copy, so it is not
+  // charged to bytes_copied. Gathering here also lets the pooled header
+  // block recycle as soon as this frame leaves post_send.
+  auto wire = std::make_shared<std::vector<std::byte>>(desc.view.to_bytes());
+  desc.view.reset();
 
   const sim::TimeNs cpu_done = world_.cpu(node_).acquire(
       cpu_time, [this, on_sent = std::move(on_sent)]() mutable {
@@ -89,7 +94,7 @@ void SimDriver::send_eager(SendDesc desc, Callback on_sent) {
 
 void SimDriver::send_dma(SendDesc desc, Callback on_sent) {
   auto& engine = world_.engine();
-  const std::size_t wire_bytes = desc.wire.size();
+  const std::size_t wire_bytes = desc.wire_size();
   stats_.dma_packets += 1;
   stats_.dma_bytes += wire_bytes;
 
@@ -98,7 +103,12 @@ void SimDriver::send_dma(SendDesc desc, Callback on_sent) {
   const sim::TimeNs cpu_time =
       sim::us_to_ns(profile_.dma_setup_us + desc.extra_cpu_us);
 
-  auto wire = std::make_shared<std::vector<std::byte>>(std::move(desc.wire));
+  // Gather into the transit buffer at post time (the DMA engine reads the
+  // chunk's user memory directly; the copy below is the simulated wire,
+  // not a host-side copy — see send_eager). The view's pooled blocks are
+  // recycled immediately.
+  auto wire = std::make_shared<std::vector<std::byte>>(desc.view.to_bytes());
+  desc.view.reset();
 
   world_.trace().record(engine.now(), "dma.program",
                         util::sformat("%s %zuB", profile_.name.c_str(), wire_bytes));
@@ -146,7 +156,9 @@ void SimDriver::arrive(Track track, std::vector<std::byte> wire) {
                           util::sformat("%s %s %zuB", profile_.name.c_str(),
                                       track_name(track), buf->size()));
     NMAD_ASSERT(deliver_ != nullptr, "packet arrived with no deliver upcall");
-    deliver_(track, std::move(*buf));
+    // Non-owning delivery: `buf` stays alive for the duration of the
+    // upcall (DeliverFn contract).
+    deliver_(track, std::span<const std::byte>(*buf));
   });
 }
 

@@ -43,14 +43,11 @@ Capabilities tcp_caps() {
   return caps;
 }
 
-void append_frame_header(std::vector<std::byte>& out, std::uint32_t len) {
-  for (int i = 0; i < 4; ++i) out.push_back(std::byte((len >> (8 * i)) & 0xff));
-}
-
-std::uint32_t read_frame_len(const std::vector<std::byte>& in) {
+std::uint32_t read_frame_len(const std::vector<std::byte>& in, std::size_t off) {
   std::uint32_t v = 0;
   for (int i = 3; i >= 0; --i) {
-    v = (v << 8) | std::to_integer<std::uint32_t>(in[static_cast<std::size_t>(i)]);
+    v = (v << 8) |
+        std::to_integer<std::uint32_t>(in[off + static_cast<std::size_t>(i)]);
   }
   return v;
 }
@@ -153,16 +150,20 @@ void TcpDriver::set_deliver(DeliverFn deliver) { deliver_ = std::move(deliver); 
 void TcpDriver::post_send(SendDesc desc, Callback on_sent) {
   TrackState& ts = tracks_[static_cast<std::size_t>(desc.track)];
   NMAD_ASSERT(!ts.busy, "post_send on busy TCP track");
-  NMAD_ASSERT(desc.wire.size() <= 0xffffffffu, "frame too large");
+  const std::size_t wire_size = desc.wire_size();
+  NMAD_ASSERT(wire_size <= 0xffffffffu, "frame too large");
 
   ts.busy = true;
-  ts.out.clear();
+  ts.out = std::move(desc);
   ts.out_off = 0;
-  append_frame_header(ts.out, static_cast<std::uint32_t>(desc.wire.size()));
-  ts.out.insert(ts.out.end(), desc.wire.begin(), desc.wire.end());
+  ts.out_total = 4 + wire_size;
+  for (int i = 0; i < 4; ++i) {
+    ts.frame_len[static_cast<std::size_t>(i)] =
+        std::byte((wire_size >> (8 * i)) & 0xff);
+  }
   ts.on_sent = std::move(on_sent);
   stats_.packets_sent += 1;
-  stats_.bytes_sent += desc.wire.size();
+  stats_.bytes_sent += wire_size;
   // Kick the write immediately; completion is reported from progress() so
   // the on_sent upcall never runs inside post_send (Driver contract).
 }
@@ -170,9 +171,34 @@ void TcpDriver::post_send(SendDesc desc, Callback on_sent) {
 bool TcpDriver::flush_writes(TrackState& ts) {
   if (!ts.busy) return false;
   bool worked = false;
-  while (ts.out_off < ts.out.size()) {
-    const ssize_t n = ::send(ts.fd, ts.out.data() + ts.out_off,
-                             ts.out.size() - ts.out_off, MSG_NOSIGNAL);
+  while (ts.out_off < ts.out_total) {
+    // Gather straight from the PacketView: length prefix, header block and
+    // payload spans as separate iovecs (no flattening copy). Rebuilt per
+    // attempt because a short write can stop mid-iovec.
+    ts.iov.clear();
+    std::size_t skip = ts.out_off;
+    auto add = [&](const std::byte* p, std::size_t n) {
+      if (n == 0) return;
+      if (skip >= n) {
+        skip -= n;
+        return;
+      }
+      p += skip;
+      n -= skip;
+      skip = 0;
+      ts.iov.push_back(iovec{const_cast<std::byte*>(p), n});
+    };
+    add(ts.frame_len.data(), ts.frame_len.size());
+    const auto head = ts.out.view.head();
+    add(head.data(), head.size());
+    for (const auto& s : ts.out.view.payload_spans()) add(s.data(), s.size());
+
+    msghdr msg{};
+    msg.msg_iov = ts.iov.data();
+    msg.msg_iovlen = ts.iov.size();
+    // sendmsg rather than writev: the gather semantics are identical but
+    // writev cannot pass MSG_NOSIGNAL.
+    const ssize_t n = ::sendmsg(ts.fd, &msg, MSG_NOSIGNAL);
     if (n > 0) {
       ts.out_off += static_cast<std::size_t>(n);
       worked = true;
@@ -181,10 +207,13 @@ bool TcpDriver::flush_writes(TrackState& ts) {
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return worked;
     NMAD_PANIC("TCP send failed (peer gone?)");
   }
-  // Frame fully handed to the kernel: the track is idle again.
+  // Frame fully handed to the kernel: release the view (recycling its
+  // pooled blocks — the payload spans are not read past this point), then
+  // report the track idle.
   ts.busy = false;
-  ts.out.clear();
+  ts.out = SendDesc{};
   ts.out_off = 0;
+  ts.out_total = 0;
   Callback cb = std::move(ts.on_sent);
   ts.on_sent = nullptr;
   if (cb) cb();
@@ -205,17 +234,25 @@ bool TcpDriver::drain_reads(Track track, TrackState& ts) {
     if (n == 0) break;  // peer closed; deliver what we have
     NMAD_PANIC("TCP recv failed");
   }
-  // Deliver every complete frame.
-  while (ts.in.size() >= 4) {
-    const std::uint32_t len = read_frame_len(ts.in);
-    if (ts.in.size() < 4 + static_cast<std::size_t>(len)) break;
-    std::vector<std::byte> frame(ts.in.begin() + 4, ts.in.begin() + 4 + len);
-    ts.in.erase(ts.in.begin(), ts.in.begin() + 4 + len);
+  // Deliver every complete frame in place: spans into ts.in, no per-frame
+  // vector. Safe against re-entrancy because deliver upcalls post sends
+  // (touching `out`) but never recurse into progress()/drain_reads.
+  while (ts.in.size() - ts.in_off >= 4) {
+    const std::uint32_t len = read_frame_len(ts.in, ts.in_off);
+    if (ts.in.size() - ts.in_off < 4 + static_cast<std::size_t>(len)) break;
+    const std::span<const std::byte> frame(ts.in.data() + ts.in_off + 4, len);
+    ts.in_off += 4 + static_cast<std::size_t>(len);
     stats_.packets_received += 1;
     stats_.bytes_received += len;
     NMAD_ASSERT(deliver_ != nullptr, "TCP frame arrived with no deliver upcall");
-    deliver_(track, std::move(frame));
+    deliver_(track, frame);
     worked = true;
+  }
+  // Compact the consumed prefix once per drain (not once per frame).
+  if (ts.in_off > 0) {
+    ts.in.erase(ts.in.begin(),
+                ts.in.begin() + static_cast<std::ptrdiff_t>(ts.in_off));
+    ts.in_off = 0;
   }
   return worked;
 }

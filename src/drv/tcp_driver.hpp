@@ -12,8 +12,14 @@
 // socket never head-of-line-blocks rendezvous control traffic.
 //
 // Framing per socket: 4-byte little-endian payload length, then the
-// encoded packet (proto/wire.hpp format).
+// encoded packet (proto/wire.hpp format). Outbound frames are gathered
+// straight from the SendDesc's PacketView with sendmsg (length prefix,
+// header block and payload spans as separate iovecs — no flattening copy);
+// inbound frames are decoded in place from the receive buffer and handed
+// up as non-owning spans.
 #pragma once
+
+#include <sys/uio.h>
 
 #include <array>
 #include <cstdint>
@@ -64,13 +70,23 @@ class TcpDriver final : public Driver {
   struct TrackState {
     int fd = -1;
     // Outbound frame currently draining into the socket (one at a time —
-    // the Driver contract).
-    std::vector<std::byte> out;
-    std::size_t out_off = 0;
+    // the Driver contract). The descriptor's PacketView keeps the pooled
+    // header block and the referenced payload spans alive until the whole
+    // frame has been handed to the kernel; completion then releases it
+    // (recycling the blocks) before firing on_sent.
+    SendDesc out;
+    std::array<std::byte, 4> frame_len{};
+    std::size_t out_off = 0;    ///< cumulative bytes accepted by the kernel
+    std::size_t out_total = 0;  ///< 4-byte prefix + wire size
     Callback on_sent;
     bool busy = false;
-    // Inbound reassembly of the length-prefixed frame stream.
+    // Scratch iovec list, rebuilt per flush attempt from out_off.
+    std::vector<iovec> iov;
+    // Inbound reassembly of the length-prefixed frame stream. Complete
+    // frames are delivered as spans into this buffer; `in_off` tracks the
+    // consumed prefix, compacted once per drain.
     std::vector<std::byte> in;
+    std::size_t in_off = 0;
   };
 
   TcpDriver(int fd_small, int fd_large);

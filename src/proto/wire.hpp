@@ -14,11 +14,13 @@
 // empty payload. All integers are little-endian on the wire.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <cstddef>
 #include <span>
 #include <vector>
 
+#include "proto/pool.hpp"
 #include "util/expected.hpp"
 
 namespace nmad::proto {
@@ -56,6 +58,138 @@ constexpr std::size_t packet_wire_size(std::size_t seg_count,
                                        std::size_t payload_bytes) noexcept {
   return kPacketHeaderBytes + seg_count * kSegHeaderBytes + payload_bytes;
 }
+
+/// Exact wire size of a rendezvous control packet (one SegHeader, no
+/// payload) — small enough to encode into stack or pooled storage with no
+/// intermediate builder state.
+inline constexpr std::size_t kControlPacketBytes =
+    kPacketHeaderBytes + kSegHeaderBytes;
+
+/// A scatter-gather packet: the encoded header block (packet header + seg
+/// headers, usually pooled) plus an iovec-style list of payload spans that
+/// reference the segments *in place*. Drivers gather the pieces only at the
+/// wire boundary, so single-segment eager packets and DMA chunks carry user
+/// memory zero-copy; only aggregation stages payloads (into the recycled
+/// `staging` block, which the span list then points into).
+///
+/// Lifetime: payload spans are borrowed — the referenced request memory must
+/// stay valid until the driver reports local send completion (on_sent),
+/// which is exactly the SendRequest lifetime contract. Destroying the view
+/// returns the pooled blocks to their arenas.
+class PacketView {
+ public:
+  /// Payload span lists up to this long live inline in the view; longer
+  /// lists spill to the heap (counted by heap_allocs()). Aggregated staged
+  /// runs and memory-adjacent segments merge, so almost every packet fits.
+  static constexpr std::size_t kInlineSpans = 4;
+
+  PacketView() = default;
+  PacketView(PacketView&&) = default;
+  PacketView& operator=(PacketView&&) = default;
+  PacketView(const PacketView&) = delete;
+  PacketView& operator=(const PacketView&) = delete;
+
+  /// Wrap a fully encoded flat packet (header + payload already
+  /// contiguous). Compatibility shim for pre-gather call sites; reports
+  /// zero copied bytes because the copy happened before the view existed.
+  [[nodiscard]] static PacketView flat(std::vector<std::byte> wire);
+
+  /// Wrap an encoded head-only packet (e.g. a control packet: the whole
+  /// wire image lives in `head`, there is no payload).
+  [[nodiscard]] static PacketView from_encoded(PooledBuffer head);
+
+  /// Encoded packet header + seg headers (for flat views: the whole wire).
+  [[nodiscard]] std::span<const std::byte> head() const noexcept {
+    return head_.bytes();
+  }
+  /// Payload pieces, in wire order.
+  [[nodiscard]] std::span<const std::span<const std::byte>> payload_spans()
+      const noexcept;
+  [[nodiscard]] std::size_t span_count() const noexcept { return span_count_; }
+  [[nodiscard]] std::size_t payload_bytes() const noexcept { return payload_bytes_; }
+  [[nodiscard]] std::size_t wire_size() const noexcept {
+    return head_.size() + payload_bytes_;
+  }
+  /// Payload bytes that were memcpy'd while building this packet
+  /// (aggregation staging only; zero for the zero-copy paths).
+  [[nodiscard]] std::size_t copied_bytes() const noexcept { return copied_bytes_; }
+  /// Heap allocations performed while building this packet: pool misses on
+  /// the head/staging blocks plus a span-list spill beyond kInlineSpans.
+  [[nodiscard]] std::uint64_t heap_allocs() const noexcept;
+
+  /// Append the full wire image (head + payloads) to `out` — the gather a
+  /// driver performs at the wire boundary, also used by tests.
+  void gather_into(std::vector<std::byte>& out) const;
+  [[nodiscard]] std::vector<std::byte> to_bytes() const;
+
+  /// Drop the span list and return the pooled blocks to their arenas now
+  /// (destruction does the same implicitly).
+  void reset() noexcept;
+
+ private:
+  friend class GatherBuilder;
+
+  PooledBuffer head_;
+  PooledBuffer staging_;
+  std::array<std::span<const std::byte>, kInlineSpans> inline_{};
+  std::vector<std::span<const std::byte>> overflow_;
+  std::uint32_t span_count_ = 0;
+  std::size_t payload_bytes_ = 0;
+  std::size_t copied_bytes_ = 0;
+};
+
+/// Gather-aware packet builder: encodes headers incrementally into the
+/// (pooled) head block and records payload *references* instead of copying
+/// them. Segments are either referenced in place (`add_segment`, zero-copy)
+/// or staged (`add_segment_staged`, the paper's aggregation memcpy into a
+/// contiguous area). finish() seals the header and resolves the span list.
+class GatherBuilder {
+ public:
+  /// `staging` may be a default (dead) handle when no segment will be
+  /// staged; add_segment_staged requires a live one.
+  GatherBuilder(PacketKind kind, PooledBuffer head, PooledBuffer staging = {});
+
+  /// Append a segment whose payload is referenced in place (zero-copy).
+  /// `payload.size()` must equal `header.len`; the memory must outlive the
+  /// send (the SendRequest lifetime contract).
+  void add_segment(const SegHeader& header, std::span<const std::byte> payload);
+
+  /// Append a segment whose payload is memcpy'd into the staging block —
+  /// the aggregation path's deliberate copy. Consecutive staged segments
+  /// resolve to a single contiguous span.
+  void add_segment_staged(const SegHeader& header,
+                          std::span<const std::byte> payload);
+
+  [[nodiscard]] std::size_t seg_count() const noexcept { return seg_count_; }
+  [[nodiscard]] std::size_t payload_bytes() const noexcept { return payload_bytes_; }
+  /// Bytes memcpy'd into staging so far (== the packet's copied_bytes()).
+  [[nodiscard]] std::size_t staged_bytes() const noexcept { return staged_bytes_; }
+  [[nodiscard]] std::size_t wire_size() const noexcept {
+    return packet_wire_size(seg_count_, payload_bytes_);
+  }
+
+  /// Seal the header (patch seg_count/payload_len) and resolve the payload
+  /// span list. The builder may not be reused afterwards.
+  [[nodiscard]] PacketView finish() &&;
+
+ private:
+  /// data == nullptr marks a staged range of `len` bytes (resolved against
+  /// the staging block at finish(), when it can no longer reallocate).
+  struct Entry {
+    const std::byte* data = nullptr;
+    std::size_t len = 0;
+  };
+  void push_entry(Entry e);
+
+  PooledBuffer head_;
+  PooledBuffer staging_;
+  std::array<Entry, PacketView::kInlineSpans> inline_entries_{};
+  std::vector<Entry> overflow_entries_;
+  std::size_t entry_count_ = 0;
+  std::size_t seg_count_ = 0;
+  std::size_t payload_bytes_ = 0;
+  std::size_t staged_bytes_ = 0;
+};
 
 /// Incrementally builds an encoded packet.
 class PacketBuilder {
@@ -96,7 +230,8 @@ struct DecodedPacket {
 /// Validate and decode an encoded packet (checks magic, version, lengths).
 util::Expected<DecodedPacket> decode_packet(std::span<const std::byte> wire);
 
-/// Convenience: build a single-segment data packet.
+/// Convenience: build a single-segment data packet (flat, copies the
+/// payload — legacy/test path; the hot path uses encode_data_packet_view).
 std::vector<std::byte> encode_data_packet(const SegHeader& header,
                                           std::span<const std::byte> payload);
 
@@ -105,5 +240,22 @@ std::vector<std::byte> encode_rdv_req(Tag tag, MsgSeq seq, std::uint32_t total_l
 
 /// Convenience: build a rendezvous grant.
 std::vector<std::byte> encode_rdv_ack(Tag tag, MsgSeq seq);
+
+/// Zero-copy single-segment data packet: pooled header block + a span
+/// referencing `payload` in place.
+PacketView encode_data_packet_view(BufferPool& pool, const SegHeader& header,
+                                   std::span<const std::byte> payload);
+
+/// Fixed-size stack-encoded control-packet fast paths: write the complete
+/// kControlPacketBytes wire image directly into `out` (which must be at
+/// least that large) with no builder, no intermediate vectors.
+void encode_rdv_req_into(std::span<std::byte> out, Tag tag, MsgSeq seq,
+                         std::uint32_t total_len);
+void encode_rdv_ack_into(std::span<std::byte> out, Tag tag, MsgSeq seq);
+
+/// Pooled control packets (the fast paths above, into a recycled block).
+PacketView encode_rdv_req_view(BufferPool& pool, Tag tag, MsgSeq seq,
+                               std::uint32_t total_len);
+PacketView encode_rdv_ack_view(BufferPool& pool, Tag tag, MsgSeq seq);
 
 }  // namespace nmad::proto

@@ -17,11 +17,11 @@ class StrategyAggreg final : public BacklogBase {
 
   [[nodiscard]] std::string_view name() const noexcept override { return "aggreg"; }
 
-  std::optional<PacketPlan> try_pack(core::Gate& /*gate*/, core::Rail& rail,
+  std::optional<PacketPlan> try_pack(core::Gate& gate, core::Rail& rail,
                                      drv::Track track) override {
     if (rail.index() != cfg_.rail) return std::nullopt;
-    if (track == drv::Track::kSmall) return pack_small_aggregated(rail);
-    return pack_chunk(rail);
+    if (track == drv::Track::kSmall) return pack_small_aggregated(gate, rail);
+    return pack_chunk(gate, rail);
   }
 
  private:

@@ -51,63 +51,75 @@ bool BacklogBase::has_backlog() const noexcept {
   return !small_.empty() || !parked_.empty() || !chunks_.empty();
 }
 
-std::optional<PacketPlan> BacklogBase::pack_small_single(core::Rail& /*rail*/) {
+std::optional<PacketPlan> BacklogBase::pack_small_single(core::Gate& gate,
+                                                         core::Rail& /*rail*/) {
   if (small_.empty()) return std::nullopt;
   SmallEntry entry = small_.front();
   small_.pop_front();
 
+  // Zero-copy: pooled header block + a span referencing the segment in
+  // place; the user memory rides to the driver untouched.
   const auto len = static_cast<std::uint32_t>(entry.data.size());
   PacketPlan plan;
-  plan.desc.track = drv::Track::kSmall;
-  plan.desc.wire = proto::encode_data_packet(
-      header_for(*entry.req, entry.msg_offset, len), entry.data);
+  plan.desc = drv::SendDesc{
+      drv::Track::kSmall,
+      proto::encode_data_packet_view(
+          gate.header_pool(), header_for(*entry.req, entry.msg_offset, len),
+          entry.data)};
   plan.contribs.push_back(Contribution{entry.req, len});
   metrics_.aggregation_misses.inc();
   update_depth();
   return plan;
 }
 
-std::optional<PacketPlan> BacklogBase::pack_small_aggregated(core::Rail& rail) {
+std::optional<PacketPlan> BacklogBase::pack_small_aggregated(core::Gate& gate,
+                                                             core::Rail& rail) {
   if (small_.empty()) return std::nullopt;
 
   const std::uint64_t budget =
       std::min<std::uint64_t>(rail.caps().max_small_packet, cfg_.aggregation_limit);
 
-  proto::PacketBuilder builder(proto::PacketKind::kData);
-  PacketPlan plan;
-  plan.desc.track = drv::Track::kSmall;
-
+  // Pre-scan how many queued entries this packet will coalesce: always at
+  // least one (a lone segment can equal the budget), afterwards only while
+  // the payload still fits.
+  std::size_t take = 0;
   std::uint64_t packed = 0;
-  while (!small_.empty() && builder.seg_count() < kMaxAggregatedSegments) {
+  for (const SmallEntry& entry : small_) {
+    if (take == kMaxAggregatedSegments) break;
+    if (take > 0 && packed + entry.data.size() > budget) break;
+    packed += entry.data.size();
+    take += 1;
+  }
+  // Nothing to coalesce: use the zero-copy single-segment path instead of
+  // paying the staging copy for one segment.
+  if (take == 1) return pack_small_single(gate, rail);
+
+  // Aggregation proper — the paper's deliberate memcpy into a contiguous
+  // staging area (recycled from the gate's pool, not reallocated), charged
+  // to the packet via extra_cpu_us.
+  proto::GatherBuilder builder(proto::PacketKind::kData,
+                               gate.header_pool().acquire(),
+                               gate.staging_pool().acquire());
+  PacketPlan plan;
+  for (std::size_t i = 0; i < take; ++i) {
     const SmallEntry& entry = small_.front();
-    const std::uint64_t len = entry.data.size();
-    // Always take at least one entry (a lone segment can equal the budget);
-    // afterwards only while the payload still fits.
-    if (builder.seg_count() > 0 && packed + len > budget) break;
-    builder.add_segment(
-        header_for(*entry.req, entry.msg_offset, static_cast<std::uint32_t>(len)),
-        entry.data);
-    plan.contribs.push_back(
-        Contribution{entry.req, static_cast<std::uint32_t>(len)});
-    packed += len;
+    const auto len = static_cast<std::uint32_t>(entry.data.size());
+    builder.add_segment_staged(header_for(*entry.req, entry.msg_offset, len),
+                               entry.data);
+    plan.contribs.push_back(Contribution{entry.req, len});
     small_.pop_front();
   }
-
-  // Aggregation implies memcpys into the contiguous staging area; a packet
-  // carrying a single segment is injected as-is (zero-copy).
-  if (builder.seg_count() > 1) {
-    plan.desc.extra_cpu_us =
-        static_cast<double>(packed) / rail.caps().copy_bandwidth_mbps;
-    metrics_.aggregation_hits.inc();
-  } else {
-    metrics_.aggregation_misses.inc();
-  }
-  plan.desc.wire = std::move(builder).finish();
+  metrics_.aggregation_hits.inc();
+  const double copy_cost_us =
+      static_cast<double>(packed) / rail.caps().copy_bandwidth_mbps;
+  plan.desc = drv::SendDesc{drv::Track::kSmall, std::move(builder).finish(),
+                            copy_cost_us};
   update_depth();
   return plan;
 }
 
-std::optional<PacketPlan> BacklogBase::pack_chunk(core::Rail& rail) {
+std::optional<PacketPlan> BacklogBase::pack_chunk(core::Gate& gate,
+                                                  core::Rail& rail) {
   const auto idx = static_cast<std::int32_t>(rail.index());
   auto it = std::find_if(chunks_.begin(), chunks_.end(), [idx](const Chunk& c) {
     return c.rail_affinity == Chunk::kAnyRail || c.rail_affinity == idx;
@@ -116,11 +128,15 @@ std::optional<PacketPlan> BacklogBase::pack_chunk(core::Rail& rail) {
   Chunk chunk = *it;
   chunks_.erase(it);
 
+  // DMA chunks are always zero-copy: the paper charges no host copy for
+  // the rendezvous path, and neither do we.
   const auto len = static_cast<std::uint32_t>(chunk.data.size());
   PacketPlan plan;
-  plan.desc.track = drv::Track::kLarge;
-  plan.desc.wire = proto::encode_data_packet(
-      header_for(*chunk.req, chunk.msg_offset, len), chunk.data);
+  plan.desc = drv::SendDesc{
+      drv::Track::kLarge,
+      proto::encode_data_packet_view(
+          gate.header_pool(), header_for(*chunk.req, chunk.msg_offset, len),
+          chunk.data)};
   plan.contribs.push_back(Contribution{chunk.req, len});
   update_depth();
   return plan;

@@ -40,19 +40,26 @@ class BacklogBase : public Strategy {
   virtual void plan_grant(core::Gate& gate, core::MsgKey key,
                           std::vector<LargeEntry> entries) = 0;
 
-  /// Pop the first small entry and emit it as one eager packet (no
-  /// rewriting — the paper's "regular" path).
-  [[nodiscard]] std::optional<PacketPlan> pack_small_single(core::Rail& rail);
+  /// Pop the first small entry and emit it as one zero-copy eager packet
+  /// (no rewriting — the paper's "regular" path): a pooled header block
+  /// from `gate` plus a span referencing the segment in place.
+  [[nodiscard]] std::optional<PacketPlan> pack_small_single(core::Gate& gate,
+                                                           core::Rail& rail);
 
   /// Opportunistic aggregation: drain queued small entries into one eager
   /// packet while the payload fits both the rail's eager limit and the
   /// aggregation limit; charges the memcpy cost to the packet (paper §3.1:
   /// "copy the segments into a contiguous memory area and send them as a
-  /// single chunk"; the copy overhead "is very low" but not zero).
-  [[nodiscard]] std::optional<PacketPlan> pack_small_aggregated(core::Rail& rail);
+  /// single chunk"; the copy overhead "is very low" but not zero). The
+  /// staging buffer is recycled from `gate`'s pool; a packet that would
+  /// carry a single segment falls back to the zero-copy single path.
+  [[nodiscard]] std::optional<PacketPlan> pack_small_aggregated(core::Gate& gate,
+                                                               core::Rail& rail);
 
-  /// Emit the first queued chunk admissible on `rail` as a DMA packet.
-  [[nodiscard]] std::optional<PacketPlan> pack_chunk(core::Rail& rail);
+  /// Emit the first queued chunk admissible on `rail` as a zero-copy DMA
+  /// packet.
+  [[nodiscard]] std::optional<PacketPlan> pack_chunk(core::Gate& gate,
+                                                     core::Rail& rail);
 
   /// Split `entry` across `shares` (railindex, weight) pairs, honoring
   /// cfg_.min_chunk, and queue the chunks with rail affinity.

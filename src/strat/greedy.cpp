@@ -18,10 +18,10 @@ class StrategyGreedy final : public BacklogBase {
 
   [[nodiscard]] std::string_view name() const noexcept override { return "greedy"; }
 
-  std::optional<PacketPlan> try_pack(core::Gate& /*gate*/, core::Rail& rail,
+  std::optional<PacketPlan> try_pack(core::Gate& gate, core::Rail& rail,
                                      drv::Track track) override {
-    if (track == drv::Track::kSmall) return pack_small_single(rail);
-    return pack_chunk(rail);
+    if (track == drv::Track::kSmall) return pack_small_single(gate, rail);
+    return pack_chunk(gate, rail);
   }
 
  private:

@@ -18,11 +18,11 @@ class StrategySingleRail final : public BacklogBase {
     return "single_rail";
   }
 
-  std::optional<PacketPlan> try_pack(core::Gate& /*gate*/, core::Rail& rail,
+  std::optional<PacketPlan> try_pack(core::Gate& gate, core::Rail& rail,
                                      drv::Track track) override {
     if (rail.index() != cfg_.rail) return std::nullopt;
-    if (track == drv::Track::kSmall) return pack_small_single(rail);
-    return pack_chunk(rail);
+    if (track == drv::Track::kSmall) return pack_small_single(gate, rail);
+    return pack_chunk(gate, rail);
   }
 
  private:

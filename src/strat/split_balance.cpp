@@ -29,9 +29,9 @@ class StrategySplitBase : public BacklogBase {
                                      drv::Track track) override {
     if (track == drv::Track::kSmall) {
       if (rail.index() != gate.fastest_rail()) return std::nullopt;
-      return pack_small_aggregated(rail);
+      return pack_small_aggregated(gate, rail);
     }
-    return pack_chunk(rail);
+    return pack_chunk(gate, rail);
   }
 
  protected:

@@ -3,6 +3,7 @@
 // protocol boundary. Uses the panic hook to turn aborts into exceptions.
 #include <gtest/gtest.h>
 
+#include <span>
 #include <stdexcept>
 #include <string>
 
@@ -60,7 +61,7 @@ TEST_F(ErrorPaths, PostSendOnBusyTrackPanics) {
   const auto na = world.add_node(host);
   const auto nb = world.add_node(host);
   auto [da, db] = world.add_link(na, nb, netmodel::myri10g());
-  db->set_deliver([](drv::Track, std::vector<std::byte>) {});
+  db->set_deliver([](drv::Track, std::span<const std::byte>) {});
 
   const auto wire = proto::encode_data_packet(proto::SegHeader{0, 0, 0, 4, 4},
                                               std::vector<std::byte>(4));
@@ -76,7 +77,7 @@ TEST_F(ErrorPaths, OversizedEagerPacketPanics) {
   const auto na = world.add_node(host);
   const auto nb = world.add_node(host);
   auto [da, db] = world.add_link(na, nb, netmodel::myri10g());
-  db->set_deliver([](drv::Track, std::vector<std::byte>) {});
+  db->set_deliver([](drv::Track, std::span<const std::byte>) {});
 
   const std::uint32_t huge = 64 * 1024;
   const auto wire = proto::encode_data_packet(

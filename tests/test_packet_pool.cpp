@@ -1,0 +1,170 @@
+// Pooled-buffer arena and packet-lifetime tests: blocks must recycle once
+// the driver completes a send, steady-state traffic must stop allocating,
+// and — the ASan-enforced contract — a completed request's payload spans
+// must never be read after the caller reclaims the memory.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "core/session.hpp"
+#include "drv/real_world.hpp"
+#include "drv/tcp_driver.hpp"
+#include "proto/pool.hpp"
+#include "proto/wire.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace nmad;
+using namespace nmad::proto;
+
+std::vector<std::byte> random_bytes(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = std::byte(rng.next() & 0xff);
+  return out;
+}
+
+TEST(BufferPool, AcquireReleaseRecyclesBlocks) {
+  BufferPool pool(512, /*max_free=*/4);
+  EXPECT_EQ(pool.free_count(), 0u);
+  {
+    PooledBuffer b = pool.acquire();
+    EXPECT_TRUE(b.live());
+    EXPECT_TRUE(b.fresh());  // first acquire is necessarily a miss
+    EXPECT_GE(b.storage().capacity(), 512u);
+  }
+  // Destruction returned the block to the freelist.
+  EXPECT_EQ(pool.free_count(), 1u);
+  EXPECT_EQ(pool.miss_count(), 1u);
+  EXPECT_EQ(pool.recycled_count(), 1u);
+
+  PooledBuffer again = pool.acquire();
+  EXPECT_FALSE(again.fresh());  // served from the freelist
+  EXPECT_EQ(pool.hit_count(), 1u);
+  EXPECT_EQ(pool.free_count(), 0u);
+}
+
+TEST(BufferPool, MaxFreeBoundsRetainedBlocks) {
+  BufferPool pool(64, /*max_free=*/2);
+  {
+    PooledBuffer a = pool.acquire();
+    PooledBuffer b = pool.acquire();
+    PooledBuffer c = pool.acquire();
+    (void)a;
+    (void)b;
+    (void)c;
+  }
+  // Only two of the three blocks were retained; the third was freed.
+  EXPECT_EQ(pool.free_count(), 2u);
+  EXPECT_EQ(pool.recycled_count(), 2u);
+}
+
+TEST(BufferPool, HandlesOutliveThePoolFrontend) {
+  PooledBuffer escaped;
+  {
+    BufferPool pool(128);
+    escaped = pool.acquire();
+    escaped.storage().assign(16, std::byte{0x2a});
+  }
+  // Pool destroyed first: the handle still owns valid storage and its
+  // release degrades to a plain free.
+  EXPECT_EQ(escaped.bytes().size(), 16u);
+  EXPECT_EQ(escaped.bytes()[0], std::byte{0x2a});
+  escaped.release();
+  EXPECT_FALSE(escaped.live());
+}
+
+TEST(PacketPool, ViewResetReturnsHeadAndStagingBlocks) {
+  BufferPool heads(256, 8);
+  BufferPool staging(1024, 8);
+  std::vector<std::byte> payload(50, std::byte{1});
+  GatherBuilder builder(PacketKind::kData, heads.acquire(), staging.acquire());
+  builder.add_segment_staged(SegHeader{0, 0, 0, 50, 50}, payload);
+  builder.add_segment_staged(SegHeader{1, 1, 0, 50, 50}, payload);
+  PacketView view = std::move(builder).finish();
+  EXPECT_EQ(heads.free_count(), 0u);
+  EXPECT_EQ(staging.free_count(), 0u);
+
+  view.reset();
+  EXPECT_EQ(heads.free_count(), 1u);
+  EXPECT_EQ(staging.free_count(), 1u);
+}
+
+TEST(PacketPool, SteadyStateTrafficReusesGatePools) {
+  // Ping messages through the simulated paper platform: after warm-up, the
+  // gate's header pool must serve every packet from its freelist.
+  core::TwoNodePlatform p(core::paper_platform("aggreg"));
+  const BufferPool& pool =
+      p.a().scheduler().gate(p.gate_ab()).header_pool();
+
+  auto ping = [&](std::uint64_t seed) {
+    const auto payload = random_bytes(512, seed);
+    std::vector<std::byte> sink(512);
+    auto recv = p.b().irecv(p.gate_ba(), 0, sink);
+    auto send = p.a().isend(p.gate_ab(), 0, payload);
+    p.b().wait(recv);
+    p.a().wait(send);
+    EXPECT_EQ(sink, payload);
+  };
+
+  ping(1);  // warm-up: first packets miss and seed the freelist
+  const auto misses_after_warmup = pool.miss_count();
+  const auto hits_before = pool.hit_count();
+  for (std::uint64_t i = 2; i < 12; ++i) ping(i);
+  EXPECT_EQ(pool.miss_count(), misses_after_warmup)
+      << "steady-state packets must not allocate header blocks";
+  EXPECT_GT(pool.hit_count(), hits_before);
+  EXPECT_GT(pool.recycled_count(), 0u);
+}
+
+/// Two sessions over a socketpair rail (mirrors test_tcp_driver.cpp).
+struct TcpFixture {
+  drv::RealWorld world;
+  std::unique_ptr<drv::TcpDriver> drv_a, drv_b;
+  std::unique_ptr<core::Session> a, b;
+  core::GateId gate_ab = 0, gate_ba = 0;
+
+  TcpFixture() {
+    std::tie(drv_a, drv_b) = drv::TcpDriver::create_pair();
+    world.attach(drv_a.get());
+    world.attach(drv_b.get());
+    auto clock = [this] { return world.now(); };
+    auto defer = [this](std::function<void()> fn) { world.defer(std::move(fn)); };
+    auto progress = [this](const std::function<bool()>& pred) {
+      world.progress_until(pred);
+    };
+    a = std::make_unique<core::Session>("A", clock, defer, progress);
+    b = std::make_unique<core::Session>("B", clock, defer, progress);
+    gate_ab = a->connect({drv_a.get()}, "aggreg");
+    gate_ba = b->connect({drv_b.get()}, "aggreg");
+  }
+};
+
+TEST(PacketPool, NoSpanReadAfterSendCompletion) {
+  // The zero-copy contract under ASan: once the driver reports local send
+  // completion the packet's payload spans must never be touched again. We
+  // complete the send, then free *and clobber* the payload memory before
+  // the receiver drains the socket; a stale span read would either trip
+  // ASan (freed) or corrupt the received bytes (clobbered).
+  TcpFixture f;
+  const auto original = random_bytes(3000, 42);
+  auto payload = std::make_unique<std::vector<std::byte>>(original);
+
+  std::vector<std::byte> sink(3000);
+  auto recv = f.b->irecv(f.gate_ba, 7, sink);
+  auto send = f.a->isend(f.gate_ab, 7, *payload);
+  f.a->wait(send);  // driver handed every byte to the kernel
+
+  std::memset(payload->data(), 0xdd, payload->size());  // clobber...
+  payload.reset();                                      // ...then free
+
+  f.b->wait(recv);
+  EXPECT_EQ(sink, original);
+}
+
+}  // namespace

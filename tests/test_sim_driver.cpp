@@ -3,6 +3,7 @@
 // calibration of the presets against the paper's platform numbers.
 #include <gtest/gtest.h>
 
+#include <span>
 #include <vector>
 
 #include "drv/sim_driver.hpp"
@@ -51,10 +52,10 @@ TEST(SimDriver, CapsReflectProfile) {
 TEST(SimDriver, MinimalEagerLatencyMatchesPaper) {
   Fixture f;
   sim::TimeNs delivered = -1;
-  f.myri_b->set_deliver([&](Track, std::vector<std::byte>) {
+  f.myri_b->set_deliver([&](Track, std::span<const std::byte>) {
     delivered = f.world.now();
   });
-  f.quad_b->set_deliver([](Track, std::vector<std::byte>) {});
+  f.quad_b->set_deliver([](Track, std::span<const std::byte>) {});
 
   f.myri_a->post_send(SendDesc{Track::kSmall, data_packet(4), 0.0}, nullptr);
   f.world.engine().run();
@@ -66,7 +67,7 @@ TEST(SimDriver, MinimalEagerLatencyMatchesPaper) {
 
 TEST(SimDriver, TrackBusyUntilSendCompletes) {
   Fixture f;
-  f.myri_b->set_deliver([](Track, std::vector<std::byte>) {});
+  f.myri_b->set_deliver([](Track, std::span<const std::byte>) {});
   EXPECT_TRUE(f.myri_a->send_idle(Track::kSmall));
   bool sent = false;
   f.myri_a->post_send(SendDesc{Track::kSmall, data_packet(1024), 0.0},
@@ -83,8 +84,8 @@ TEST(SimDriver, PioSendsOnDistinctRailsSerializeOnCpu) {
   // bottleneck, so "parallel" PIO sends on two NICs are sequential.
   Fixture f;
   sim::TimeNs myri_sent = -1, quad_sent = -1;
-  f.myri_b->set_deliver([](Track, std::vector<std::byte>) {});
-  f.quad_b->set_deliver([](Track, std::vector<std::byte>) {});
+  f.myri_b->set_deliver([](Track, std::span<const std::byte>) {});
+  f.quad_b->set_deliver([](Track, std::span<const std::byte>) {});
 
   const auto pkt = data_packet(4096);
   f.myri_a->post_send(SendDesc{Track::kSmall, pkt, 0.0},
@@ -105,8 +106,8 @@ TEST(SimDriver, DmaSendsOverlapAndShareTheBus) {
   // by the ~2 GB/s host I/O bus -> aggregate ~1675-1950 MB/s.
   Fixture f;
   sim::TimeNs myri_done = -1, quad_done = -1;
-  f.myri_b->set_deliver([](Track, std::vector<std::byte>) {});
-  f.quad_b->set_deliver([](Track, std::vector<std::byte>) {});
+  f.myri_b->set_deliver([](Track, std::span<const std::byte>) {});
+  f.quad_b->set_deliver([](Track, std::span<const std::byte>) {});
 
   const std::uint32_t len = 4 * 1024 * 1024;
   f.myri_a->post_send(SendDesc{Track::kLarge, data_packet(len), 0.0},
@@ -127,12 +128,12 @@ TEST(SimDriver, DmaSendsOverlapAndShareTheBus) {
 TEST(SimDriver, EagerDeliveryIsFifoPerRail) {
   Fixture f;
   std::vector<std::size_t> sizes;
-  f.myri_b->set_deliver([&](Track, std::vector<std::byte> wire) {
+  f.myri_b->set_deliver([&](Track, std::span<const std::byte> wire) {
     sizes.push_back(wire.size());
     // The next packet can only be posted once the track frees; emulate a
     // pipelined sender posting back-to-back from completions.
   });
-  f.quad_b->set_deliver([](Track, std::vector<std::byte>) {});
+  f.quad_b->set_deliver([](Track, std::span<const std::byte>) {});
 
   // Chain three sends of decreasing size; FIFO delivery must preserve order
   // even though the later (smaller) packets spend less time in PIO.
@@ -169,8 +170,8 @@ TEST(SimDriver, PollPenaltyScalesWithOtherRails) {
 TEST(SimDriver, StatsCountPacketsAndBytes) {
   Fixture f;
   int delivered = 0;
-  f.myri_b->set_deliver([&](Track, std::vector<std::byte>) { ++delivered; });
-  f.quad_b->set_deliver([](Track, std::vector<std::byte>) {});
+  f.myri_b->set_deliver([&](Track, std::span<const std::byte>) { ++delivered; });
+  f.quad_b->set_deliver([](Track, std::span<const std::byte>) {});
 
   f.myri_a->post_send(SendDesc{Track::kSmall, data_packet(100), 0.0}, nullptr);
   f.myri_a->post_send(SendDesc{Track::kLarge, data_packet(100000), 0.0}, nullptr);
@@ -187,8 +188,8 @@ TEST(SimDriver, StatsCountPacketsAndBytes) {
 TEST(SimDriver, ExtraCpuDelaysEagerInjection) {
   Fixture f;
   sim::TimeNs t_plain = -1, t_extra = -1;
-  f.myri_b->set_deliver([](Track, std::vector<std::byte>) {});
-  f.quad_b->set_deliver([](Track, std::vector<std::byte>) {});
+  f.myri_b->set_deliver([](Track, std::span<const std::byte>) {});
+  f.quad_b->set_deliver([](Track, std::span<const std::byte>) {});
 
   f.myri_a->post_send(SendDesc{Track::kSmall, data_packet(64), 0.0},
                       [&] { t_plain = f.world.now(); });

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/session.hpp"
@@ -132,8 +133,8 @@ TEST(TcpDriver, AggregationHappensOverSocketsToo) {
 
 TEST(TcpDriver, TrackIdleContract) {
   auto [da, db] = drv::TcpDriver::create_pair();
-  db->set_deliver([](drv::Track, std::vector<std::byte>) {});
-  da->set_deliver([](drv::Track, std::vector<std::byte>) {});
+  db->set_deliver([](drv::Track, std::span<const std::byte>) {});
+  da->set_deliver([](drv::Track, std::span<const std::byte>) {});
   EXPECT_TRUE(da->send_idle(drv::Track::kSmall));
 
   bool sent = false;

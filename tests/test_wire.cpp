@@ -108,6 +108,163 @@ TEST(Wire, RejectsExtentBeyondMessage) {
   EXPECT_FALSE(decode_packet(wire).has_value());
 }
 
+// --- scatter-gather packet views --------------------------------------------
+
+TEST(WireGather, SingleSegmentViewIsZeroCopyAndByteIdentical) {
+  BufferPool pool(256);
+  const auto payload = bytes_of({9, 8, 7, 6, 5, 4});
+  const SegHeader h{3, 11, 24, 6, 640};
+  PacketView view = encode_data_packet_view(pool, h, payload);
+
+  EXPECT_EQ(view.copied_bytes(), 0u);
+  EXPECT_EQ(view.span_count(), 1u);
+  // The payload span references the caller's memory in place.
+  EXPECT_EQ(view.payload_spans()[0].data(), payload.data());
+
+  const auto gathered = view.to_bytes();
+  EXPECT_EQ(gathered, encode_data_packet(h, payload));
+  EXPECT_EQ(gathered.size(), view.wire_size());
+}
+
+TEST(WireGather, MultiSpanPayloadsRoundTrip) {
+  // Referenced segments living in *separate* buffers cannot merge, so the
+  // view carries one span per segment; the gathered frame must still decode
+  // exactly like a flat aggregated packet.
+  BufferPool pool(1024);
+  std::vector<std::vector<std::byte>> payloads;
+  for (int i = 0; i < 7; ++i) {
+    payloads.push_back(std::vector<std::byte>(40 + i, std::byte(i + 1)));
+  }
+  GatherBuilder builder(PacketKind::kData, pool.acquire());
+  for (std::uint32_t i = 0; i < 7; ++i) {
+    builder.add_segment(
+        SegHeader{i, i, 0, static_cast<std::uint32_t>(payloads[i].size()),
+                  static_cast<std::uint32_t>(payloads[i].size())},
+        payloads[i]);
+  }
+  PacketView view = std::move(builder).finish();
+  EXPECT_EQ(view.span_count(), 7u);
+  EXPECT_EQ(view.copied_bytes(), 0u);
+
+  const auto gathered = view.to_bytes();
+  const auto decoded = decode_packet(gathered);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->segments.size(), 7u);
+  for (std::uint32_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(decoded->segments[i].header.tag, i);
+    EXPECT_TRUE(std::equal(payloads[i].begin(), payloads[i].end(),
+                           decoded->segments[i].payload.begin()));
+  }
+}
+
+TEST(WireGather, EmptyPayloadSegmentsAddHeadersButNoSpans) {
+  BufferPool pool(1024);
+  const auto payload = bytes_of({1, 2, 3});
+  GatherBuilder builder(PacketKind::kData, pool.acquire());
+  builder.add_segment(SegHeader{0, 0, 0, 0, 0}, {});
+  builder.add_segment(SegHeader{1, 1, 0, 3, 3}, payload);
+  builder.add_segment(SegHeader{2, 2, 0, 0, 0}, {});
+  PacketView view = std::move(builder).finish();
+
+  EXPECT_EQ(view.span_count(), 1u);
+  EXPECT_EQ(view.payload_bytes(), 3u);
+  const auto gathered = view.to_bytes();
+  const auto decoded = decode_packet(gathered);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->segments.size(), 3u);
+  EXPECT_TRUE(decoded->segments[0].payload.empty());
+  EXPECT_EQ(decoded->segments[1].payload.size(), 3u);
+  EXPECT_TRUE(decoded->segments[2].payload.empty());
+}
+
+TEST(WireGather, StagedSegmentsMergeIntoOneSpanAndCountCopies) {
+  BufferPool heads(1024);
+  BufferPool staging(8192);
+  std::vector<std::vector<std::byte>> payloads;
+  for (int i = 0; i < 5; ++i) {
+    payloads.push_back(std::vector<std::byte>(100, std::byte(0x40 + i)));
+  }
+  GatherBuilder builder(PacketKind::kData, heads.acquire(), staging.acquire());
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    builder.add_segment_staged(SegHeader{i, i, 0, 100, 100}, payloads[i]);
+  }
+  PacketView view = std::move(builder).finish();
+
+  // The aggregation memcpy is the only copy, and consecutive staged
+  // segments resolve to a single contiguous span.
+  EXPECT_EQ(view.copied_bytes(), 500u);
+  EXPECT_EQ(view.span_count(), 1u);
+  const auto gathered = view.to_bytes();
+  const auto decoded = decode_packet(gathered);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->segments.size(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(std::equal(payloads[i].begin(), payloads[i].end(),
+                           decoded->segments[i].payload.begin()));
+  }
+}
+
+TEST(WireGather, MaxSegCountSpillsPastInlineSpansAndRoundTrips) {
+  // 64 segments in distinct buffers: far beyond kInlineSpans, exercising
+  // the overflow span list end to end.
+  BufferPool pool(4096);
+  constexpr std::uint32_t kSegs = 64;
+  std::vector<std::vector<std::byte>> payloads;
+  for (std::uint32_t i = 0; i < kSegs; ++i) {
+    payloads.push_back(std::vector<std::byte>(8, std::byte(i)));
+  }
+  GatherBuilder builder(PacketKind::kData, pool.acquire());
+  for (std::uint32_t i = 0; i < kSegs; ++i) {
+    builder.add_segment(SegHeader{i, i, 0, 8, 8}, payloads[i]);
+  }
+  PacketView view = std::move(builder).finish();
+  EXPECT_EQ(view.span_count(), kSegs);
+  EXPECT_GT(view.span_count(), PacketView::kInlineSpans);
+
+  const auto gathered = view.to_bytes();
+  const auto decoded = decode_packet(gathered);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->segments.size(), kSegs);
+  for (std::uint32_t i = 0; i < kSegs; ++i) {
+    EXPECT_EQ(decoded->segments[i].header.tag, i);
+    EXPECT_TRUE(std::equal(payloads[i].begin(), payloads[i].end(),
+                           decoded->segments[i].payload.begin()));
+  }
+}
+
+TEST(WireGather, AdjacentReferencedSegmentsMergeSpans) {
+  // Two segments that are contiguous in memory (a split message) gather
+  // from a single span.
+  BufferPool pool(1024);
+  std::vector<std::byte> message(200, std::byte{0x5c});
+  const std::span<const std::byte> all = message;
+  GatherBuilder builder(PacketKind::kData, pool.acquire());
+  builder.add_segment(SegHeader{1, 1, 0, 120, 200}, all.subspan(0, 120));
+  builder.add_segment(SegHeader{1, 1, 120, 80, 200}, all.subspan(120, 80));
+  PacketView view = std::move(builder).finish();
+  EXPECT_EQ(view.span_count(), 1u);
+  EXPECT_EQ(view.payload_bytes(), 200u);
+  ASSERT_TRUE(decode_packet(view.to_bytes()).has_value());
+}
+
+TEST(WireGather, ControlFastPathsMatchLegacyEncodersByteForByte) {
+  std::array<std::byte, kControlPacketBytes> buf{};
+  encode_rdv_req_into(buf, 5, 77, 123456);
+  const auto legacy_req = encode_rdv_req(5, 77, 123456);
+  EXPECT_TRUE(std::equal(legacy_req.begin(), legacy_req.end(), buf.begin()));
+
+  encode_rdv_ack_into(buf, 5, 77);
+  const auto legacy_ack = encode_rdv_ack(5, 77);
+  EXPECT_TRUE(std::equal(legacy_ack.begin(), legacy_ack.end(), buf.begin()));
+
+  BufferPool pool(kControlPacketBytes);
+  PacketView req = encode_rdv_req_view(pool, 5, 77, 123456);
+  EXPECT_EQ(req.to_bytes(), legacy_req);
+  EXPECT_EQ(req.copied_bytes(), 0u);
+  PacketView ack = encode_rdv_ack_view(pool, 5, 77);
+  EXPECT_EQ(ack.to_bytes(), legacy_ack);
+}
+
 TEST(Wire, RandomizedRoundTripSweep) {
   nmad::util::Xoshiro256 rng(2024);
   for (int round = 0; round < 200; ++round) {
