@@ -14,6 +14,11 @@ which fails the build when:
   * a packet_path entry (micro_hotpaths) violates the zero-copy contract:
     bytes_copied must never exceed total_bytes, paths flagged zero_copy
     must report bytes_copied == 0, and packets_per_sec must be positive;
+  * the reliability layer misbehaved on a clean (lossless) run: benches
+    inject no faults, so any railN.retransmits > 0 means spurious timeouts
+    (an RTO mistuned far below the simulated RTT), and any railN.state
+    other than 0 (healthy) means a rail was suspected or died with nothing
+    wrong on the wire;
   * a rail is dead: neither endpoint sent bytes on it and neither endpoint
     ever polled it. A rail that carries zero bytes is legitimate (the v2
     strategy aggregates small messages on the fastest rail, so in a latency
@@ -38,6 +43,8 @@ REQUIRED_RAIL_KEYS = (
     "pio_transfers",
     "rdv_transfers",
     "aggregation_hits",
+    "retransmits",
+    "state",
 )
 
 REQUIRED_PACKET_PATH_KEYS = (
@@ -93,6 +100,17 @@ def check_report(path):
                     f"{where}: bytes_copied={rail['bytes_copied']} exceeds "
                     f"bytes_sent={rail['bytes_sent']} (staging copies must be "
                     "a subset of wire traffic)")
+            if rail["retransmits"] != 0:
+                errors.append(
+                    f"{where}: retransmits={rail['retransmits']} on a clean "
+                    "bench run (no faults are injected; the RTO fired "
+                    "spuriously)")
+            state = rail["state"]
+            state_value = state.get("value") if isinstance(state, dict) else state
+            if state_value != 0:
+                errors.append(
+                    f"{where}: state={state_value} (0=healthy expected on a "
+                    "clean bench run; 1=suspect, 2=dead)")
             rail_id = rail_path.split(".", 1)[-1]
             acc = physical.setdefault(rail_id, [0, 0])
             acc[0] += rail["bytes_sent"]

@@ -68,6 +68,21 @@ Rail& Gate::rail(RailIndex i) {
   return rails_[i];
 }
 
+void Gate::recompute_fastest() {
+  bool found = false;
+  double best_latency = 0.0;
+  for (const Rail& r : rails_) {
+    if (!r.alive()) continue;
+    if (!found || r.caps().latency_us < best_latency) {
+      best_latency = r.caps().latency_us;
+      fastest_rail_ = r.index();
+      found = true;
+    }
+  }
+  // No rail alive: leave the stale value; the gate is about to fail and
+  // nothing consults fastest_rail() afterwards.
+}
+
 void Gate::set_ratios(std::vector<double> weights) {
   NMAD_ASSERT(weights.size() == rails_.size(), "one weight per rail required");
   const double sum = std::accumulate(weights.begin(), weights.end(), 0.0);

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/rail_guard.hpp"
 #include "core/request.hpp"
 #include "core/types.hpp"
 #include "drv/driver.hpp"
@@ -27,8 +28,6 @@ class MetricsRegistry;
 
 namespace nmad::core {
 
-using GateId = std::uint32_t;
-
 /// One rail of a gate: a driver endpoint plus per-rail accounting.
 class Rail {
  public:
@@ -42,6 +41,14 @@ class Rail {
   [[nodiscard]] bool idle(drv::Track track) const noexcept {
     return driver_->send_idle(track);
   }
+  /// Rail health (see core/reliability.hpp). Dead rails are quiesced; only
+  /// healthy ones take new traffic from the pump.
+  [[nodiscard]] bool alive() const noexcept { return guard.alive(); }
+  [[nodiscard]] bool healthy() const noexcept { return guard.healthy(); }
+
+  /// Per-rail reliability layer (sealing, ack/retransmit, health state).
+  /// Initialized by the scheduler in add_gate.
+  RailGuard guard;
 
   /// Transmit accounting, per track (indexed by drv::Track).
   struct TxStats {
@@ -120,6 +127,12 @@ class Gate {
   /// aggregated small messages there — Quadrics on the paper's platform).
   [[nodiscard]] RailIndex fastest_rail() const noexcept { return fastest_rail_; }
 
+  /// Re-pick fastest_rail() among the rails still alive (after a death).
+  void recompute_fastest();
+
+  /// True once every rail died and the gate's requests were failed.
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+
   // --- packet buffer arenas -------------------------------------------------
   /// Pool of header blocks (packet header + seg headers; also whole
   /// control packets). Blocks recycle when the driver finishes the send.
@@ -171,6 +184,11 @@ class Gate {
   std::map<MsgKey, Incoming> incoming_;
   // Rendezvous control packets awaiting an idle eager track.
   std::deque<drv::SendDesc> control_;
+  // Un-acked frames surrendered by dead rails, awaiting repost on a
+  // survivor (drained by the pump ahead of new strategy work).
+  std::deque<RailGuard::PendingFrame> resend_;
+  // Every rail died: requests failed, no further traffic.
+  bool failed_ = false;
   // Pump re-entrancy guard.
   bool pumping_ = false;
   bool repump_ = false;

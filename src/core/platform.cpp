@@ -29,8 +29,11 @@ TwoNodePlatform::TwoNodePlatform(PlatformConfig config)
   auto progress = [w](const std::function<bool()>& pred) {
     w->engine().run_until(pred);
   };
-  session_a_ = std::make_unique<Session>("A", clock, defer, progress);
-  session_b_ = std::make_unique<Session>("B", clock, defer, progress);
+  auto timer = [w](sim::TimeNs delay, std::function<void()> fn) {
+    w->engine().schedule(delay, std::move(fn));
+  };
+  session_a_ = std::make_unique<Session>("A", clock, defer, progress, timer);
+  session_b_ = std::make_unique<Session>("B", clock, defer, progress, timer);
 
   gate_ab_ = session_a_->connect(
       std::vector<drv::Driver*>(rails_a_.begin(), rails_a_.end()),

@@ -1,0 +1,388 @@
+#include "core/rail_guard.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "obs/registry.hpp"
+#include "proto/wire.hpp"
+#include "util/log.hpp"
+#include "util/panic.hpp"
+
+namespace nmad::core {
+
+void RailGuardMetrics::register_into(obs::MetricsRegistry& registry,
+                                     const std::string& prefix) const {
+  registry.add(prefix + "retransmits", &retransmits);
+  registry.add(prefix + "timeouts", &timeouts);
+  registry.add(prefix + "acks_sent", &acks_sent);
+  registry.add(prefix + "acks_received", &acks_received);
+  registry.add(prefix + "dup_frames", &dup_frames);
+  registry.add(prefix + "crc_drops", &crc_drops);
+  registry.add(prefix + "malformed_drops", &malformed_drops);
+  registry.add(prefix + "state_transitions", &state_transitions);
+  registry.add(prefix + "requeued_packets", &requeued_packets);
+  registry.add(prefix + "requeued_bytes", &requeued_bytes);
+  registry.add(prefix + "state", &state);
+}
+
+void RailGuard::init(drv::Driver& driver, RailIndex index,
+                     ReliabilityConfig cfg, Hooks hooks) {
+  NMAD_ASSERT(driver_ == nullptr, "RailGuard initialized twice");
+  driver_ = &driver;
+  index_ = index;
+  cfg_ = cfg;
+  hooks_ = std::move(hooks);
+  jitter_ = util::Xoshiro256(cfg_.jitter_seed + index);
+  NMAD_ASSERT(hooks_.now && hooks_.credit && hooks_.deliver && hooks_.kick,
+              "RailGuard hooks incomplete");
+  NMAD_ASSERT(!cfg_.ack_enabled || hooks_.timer != nullptr,
+              "ack/retransmit requires a timer hook");
+  metrics.state.set(static_cast<std::int64_t>(state_));
+}
+
+// --------------------------------------------------------------------------
+// Transmit path
+// --------------------------------------------------------------------------
+
+void RailGuard::seal(drv::SendDesc& desc, std::uint8_t flags,
+                     std::uint32_t seq) {
+  proto::FrameEnvelope env;
+  env.flags = flags;
+  env.seq = seq;
+  // Every outgoing frame piggybacks our cumulative receive state; the
+  // fields double as the standalone-ack payload.
+  env.ack_small = rx_[0].contiguous;
+  env.ack_large = rx_[1].contiguous;
+  proto::seal_frame_envelope(desc.envelope, env, desc.view.head(),
+                             desc.view.payload_spans());
+  rx_[0].last_acked = env.ack_small;
+  rx_[1].last_acked = env.ack_large;
+  rx_[static_cast<std::size_t>(desc.track)].force_ack = false;
+}
+
+drv::SendDesc RailGuard::make_alias(const TxEntry& entry) const {
+  drv::SendDesc alias(entry.desc.track, entry.desc.view.alias(),
+                      entry.desc.extra_cpu_us);
+  alias.envelope = entry.desc.envelope;
+  return alias;
+}
+
+void RailGuard::post(drv::SendDesc desc, std::vector<strat::Contribution> contribs) {
+  NMAD_ASSERT(driver_ != nullptr, "RailGuard used before init");
+  NMAD_ASSERT(state_ != RailState::kDead, "post on dead rail");
+  const auto track_idx = static_cast<std::size_t>(desc.track);
+  const std::uint32_t seq = ++next_seq_[track_idx];
+  seal(desc, 0, seq);
+
+  if (!cfg_.ack_enabled) {
+    // Legacy semantics: contributions credit on local send completion and
+    // nothing is retained — the wire is trusted to be reliable.
+    driver_->post_send(
+        std::move(desc), [this, contribs = std::move(contribs)] {
+          hooks_.credit(contribs);
+          hooks_.kick();
+        });
+    return;
+  }
+
+  TxEntry entry;
+  entry.seq = seq;
+  entry.track = desc.track;
+  entry.desc = std::move(desc);
+  entry.contribs = std::move(contribs);
+  entry.deadline = hooks_.now() + next_rto(0);
+  entry.in_flight = true;
+  tx_.push_back(std::move(entry));
+
+  const drv::Track track = tx_.back().track;
+  driver_->post_send(make_alias(tx_.back()), [this, seq, track] {
+    for (auto it = tx_.begin(); it != tx_.end(); ++it) {
+      if (it->seq != seq || it->track != track) continue;
+      it->in_flight = false;
+      it->locally_done = true;
+      if (it->acked) {
+        const auto done = std::move(it->contribs);
+        tx_.erase(it);
+        hooks_.credit(done);
+      }
+      break;
+    }
+    hooks_.kick();
+  });
+  arm_retransmit_timer();
+}
+
+sim::TimeNs RailGuard::next_rto(std::uint32_t retries) {
+  double rto = static_cast<double>(cfg_.rto_ns) *
+               std::pow(cfg_.rto_backoff, static_cast<double>(retries));
+  rto = std::min(rto, static_cast<double>(cfg_.rto_max_ns));
+  // +/- jitter/2 around the nominal deadline: parallel rails (and the two
+  // peers of one rail) must not retransmit in lockstep.
+  rto *= 1.0 + cfg_.rto_jitter * (jitter_.next_double() - 0.5);
+  return static_cast<sim::TimeNs>(rto);
+}
+
+void RailGuard::arm_retransmit_timer() {
+  if (!cfg_.ack_enabled || state_ == RailState::kDead) return;
+  sim::TimeNs earliest = 0;
+  bool found = false;
+  for (const TxEntry& e : tx_) {
+    if (e.acked) continue;
+    if (!found || e.deadline < earliest) {
+      earliest = e.deadline;
+      found = true;
+    }
+  }
+  if (!found) return;
+  if (rto_timer_armed_ && earliest >= rto_timer_deadline_) return;
+  rto_timer_armed_ = true;
+  rto_timer_deadline_ = earliest;
+  const sim::TimeNs now = hooks_.now();
+  const sim::TimeNs delay = earliest > now ? earliest - now : 0;
+  hooks_.timer(delay, [this] { on_retransmit_timer(); });
+}
+
+void RailGuard::on_retransmit_timer() {
+  rto_timer_armed_ = false;
+  if (state_ == RailState::kDead) return;
+  handle_deadlines();
+}
+
+void RailGuard::handle_deadlines() {
+  if (in_deadlines_) return;
+  in_deadlines_ = true;
+  const sim::TimeNs now = hooks_.now();
+  // Index loop: a transition upcall inside the body can pump the gate and
+  // push new retained frames (deque iterators would invalidate).
+  for (std::size_t i = 0; i < tx_.size(); ++i) {
+    if (tx_[i].acked || tx_[i].deadline > now) continue;
+    metrics.timeouts.inc();
+    consecutive_timeouts_ += 1;
+    tx_[i].retries += 1;
+    if (tx_[i].retries > cfg_.max_retries) {
+      in_deadlines_ = false;
+      die("retransmit retries exhausted");
+      return;
+    }
+    tx_[i].deadline = now + next_rto(tx_[i].retries);
+    if (state_ == RailState::kHealthy &&
+        consecutive_timeouts_ >= cfg_.suspect_after) {
+      transition(RailState::kSuspect);
+    }
+    // Retransmit if the track is free; a suspect rail's retransmissions
+    // are its recovery probes. A busy (or killed) track just re-arms — the
+    // retry is still charged, so a silent rail converges to dead.
+    if (driver_->send_idle(tx_[i].track)) {
+      metrics.retransmits.inc();
+      drv::SendDesc alias = make_alias(tx_[i]);
+      if (hooks_.note_post) hooks_.note_post(alias);
+      tx_[i].in_flight = true;
+      const std::uint32_t seq = tx_[i].seq;
+      const drv::Track track = tx_[i].track;
+      driver_->post_send(std::move(alias), [this, seq, track] {
+        for (auto it = tx_.begin(); it != tx_.end(); ++it) {
+          if (it->seq != seq || it->track != track) continue;
+          it->in_flight = false;
+          it->locally_done = true;
+          if (it->acked) {
+            const auto contribs = std::move(it->contribs);
+            tx_.erase(it);
+            hooks_.credit(contribs);
+          }
+          break;
+        }
+        hooks_.kick();
+      });
+    }
+  }
+  in_deadlines_ = false;
+  arm_retransmit_timer();
+}
+
+bool RailGuard::flush() {
+  if (state_ == RailState::kDead || !cfg_.ack_enabled) return false;
+  bool posted = false;
+  // Due retransmissions first (they also re-arm the timer) ...
+  const sim::TimeNs now = hooks_.now();
+  bool any_due = false;
+  for (const TxEntry& e : tx_) {
+    if (!e.acked && e.deadline <= now) {
+      any_due = true;
+      break;
+    }
+  }
+  if (any_due) {
+    handle_deadlines();
+    posted = true;
+  }
+  // ... then an owed standalone ack on an otherwise idle eager track.
+  if (ack_due_ && owes_ack()) posted |= try_send_standalone_ack();
+  return posted;
+}
+
+// --------------------------------------------------------------------------
+// Receive path
+// --------------------------------------------------------------------------
+
+void RailGuard::on_frame(drv::Track track, std::span<const std::byte> frame) {
+  if (state_ == RailState::kDead) return;  // quiesced: drop silently
+  auto env = proto::decode_frame_envelope(frame);
+  if (!env) {
+    metrics.malformed_drops.inc();
+    return;
+  }
+  if (!proto::verify_frame_checksum(frame)) {
+    // Corrupt bytes are never trusted — and never acked, so the sender's
+    // retransmission heals the loss.
+    metrics.crc_drops.inc();
+    return;
+  }
+  process_acks(*env);
+  if ((env->flags & proto::kFrameAckOnly) != 0) return;
+
+  if (env->seq != 0 && !rx_accept(track, env->seq)) {
+    // Duplicate (retransmission whose original arrived, or injected dup):
+    // suppress delivery but force a re-ack — the duplicate usually means
+    // our previous ack was lost.
+    metrics.dup_frames.inc();
+    rx_[static_cast<std::size_t>(track)].force_ack = true;
+    if (cfg_.ack_enabled) {
+      ack_due_ = true;
+      hooks_.kick();
+    }
+    return;
+  }
+  if (env->seq != 0) note_ack_needed();
+  hooks_.deliver(track, frame.subspan(proto::kFrameEnvelopeBytes));
+}
+
+bool RailGuard::rx_accept(drv::Track track, std::uint32_t seq) {
+  RxTrack& rx = rx_[static_cast<std::size_t>(track)];
+  if (seq <= rx.contiguous || rx.beyond.count(seq) != 0) return false;
+  if (seq == rx.contiguous + 1) {
+    rx.contiguous = seq;
+    auto it = rx.beyond.begin();
+    while (it != rx.beyond.end() && *it == rx.contiguous + 1) {
+      rx.contiguous = *it;
+      it = rx.beyond.erase(it);
+    }
+  } else {
+    rx.beyond.insert(seq);
+  }
+  return true;
+}
+
+void RailGuard::process_acks(const proto::FrameEnvelope& env) {
+  bool advanced = false;
+  advanced |= apply_ack(drv::Track::kSmall, env.ack_small);
+  advanced |= apply_ack(drv::Track::kLarge, env.ack_large);
+  if (!advanced) return;
+  metrics.acks_received.inc();
+  consecutive_timeouts_ = 0;
+  if (state_ == RailState::kSuspect) {
+    // An acknowledged probe: the rail recovered.
+    transition(RailState::kHealthy);
+  }
+}
+
+bool RailGuard::apply_ack(drv::Track track, std::uint32_t upto) {
+  bool advanced = false;
+  for (auto it = tx_.begin(); it != tx_.end();) {
+    if (it->track == track && !it->acked && it->seq <= upto) {
+      advanced = true;
+      it->acked = true;
+      if (it->locally_done) {
+        const auto contribs = std::move(it->contribs);
+        it = tx_.erase(it);
+        hooks_.credit(contribs);
+        continue;
+      }
+    }
+    ++it;
+  }
+  return advanced;
+}
+
+bool RailGuard::owes_ack() const noexcept {
+  for (const RxTrack& rx : rx_) {
+    if (rx.force_ack || rx.last_acked != rx.contiguous) return true;
+  }
+  return false;
+}
+
+void RailGuard::note_ack_needed() {
+  if (!cfg_.ack_enabled || !owes_ack() || ack_timer_armed_) return;
+  // Delay the standalone ack: outgoing data within the window piggybacks
+  // the ack for free, which is the common case under load.
+  ack_timer_armed_ = true;
+  hooks_.timer(cfg_.ack_delay_ns, [this] {
+    ack_timer_armed_ = false;
+    if (state_ == RailState::kDead || !owes_ack()) return;
+    ack_due_ = true;
+    if (!try_send_standalone_ack()) hooks_.kick();
+  });
+}
+
+bool RailGuard::try_send_standalone_ack() {
+  if (!driver_->send_idle(drv::Track::kSmall)) return false;
+  drv::SendDesc desc;
+  desc.track = drv::Track::kSmall;
+  seal(desc, proto::kFrameAckOnly, 0);
+  rx_[0].force_ack = false;
+  rx_[1].force_ack = false;
+  ack_due_ = false;
+  metrics.acks_sent.inc();
+  if (hooks_.note_post) hooks_.note_post(desc);
+  driver_->post_send(std::move(desc), [this] { hooks_.kick(); });
+  return true;
+}
+
+// --------------------------------------------------------------------------
+// State machine
+// --------------------------------------------------------------------------
+
+void RailGuard::transition(RailState next) {
+  if (state_ == next) return;
+  NMAD_ASSERT(state_ != RailState::kDead, "no transitions out of dead");
+  NMAD_LOG_INFO("rail", "rail%u: %s -> %s", index_, rail_state_name(state_),
+                rail_state_name(next));
+  state_ = next;
+  metrics.state_transitions.inc();
+  metrics.state.set(static_cast<std::int64_t>(state_));
+  if (hooks_.on_state_change) hooks_.on_state_change(state_);
+}
+
+void RailGuard::die(const char* reason) {
+  if (state_ == RailState::kDead) return;
+  NMAD_LOG_WARN("rail", "rail%u declared dead: %s", index_, reason);
+  transition(RailState::kDead);
+}
+
+void RailGuard::on_driver_error(const drv::RailError& err) {
+  NMAD_LOG_WARN("rail", "rail%u driver error on %s track: %s (%s, errno=%d)",
+                index_, drv::track_name(err.track), err.detail.c_str(),
+                drv::rail_error_name(err.kind), err.sys_errno);
+  die("driver reported a hard failure");
+}
+
+std::vector<RailGuard::PendingFrame> RailGuard::take_unacked() {
+  NMAD_ASSERT(state_ == RailState::kDead, "take_unacked on a live rail");
+  std::vector<PendingFrame> out;
+  out.reserve(tx_.size());
+  for (TxEntry& e : tx_) {
+    if (e.acked) {
+      // The peer has the data; only local completion was pending (and the
+      // driver will never report it now). Credit as sent.
+      hooks_.credit(e.contribs);
+      continue;
+    }
+    metrics.requeued_packets.inc();
+    metrics.requeued_bytes.inc(e.desc.wire_size());
+    out.push_back(PendingFrame{std::move(e.desc), std::move(e.contribs)});
+  }
+  tx_.clear();
+  return out;
+}
+
+}  // namespace nmad::core

@@ -1,0 +1,196 @@
+// RailGuard: per-rail reliability — sequencing, acknowledgement,
+// retransmission and the rail health state machine.
+//
+// One guard sits between the scheduler and each rail's driver. On the way
+// down it seals every frame with the reliability envelope (per-track
+// sequence number, piggybacked cumulative acks, CRC32C over the gathered
+// spans); on the way up it validates, deduplicates and acknowledges frames
+// before handing the bare packet to the scheduler. With acknowledgements
+// enabled it additionally retains each posted frame until the peer acks
+// it, retransmitting after a timeout with exponential backoff + jitter,
+// and drives the healthy → suspect → dead state machine (see
+// core/reliability.hpp). A dead rail's retained frames are surrendered via
+// take_unacked() for the scheduler to requeue on the survivors.
+//
+// With acks disabled (the default) the guard is a thin sealing/validating
+// shim with the exact legacy completion semantics: contributions are
+// credited on local send completion and nothing is retained.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/reliability.hpp"
+#include "core/types.hpp"
+#include "drv/driver.hpp"
+#include "obs/metrics.hpp"
+#include "strat/strategy.hpp"
+#include "util/rng.hpp"
+
+namespace nmad::obs {
+class MetricsRegistry;
+}  // namespace nmad::obs
+
+namespace nmad::core {
+
+/// Reliability counters for one rail. `state` mirrors the functional
+/// RailState enum (0 healthy / 1 suspect / 2 dead) so the metrics tree —
+/// and the CI bench gate — can see rail health; the enum itself stays a
+/// plain member so the state machine works with NMAD_METRICS=OFF.
+struct RailGuardMetrics {
+  obs::Counter retransmits;
+  obs::Counter timeouts;
+  obs::Counter acks_sent;  ///< standalone ack-only frames (piggybacks are free)
+  obs::Counter acks_received;
+  obs::Counter dup_frames;       ///< duplicate rx suppressed
+  obs::Counter crc_drops;        ///< frames dropped on checksum mismatch
+  obs::Counter malformed_drops;  ///< frames/packets dropped on decode failure
+  obs::Counter state_transitions;
+  obs::Counter requeued_packets;  ///< un-acked frames surrendered at death
+  obs::Counter requeued_bytes;
+  obs::Gauge state;
+
+  void register_into(obs::MetricsRegistry& registry,
+                     const std::string& prefix) const;
+};
+
+class RailGuard {
+ public:
+  /// Everything the guard needs from the scheduling layer. All hooks are
+  /// installed once (init) and outlive the guard's driver interactions;
+  /// the scheduler wraps them with its liveness token.
+  struct Hooks {
+    std::function<sim::TimeNs()> now;
+    /// Run a callback after a delay (retransmission / delayed-ack timers).
+    /// May be null when acks are disabled — no timers are armed then.
+    std::function<void(sim::TimeNs, std::function<void()>)> timer;
+    /// Credit send contributions (request completion accounting).
+    std::function<void(const std::vector<strat::Contribution>&)> credit;
+    /// Deliver a validated packet (envelope already stripped).
+    std::function<void(drv::Track, std::span<const std::byte>)> deliver;
+    /// Account a guard-initiated post (retransmit, standalone ack) in the
+    /// rail metrics, exactly like a scheduler-initiated one.
+    std::function<void(const drv::SendDesc&)> note_post;
+    /// Kick the gate's pump (a track went idle / state changed / an ack
+    /// freed backlog room).
+    std::function<void()> kick;
+    /// State machine transition (new state). kDead triggers failover.
+    std::function<void(RailState)> on_state_change;
+  };
+
+  /// A retained frame surrendered by a dead rail, ready to repost.
+  struct PendingFrame {
+    drv::SendDesc desc;
+    std::vector<strat::Contribution> contribs;
+  };
+
+  RailGuard() = default;
+  RailGuard(const RailGuard&) = delete;
+  RailGuard& operator=(const RailGuard&) = delete;
+  /// Movable only before init(): gates build their rail vector first and
+  /// the scheduler installs guards afterwards (the driver/timer lambdas
+  /// capture `this`, which a post-init move would dangle).
+  RailGuard(RailGuard&&) = default;
+  RailGuard& operator=(RailGuard&&) = delete;
+
+  void init(drv::Driver& driver, RailIndex index, ReliabilityConfig cfg,
+            Hooks hooks);
+
+  /// Seal `desc` (sequence + piggybacked acks + CRC) and post it. The
+  /// caller must have checked the driver's track idle. With acks enabled
+  /// the original descriptor is retained for retransmission and a
+  /// non-owning alias goes to the driver; contributions are credited when
+  /// the peer acks. With acks disabled the descriptor goes straight down
+  /// and contributions are credited on local completion (legacy).
+  void post(drv::SendDesc desc, std::vector<strat::Contribution> contribs);
+
+  /// A frame arrived from the driver (envelope + packet). Validates,
+  /// processes acks, deduplicates, then delivers the packet via hooks.
+  void on_frame(drv::Track track, std::span<const std::byte> frame);
+
+  /// Opportunistic progress: retransmit due frames and emit owed
+  /// standalone acks on idle tracks. Called from the gate pump. Returns
+  /// true if anything was posted.
+  bool flush();
+
+  /// The driver reported a hard failure: the rail dies immediately.
+  void on_driver_error(const drv::RailError& err);
+
+  /// Surrender every retained un-acked frame (dead rails only). Frames
+  /// already acked by the peer but pending local completion are credited,
+  /// not returned.
+  [[nodiscard]] std::vector<PendingFrame> take_unacked();
+
+  [[nodiscard]] RailState state() const noexcept { return state_; }
+  [[nodiscard]] bool alive() const noexcept { return state_ != RailState::kDead; }
+  [[nodiscard]] bool healthy() const noexcept { return state_ == RailState::kHealthy; }
+  [[nodiscard]] std::size_t unacked_count() const noexcept { return tx_.size(); }
+  [[nodiscard]] const ReliabilityConfig& config() const noexcept { return cfg_; }
+
+  RailGuardMetrics metrics;
+
+ private:
+  /// One retained (posted, un-acked) frame.
+  struct TxEntry {
+    std::uint32_t seq = 0;
+    drv::Track track = drv::Track::kSmall;
+    drv::SendDesc desc;  ///< original, owning descriptor
+    std::vector<strat::Contribution> contribs;
+    sim::TimeNs deadline = 0;
+    std::uint32_t retries = 0;
+    bool locally_done = false;  ///< driver reported local completion
+    bool acked = false;
+    bool in_flight = false;  ///< an alias of this frame occupies the track
+  };
+
+  /// Per-track receive state (dedup + cumulative ack bookkeeping).
+  struct RxTrack {
+    std::uint32_t contiguous = 0;  ///< all seqs <= this received
+    std::set<std::uint32_t> beyond;
+    std::uint32_t last_acked = 0;  ///< highest ack value sent to the peer
+    bool force_ack = false;        ///< re-ack even without advance (dup seen)
+  };
+
+  void seal(drv::SendDesc& desc, std::uint8_t flags, std::uint32_t seq);
+  [[nodiscard]] drv::SendDesc make_alias(const TxEntry& entry) const;
+  void process_acks(const proto::FrameEnvelope& env);
+  bool apply_ack(drv::Track track, std::uint32_t upto);
+  [[nodiscard]] bool rx_accept(drv::Track track, std::uint32_t seq);
+  [[nodiscard]] bool owes_ack() const noexcept;
+  void note_ack_needed();
+  bool try_send_standalone_ack();
+  [[nodiscard]] sim::TimeNs next_rto(std::uint32_t retries);
+  void arm_retransmit_timer();
+  void on_retransmit_timer();
+  void handle_deadlines();
+  void transition(RailState next);
+  void die(const char* reason);
+
+  drv::Driver* driver_ = nullptr;
+  RailIndex index_ = 0;
+  ReliabilityConfig cfg_;
+  Hooks hooks_;
+  util::Xoshiro256 jitter_{0};
+
+  RailState state_ = RailState::kHealthy;
+  std::uint32_t consecutive_timeouts_ = 0;
+
+  std::uint32_t next_seq_[drv::kTrackCount] = {0, 0};
+  std::deque<TxEntry> tx_;  ///< retained frames, oldest first per push order
+  RxTrack rx_[drv::kTrackCount];
+
+  bool rto_timer_armed_ = false;
+  sim::TimeNs rto_timer_deadline_ = 0;
+  bool ack_timer_armed_ = false;
+  /// A standalone ack is owed now (delay expired or a duplicate arrived).
+  bool ack_due_ = false;
+  /// Re-entrancy latch: handle_deadlines can indirectly re-enter itself
+  /// (transition -> pump -> flush) while iterating the retention queue.
+  bool in_deadlines_ = false;
+};
+
+}  // namespace nmad::core

@@ -5,6 +5,7 @@
 namespace nmad::core {
 
 void SendRequest::credit_sent(std::uint32_t bytes, sim::TimeNs now) {
+  if (state_ == RequestState::kFailed) return;  // stale credit after failover
   NMAD_ASSERT(state_ == RequestState::kPending, "credit on completed send");
   bytes_sent_ += bytes;
   NMAD_ASSERT(bytes_sent_ <= total_len_, "send credited beyond message length");
@@ -14,11 +15,23 @@ void SendRequest::credit_sent(std::uint32_t bytes, sim::TimeNs now) {
   }
 }
 
+void SendRequest::fail(sim::TimeNs now) {
+  if (state_ != RequestState::kPending) return;
+  state_ = RequestState::kFailed;
+  completion_time_ = now;
+}
+
 void RecvRequest::complete(std::uint32_t received_len, sim::TimeNs now) {
   NMAD_ASSERT(state_ == RequestState::kPending, "double completion of recv");
   NMAD_ASSERT(received_len <= buffer_.size(), "received more than buffer holds");
   received_len_ = received_len;
   state_ = RequestState::kCompleted;
+  completion_time_ = now;
+}
+
+void RecvRequest::fail(sim::TimeNs now) {
+  if (state_ != RequestState::kPending) return;
+  state_ = RequestState::kFailed;
   completion_time_ = now;
 }
 

@@ -19,6 +19,7 @@ namespace nmad::core {
 enum class RequestState : std::uint8_t {
   kPending,    ///< submitted, data still moving
   kCompleted,  ///< all data locally sent / fully received
+  kFailed,     ///< every rail of the request's gate died before completion
 };
 
 class SendRequest {
@@ -38,18 +39,30 @@ class SendRequest {
   [[nodiscard]] bool completed() const noexcept {
     return state_ == RequestState::kCompleted;
   }
+  [[nodiscard]] bool failed() const noexcept {
+    return state_ == RequestState::kFailed;
+  }
+  /// Settled either way — the state a wait() terminates on.
+  [[nodiscard]] bool done() const noexcept {
+    return state_ != RequestState::kPending;
+  }
   /// Virtual time of local completion; -1 while pending.
   [[nodiscard]] sim::TimeNs completion_time() const noexcept { return completion_time_; }
   [[nodiscard]] std::uint32_t bytes_sent() const noexcept { return bytes_sent_; }
+  [[nodiscard]] GateId gate() const noexcept { return gate_; }
 
   // --- scheduling-layer interface ----------------------------------------
   /// Credit locally-completed payload bytes; completes the request when the
   /// whole message has left the node. Zero-length messages complete on
   /// their (empty) packet's completion.
   void credit_sent(std::uint32_t bytes, sim::TimeNs now);
+  /// Mark the request failed (all rails of its gate are dead). No-op once
+  /// completed.
+  void fail(sim::TimeNs now);
   /// Stamp the submission instant (set once by the scheduler at isend).
   void note_submit_time(sim::TimeNs t) noexcept { submit_time_ = t; }
   [[nodiscard]] sim::TimeNs submit_time() const noexcept { return submit_time_; }
+  void note_gate(GateId g) noexcept { gate_ = g; }
 
  private:
   Tag tag_;
@@ -60,6 +73,7 @@ class SendRequest {
   RequestState state_ = RequestState::kPending;
   sim::TimeNs completion_time_ = -1;
   sim::TimeNs submit_time_ = 0;
+  GateId gate_ = 0;
 };
 
 class RecvRequest {
@@ -76,15 +90,27 @@ class RecvRequest {
   [[nodiscard]] bool completed() const noexcept {
     return state_ == RequestState::kCompleted;
   }
+  [[nodiscard]] bool failed() const noexcept {
+    return state_ == RequestState::kFailed;
+  }
+  /// Settled either way — the state a wait() terminates on.
+  [[nodiscard]] bool done() const noexcept {
+    return state_ != RequestState::kPending;
+  }
   [[nodiscard]] sim::TimeNs completion_time() const noexcept { return completion_time_; }
   /// Actual message length (valid once completed).
   [[nodiscard]] std::uint32_t received_len() const noexcept { return received_len_; }
+  [[nodiscard]] GateId gate() const noexcept { return gate_; }
 
   // --- scheduling-layer interface ----------------------------------------
   void complete(std::uint32_t received_len, sim::TimeNs now);
+  /// Mark the request failed (all rails of its gate are dead). No-op once
+  /// completed.
+  void fail(sim::TimeNs now);
   /// Stamp the posting instant (set once by the scheduler at irecv).
   void note_submit_time(sim::TimeNs t) noexcept { submit_time_ = t; }
   [[nodiscard]] sim::TimeNs submit_time() const noexcept { return submit_time_; }
+  void note_gate(GateId g) noexcept { gate_ = g; }
 
  private:
   Tag tag_;
@@ -94,6 +120,7 @@ class RecvRequest {
   RequestState state_ = RequestState::kPending;
   sim::TimeNs completion_time_ = -1;
   sim::TimeNs submit_time_ = 0;
+  GateId gate_ = 0;
 };
 
 using SendHandle = std::shared_ptr<SendRequest>;

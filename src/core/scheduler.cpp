@@ -34,8 +34,8 @@ void RequestMetrics::register_into(obs::MetricsRegistry& registry,
   registry.add(prefix + "recv_latency_ns", &recv_latency_ns);
 }
 
-Scheduler::Scheduler(ClockFn now, DeferFn defer)
-    : now_(std::move(now)), defer_(std::move(defer)) {
+Scheduler::Scheduler(ClockFn now, DeferFn defer, TimerFn timer)
+    : now_(std::move(now)), defer_(std::move(defer)), timer_(std::move(timer)) {
   NMAD_ASSERT(now_ != nullptr, "Scheduler needs a clock");
   NMAD_ASSERT(defer_ != nullptr, "Scheduler needs a defer hook");
 }
@@ -45,17 +45,52 @@ Scheduler::~Scheduler() = default;
 GateId Scheduler::add_gate(std::vector<drv::Driver*> rails,
                            std::unique_ptr<strat::Strategy> strategy,
                            strat::StrategyConfig config) {
+  NMAD_ASSERT(!config.reliability.ack_enabled || timer_ != nullptr,
+              "ack_enabled requires a Scheduler timer hook");
   const auto id = static_cast<GateId>(gates_.size());
   gates_.push_back(
       std::make_unique<Gate>(id, rails, std::move(strategy), config));
   Gate& g = *gates_.back();
   for (Rail& rail : g.rails()) {
-    rail.driver().set_deliver(
-        [this, id, idx = rail.index()](drv::Track track,
-                                       std::span<const std::byte> wire) {
-          Gate& target = gate(id);
-          on_packet(target, target.rail(idx), track, wire);
+    const RailIndex idx = rail.index();
+    RailGuard::Hooks hooks;
+    hooks.now = now_;
+    if (timer_ != nullptr) {
+      hooks.timer = [this, token = std::weak_ptr<bool>(alive_)](
+                        sim::TimeNs delay, std::function<void()> fn) {
+        timer_(delay, [token, fn = std::move(fn)] {
+          if (!token.expired()) fn();
         });
+      };
+    }
+    hooks.credit = [this, id](const std::vector<strat::Contribution>& contribs) {
+      credit_contribs(gate(id), contribs);
+    };
+    hooks.deliver = [this, id, idx](drv::Track track,
+                                    std::span<const std::byte> packet) {
+      Gate& target = gate(id);
+      on_packet(target, target.rail(idx), track, packet);
+    };
+    hooks.note_post = [this, id, idx](const drv::SendDesc& desc) {
+      note_rail_post(gate(id).rail(idx), desc);
+    };
+    hooks.kick = [this, id] { pump(gate(id)); };
+    hooks.on_state_change = [this, id, idx](RailState st) {
+      Gate& target = gate(id);
+      if (st == RailState::kDead) {
+        on_rail_dead(target, idx);
+      } else {
+        schedule_pump(target);
+      }
+    };
+    rail.guard.init(rail.driver(), idx, config.reliability, std::move(hooks));
+    rail.driver().set_deliver(
+        [this, id, idx](drv::Track track, std::span<const std::byte> frame) {
+          gate(id).rail(idx).guard.on_frame(track, frame);
+        });
+    rail.driver().set_error([this, id, idx](const drv::RailError& err) {
+      gate(id).rail(idx).guard.on_driver_error(err);
+    });
   }
   return id;
 }
@@ -81,6 +116,7 @@ void Scheduler::register_metrics(obs::MetricsRegistry& registry,
           gate_prefix + "rail" + std::to_string(rail.index()) + ".";
       registry.label(rail_prefix + "nic", rail.caps().name);
       rail.metrics.register_into(registry, rail_prefix);
+      rail.guard.metrics.register_into(registry, rail_prefix);
       rail.driver().register_metrics(registry, rail_prefix + "drv.");
     }
   }
@@ -89,10 +125,10 @@ void Scheduler::register_metrics(obs::MetricsRegistry& registry,
 std::size_t Scheduler::pending_requests() const noexcept {
   std::size_t n = 0;
   for (const auto& h : live_sends_) {
-    if (!h->completed()) ++n;
+    if (!h->done()) ++n;
   }
   for (const auto& h : live_recvs_) {
-    if (!h->completed()) ++n;
+    if (!h->done()) ++n;
   }
   return n;
 }
@@ -101,12 +137,12 @@ void Scheduler::sweep_completed() {
   constexpr std::size_t kSweepThreshold = 4096;
   if (live_sends_.size() > kSweepThreshold) {
     std::erase_if(live_sends_, [](const SendHandle& h) {
-      return h->completed() && h.use_count() == 1;
+      return h->done() && h.use_count() == 1;
     });
   }
   if (live_recvs_.size() > kSweepThreshold) {
     std::erase_if(live_recvs_, [](const RecvHandle& h) {
-      return h->completed() && h.use_count() == 1;
+      return h->done() && h.use_count() == 1;
     });
   }
 }
@@ -133,10 +169,17 @@ SendHandle Scheduler::isend(GateId gate_id, Tag tag,
 
   auto req = std::make_shared<SendRequest>(tag, seq, std::move(views), total);
   req->note_submit_time(now_());
+  req->note_gate(gate_id);
   metrics_.sends_posted.inc();
   metrics_.send_bytes_submitted.inc(total);
   metrics_.send_size.record(total);
   live_sends_.push_back(req);
+
+  if (g.failed_) {
+    // All rails dead: nothing will ever move. Fail fast.
+    req->fail(now_());
+    return req;
+  }
 
   strat::Strategy& strat = g.strategy();
   bool has_large = false;
@@ -171,8 +214,14 @@ RecvHandle Scheduler::irecv(GateId gate_id, Tag tag, std::span<std::byte> buffer
   const MsgSeq seq = g.next_recv_seq_[tag]++;
   auto req = std::make_shared<RecvRequest>(tag, seq, buffer);
   req->note_submit_time(now_());
+  req->note_gate(gate_id);
   metrics_.recvs_posted.inc();
   live_recvs_.push_back(req);
+
+  if (g.failed_) {
+    req->fail(now_());
+    return req;
+  }
 
   const MsgKey key{tag, seq};
   auto it = g.incoming_.find(key);
@@ -214,14 +263,26 @@ void Scheduler::pump(Gate& gate) {
 }
 
 bool Scheduler::pump_once(Gate& gate) {
+  if (gate.failed_) return false;
   bool progress = false;
 
+  // Reliability upkeep first: due retransmissions and owed standalone acks
+  // (the guards post directly and account through the note_post hook).
+  for (Rail& rail : gate.rails()) {
+    if (rail.alive() && rail.guard.flush()) progress = true;
+  }
+  if (gate.failed_) return progress;  // a flush may have killed the last rail
+
+  // Frames surrendered by dead rails jump the queue: they carry data the
+  // peer is already waiting on.
+  if (drain_resend(gate)) progress = true;
+
   // Rendezvous control packets take priority on the eager tracks; pick the
-  // lowest-latency idle rail for them.
+  // lowest-latency healthy idle rail for them.
   while (!gate.control_.empty()) {
     Rail* best = nullptr;
     for (Rail& r : gate.rails()) {
-      if (r.idle(drv::Track::kSmall) &&
+      if (r.healthy() && r.idle(drv::Track::kSmall) &&
           (best == nullptr || r.caps().latency_us < best->caps().latency_us)) {
         best = &r;
       }
@@ -233,10 +294,12 @@ bool Scheduler::pump_once(Gate& gate) {
     progress = true;
   }
 
-  // Just-in-time strategy packing: offer every idle track to the strategy.
+  // Just-in-time strategy packing: offer every healthy idle track to the
+  // strategy (suspect rails keep retransmitting but take no new work).
   for (Rail& rail : gate.rails()) {
+    if (!rail.healthy()) continue;
     for (drv::Track track : {drv::Track::kSmall, drv::Track::kLarge}) {
-      while (rail.idle(track)) {
+      while (rail.healthy() && rail.idle(track)) {
         auto plan = gate.strategy().try_pack(gate, rail, track);
         if (!plan.has_value()) break;
         NMAD_ASSERT(plan->desc.track == track, "strategy packed for wrong track");
@@ -248,13 +311,45 @@ bool Scheduler::pump_once(Gate& gate) {
   return progress;
 }
 
+bool Scheduler::drain_resend(Gate& gate) {
+  bool progress = false;
+  while (!gate.resend_.empty()) {
+    RailGuard::PendingFrame& pf = gate.resend_.front();
+    // Prefer the frame's original track on a healthy rail; an eager frame
+    // too big for a survivor's PIO window rides its DMA track instead.
+    Rail* target = nullptr;
+    drv::Track track = pf.desc.track;
+    for (Rail& r : gate.rails()) {
+      if (!r.healthy()) continue;
+      drv::Track t = pf.desc.track;
+      if (t == drv::Track::kSmall &&
+          pf.desc.view.wire_size() > r.caps().max_small_packet) {
+        t = drv::Track::kLarge;
+      }
+      if (r.idle(t)) {
+        target = &r;
+        track = t;
+        break;
+      }
+    }
+    if (target == nullptr) break;
+    drv::SendDesc desc = std::move(pf.desc);
+    desc.track = track;
+    std::vector<strat::Contribution> contribs = std::move(pf.contribs);
+    gate.resend_.pop_front();
+    note_rail_post(*target, desc);
+    target->guard.post(std::move(desc), std::move(contribs));
+    progress = true;
+  }
+  return progress;
+}
+
 void Scheduler::post_control(Gate& gate, Rail& rail, drv::SendDesc desc) {
+  (void)gate;
   rail.tx.control_packets += 1;
   note_rail_post(rail, desc);
   rail.metrics.control_packets.inc();
-  const drv::Track track = desc.track;
-  rail.driver().post_send(std::move(desc),
-                          [this, &gate, track] { on_sent(gate, track, {}); });
+  rail.guard.post(std::move(desc), {});
 }
 
 void Scheduler::post_plan(Gate& gate, Rail& rail, strat::PacketPlan plan) {
@@ -278,12 +373,8 @@ void Scheduler::post_plan(Gate& gate, Rail& rail, strat::PacketPlan plan) {
     rail.metrics.large_payload_bytes.inc(payload);
   }
 
-  const drv::Track track = plan.desc.track;
-  rail.driver().post_send(
-      std::move(plan.desc),
-      [this, &gate, track, contribs = std::move(plan.contribs)]() mutable {
-        on_sent(gate, track, std::move(contribs));
-      });
+  (void)gate;
+  rail.guard.post(std::move(plan.desc), std::move(plan.contribs));
 }
 
 void Scheduler::note_rail_post(Rail& rail, const drv::SendDesc& desc) {
@@ -303,8 +394,8 @@ void Scheduler::note_rail_post(Rail& rail, const drv::SendDesc& desc) {
   }
 }
 
-void Scheduler::on_sent(Gate& gate, drv::Track /*track*/,
-                        std::vector<strat::Contribution> contribs) {
+void Scheduler::credit_contribs(Gate& /*gate*/,
+                                const std::vector<strat::Contribution>& contribs) {
   const sim::TimeNs t = now_();
   for (const strat::Contribution& c : contribs) {
     const bool was_completed = c.req->completed();
@@ -314,7 +405,46 @@ void Scheduler::on_sent(Gate& gate, drv::Track /*track*/,
       metrics_.send_latency_ns.record(elapsed_ns(c.req->submit_time(), t));
     }
   }
-  pump(gate);
+}
+
+void Scheduler::on_rail_dead(Gate& gate, RailIndex idx) {
+  Rail& rail = gate.rail(idx);
+  // Surrender the dead rail's retained frames; they repost on survivors.
+  for (RailGuard::PendingFrame& pf : rail.guard.take_unacked()) {
+    gate.resend_.push_back(std::move(pf));
+  }
+  gate.strategy().on_rail_dead(gate, idx);
+  gate.recompute_fastest();
+  bool any_alive = false;
+  for (const Rail& r : gate.rails()) {
+    if (r.alive()) {
+      any_alive = true;
+      break;
+    }
+  }
+  if (!any_alive) {
+    fail_gate(gate);
+    return;
+  }
+  schedule_pump(gate);
+}
+
+void Scheduler::fail_gate(Gate& gate) {
+  if (gate.failed_) return;
+  gate.failed_ = true;
+  NMAD_LOG_WARN("core", "gate%u: every rail dead, failing pending requests",
+                gate.id());
+  gate.control_.clear();
+  gate.resend_.clear();
+  gate.incoming_.clear();
+  gate.strategy().on_gate_failed(gate);
+  const sim::TimeNs t = now_();
+  for (const auto& h : live_sends_) {
+    if (h->gate() == gate.id()) h->fail(t);
+  }
+  for (const auto& h : live_recvs_) {
+    if (h->gate() == gate.id()) h->fail(t);
+  }
 }
 
 // --------------------------------------------------------------------------
@@ -325,7 +455,13 @@ void Scheduler::on_packet(Gate& gate, Rail& rail, drv::Track /*track*/,
                           std::span<const std::byte> wire) {
   auto decoded = proto::decode_packet(wire);
   if (!decoded) {
-    NMAD_PANIC("undecodable packet received");
+    // A frame that passed the envelope checksum but fails packet decode:
+    // treat like corruption — drop it and let retransmission (if enabled)
+    // heal the loss. Panicking would turn one bad frame into an outage.
+    rail.guard.metrics.malformed_drops.inc();
+    NMAD_LOG_WARN("core", "gate%u: dropping undecodable packet (%zu bytes)",
+                  gate.id(), wire.size());
+    return;
   }
   for (const auto& seg : decoded->segments) {
     switch (decoded->kind) {
@@ -357,7 +493,11 @@ void Scheduler::handle_data_segment(Gate& gate, const proto::SegHeader& h,
   }
   ensure_assembly(inc);
   if (auto st = inc.assembly->add_chunk(h.offset, payload); !st) {
-    NMAD_PANIC("protocol violation in chunk reassembly");
+    // Out-of-range or partially-overlapping chunk: drop it rather than
+    // crash. Exact duplicates (failover reposts whose original landed)
+    // return success and are simply not re-applied.
+    NMAD_LOG_WARN("core", "dropping bad chunk: %s", st.error().message.c_str());
+    return;
   }
   if (inc.assembly->complete()) {
     inc.data_complete = true;

@@ -66,8 +66,12 @@ class Scheduler {
   /// the deferred progression point — so a burst of submissions forms an
   /// optimization window the strategy can aggregate or split.
   using DeferFn = std::function<void(std::function<void()>)>;
+  /// `timer(delay, fn)` runs fn after `delay` ns (simulator event / real
+  /// timer wheel). Required only when a gate enables ack/retransmit — the
+  /// RailGuards arm their RTO and delayed-ack timers through it.
+  using TimerFn = std::function<void(sim::TimeNs, std::function<void()>)>;
 
-  Scheduler(ClockFn now, DeferFn defer);
+  Scheduler(ClockFn now, DeferFn defer, TimerFn timer = nullptr);
   ~Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
@@ -115,10 +119,19 @@ class Scheduler {
   bool pump_once(Gate& gate);
   void post_control(Gate& gate, Rail& rail, drv::SendDesc desc);
   void post_plan(Gate& gate, Rail& rail, strat::PacketPlan plan);
+  /// Repost frames surrendered by dead rails onto healthy survivors.
+  bool drain_resend(Gate& gate);
   /// Rail-level accounting shared by every post (data and control); must
   /// run before the driver post so the idle->busy transition is observable.
   void note_rail_post(Rail& rail, const drv::SendDesc& desc);
-  void on_sent(Gate& gate, drv::Track track, std::vector<strat::Contribution> contribs);
+  /// Apply send-completion credit (local completion without acks; peer
+  /// acknowledgement with them) and the completion metrics.
+  void credit_contribs(Gate& gate, const std::vector<strat::Contribution>& contribs);
+  /// Rail `idx` of `gate` was declared dead: requeue its un-acked frames,
+  /// let the strategy retarget, and fail the gate if no rail survives.
+  void on_rail_dead(Gate& gate, RailIndex idx);
+  /// Every rail died: fail the gate's pending requests and drop its queues.
+  void fail_gate(Gate& gate);
   /// `wire` is the driver's non-owning view of the received frame; every
   /// byte kept past this call is copied by reassembly into its message.
   void on_packet(Gate& gate, Rail& rail, drv::Track track,
@@ -137,6 +150,10 @@ class Scheduler {
 
   ClockFn now_;
   DeferFn defer_;
+  TimerFn timer_;
+  /// Liveness token: timer callbacks handed to the engine may outlive this
+  /// scheduler; they hold a weak_ptr and turn into no-ops once it expires.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   std::vector<std::unique_ptr<Gate>> gates_;
   std::vector<SendHandle> live_sends_;
   std::vector<RecvHandle> live_recvs_;

@@ -32,9 +32,10 @@ RecvHandle UnpackBuilder::submit() {
 }
 
 Session::Session(std::string name, Scheduler::ClockFn clock,
-                 Scheduler::DeferFn defer, ProgressFn progress)
+                 Scheduler::DeferFn defer, ProgressFn progress,
+                 Scheduler::TimerFn timer)
     : name_(std::move(name)),
-      scheduler_(std::move(clock), std::move(defer)),
+      scheduler_(std::move(clock), std::move(defer), std::move(timer)),
       progress_(std::move(progress)) {
   NMAD_ASSERT(progress_ != nullptr, "Session needs a progress function");
 }
@@ -95,24 +96,26 @@ void Session::scatter_ready_unpacks() {
 }
 
 void Session::wait(const SendHandle& h) {
-  progress_([&] { return h->completed(); });
-  NMAD_ASSERT(h->completed(), "wait returned with incomplete send (deadlock?)");
+  progress_([&] { return h->done(); });
+  NMAD_ASSERT(h->done(), "wait returned with incomplete send (deadlock?)");
 }
 
 void Session::wait(const RecvHandle& h) {
-  progress_([&] { return h->completed(); });
-  NMAD_ASSERT(h->completed(), "wait returned with incomplete recv (deadlock?)");
+  progress_([&] { return h->done(); });
+  NMAD_ASSERT(h->done(), "wait returned with incomplete recv (deadlock?)");
   scatter_ready_unpacks();
 }
 
 void Session::wait_all(std::span<const SendHandle> sends,
                        std::span<const RecvHandle> recvs) {
+  // A request also settles by *failing* (its gate lost every rail) — wait
+  // returns then too; callers distinguish via completed()/failed().
   auto all_done = [&] {
     for (const auto& h : sends) {
-      if (!h->completed()) return false;
+      if (!h->done()) return false;
     }
     for (const auto& h : recvs) {
-      if (!h->completed()) return false;
+      if (!h->done()) return false;
     }
     return true;
   };

@@ -66,8 +66,10 @@ class Session {
   /// impossible — a deadlock in the application's communication pattern).
   using ProgressFn = std::function<void(const std::function<bool()>&)>;
 
+  /// `timer` is optional: required only when gates enable ack/retransmit
+  /// (core/reliability.hpp) — it backs the RTO and delayed-ack timers.
   Session(std::string name, Scheduler::ClockFn clock, Scheduler::DeferFn defer,
-          ProgressFn progress);
+          ProgressFn progress, Scheduler::TimerFn timer = nullptr);
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] Scheduler& scheduler() noexcept { return scheduler_; }

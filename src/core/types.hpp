@@ -33,4 +33,7 @@ struct ConstSegment {
 /// Index of a rail within a gate.
 using RailIndex = std::uint32_t;
 
+/// Identifies one gate within one scheduler.
+using GateId = std::uint32_t;
+
 }  // namespace nmad::core

@@ -3,37 +3,118 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/registry.hpp"
 #include "util/panic.hpp"
 
 namespace nmad::drv {
 
+ChaosDriver::ChaosDriver(Driver& inner, std::uint64_t seed, ChaosConfig cfg)
+    : inner_(&inner), rng_(seed), cfg_(cfg) {
+  NMAD_ASSERT(cfg_.window >= 1, "chaos window must be >= 1");
+}
+
 ChaosDriver::ChaosDriver(Driver& inner, std::uint64_t seed, std::size_t window)
-    : inner_(&inner), rng_(seed), window_(window) {
-  NMAD_ASSERT(window_ >= 1, "chaos window must be >= 1");
+    : ChaosDriver(inner, seed, ChaosConfig::uniform(FaultProfile{}, window)) {}
+
+ChaosDriver::~ChaosDriver() {
+  // Stragglers held past teardown would reference freed pool blocks on the
+  // next access; push them through the upcall now (which is a guarded no-op
+  // once the scheduler is gone) and insist the buffer really drained.
+  flush();
+  NMAD_ASSERT(pending_.empty(), "chaos driver destroyed with frames in flight");
+}
+
+void ChaosDriver::post_send(SendDesc desc, Callback on_sent) {
+  if (killed_) {
+    // A dead NIC port: the frame vanishes and local completion never
+    // fires. Callers are expected to have checked send_idle() (false once
+    // killed), but a post raced against kill() must not crash.
+    stats_.swallowed_sends += 1;
+    (void)desc;
+    (void)on_sent;
+    return;
+  }
+  inner_->post_send(std::move(desc), std::move(on_sent));
 }
 
 void ChaosDriver::set_deliver(DeliverFn deliver) {
   deliver_ = std::move(deliver);
   inner_->set_deliver([this](Track track, std::span<const std::byte> wire) {
-    pending_.push_back(Held{track, std::vector<std::byte>(wire.begin(), wire.end())});
-    if (pending_.size() >= window_) release_all();
+    on_inner_deliver(track, wire);
   });
 }
 
-void ChaosDriver::release_all() {
+void ChaosDriver::on_inner_deliver(Track track, std::span<const std::byte> wire) {
+  stats_.frames_seen += 1;
+  if (killed_) {
+    stats_.discarded_recvs += 1;
+    return;
+  }
+  const FaultProfile& p = cfg_.track[static_cast<std::size_t>(track)];
+  if (p.drop > 0.0 && rng_.next_double() < p.drop) {
+    stats_.drops += 1;
+    return;
+  }
+  Held held{track, std::vector<std::byte>(wire.begin(), wire.end()), 0};
+  if (p.corrupt > 0.0 && !held.wire.empty() &&
+      rng_.next_double() < p.corrupt) {
+    // Flip one random bit in one random byte: the classic single-event
+    // upset the CRC must catch.
+    const std::size_t at = rng_.next_below(held.wire.size());
+    held.wire[at] ^= std::byte(1u << rng_.next_below(8));
+    stats_.corruptions += 1;
+  }
+  if (p.delay > 0.0 && rng_.next_double() < p.delay) {
+    held.delay_rounds = 1;
+    stats_.delays += 1;
+  }
+  if (p.duplicate > 0.0 && rng_.next_double() < p.duplicate) {
+    pending_.push_back(Held{held.track, held.wire, held.delay_rounds});
+    stats_.duplicates += 1;
+  }
+  pending_.push_back(std::move(held));
+  if (pending_.size() >= cfg_.window) release_all(true);
+}
+
+void ChaosDriver::release_all(bool honor_delays) {
   std::shuffle(pending_.begin(), pending_.end(), rng_);
   // Swap out first: a deliver upcall may trigger sends whose completions
   // append new pending packets.
   std::vector<Held> batch;
   batch.swap(pending_);
   for (Held& held : batch) {
+    if (honor_delays && held.delay_rounds > 0) {
+      held.delay_rounds -= 1;
+      pending_.push_back(std::move(held));
+      continue;
+    }
     NMAD_ASSERT(deliver_ != nullptr, "chaos delivery with no upcall");
     deliver_(held.track, std::span<const std::byte>(held.wire));
   }
 }
 
+void ChaosDriver::kill() {
+  if (killed_) return;
+  killed_ = true;
+  // Frames already buffered die with the port.
+  stats_.discarded_recvs += pending_.size();
+  pending_.clear();
+}
+
 void ChaosDriver::flush() {
-  if (!pending_.empty()) release_all();
+  while (!pending_.empty()) release_all(false);
+}
+
+void ChaosDriver::register_metrics(obs::MetricsRegistry& registry,
+                                   const std::string& prefix) const {
+  inner_->register_metrics(registry, prefix);
+  registry.add_raw(prefix + "chaos.frames_seen", &stats_.frames_seen);
+  registry.add_raw(prefix + "chaos.drops", &stats_.drops);
+  registry.add_raw(prefix + "chaos.duplicates", &stats_.duplicates);
+  registry.add_raw(prefix + "chaos.corruptions", &stats_.corruptions);
+  registry.add_raw(prefix + "chaos.delays", &stats_.delays);
+  registry.add_raw(prefix + "chaos.swallowed_sends", &stats_.swallowed_sends);
+  registry.add_raw(prefix + "chaos.discarded_recvs", &stats_.discarded_recvs);
 }
 
 }  // namespace nmad::drv

@@ -1,16 +1,26 @@
-// ChaosDriver: a decorator that deliberately perturbs the delivery order
-// of an underlying driver.
+// ChaosDriver: a decorator that injects rail faults into an underlying
+// driver — the adversary the reliability layer is tested against.
 //
-// Multi-rail transfers already arrive out of order *across* rails; this
-// decorator additionally scrambles order *within* one rail's track, which
-// no real NIC in the paper's platform does. It exists purely to harden the
-// receive path: matching, rendezvous and reassembly must be fully
-// order-independent, and the chaos property tests prove it. (Packet loss
-// is out of scope: the paper's networks are reliable, and the protocol has
-// no retransmission layer.)
+// Historically this only scrambled delivery *order* (matching, rendezvous
+// and reassembly must be order-independent). It has since grown into a full
+// seeded fault injector: per-track probabilities of dropping, duplicating,
+// corrupting (single byte flip) and delaying received frames, plus a hard
+// kill() that silences the rail in both directions mid-run. Packet loss is
+// decidedly *in* scope now — the frame envelope (proto/wire.hpp), per-rail
+// ack/retransmit and the rail health state machine (core/rail_guard.hpp)
+// exist precisely so that every fault injected here is either healed by
+// retransmission or escalated to a dead-rail failover. The chaos property
+// tests assert the end-to-end guarantee: a seeded run either completes with
+// byte-identical payloads or reports a dead rail — never a hang, never
+// wrong data.
+//
+// Every injection is counted and exposed in the metrics tree (chaos.*), so
+// soak tests can assert that faults actually fired.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "drv/driver.hpp"
@@ -18,48 +28,98 @@
 
 namespace nmad::drv {
 
+/// Per-track fault probabilities, each in [0, 1], applied independently to
+/// every frame the inner driver delivers.
+struct FaultProfile {
+  double drop = 0.0;       ///< discard the frame entirely
+  double duplicate = 0.0;  ///< deliver the frame twice
+  double corrupt = 0.0;    ///< flip one random byte before delivery
+  double delay = 0.0;      ///< hold the frame across one extra release round
+};
+
+struct ChaosConfig {
+  /// Deliveries are buffered until this many frames are pending, then
+  /// released in a seeded-random order (window = 1 disables scrambling).
+  std::size_t window = 4;
+  std::array<FaultProfile, kTrackCount> track{};
+
+  /// Same fault probabilities on both tracks.
+  [[nodiscard]] static ChaosConfig uniform(FaultProfile profile,
+                                           std::size_t window = 4) {
+    ChaosConfig cfg;
+    cfg.window = window;
+    cfg.track.fill(profile);
+    return cfg;
+  }
+};
+
 class ChaosDriver final : public Driver {
  public:
-  /// Wraps `inner` (not owned). Deliveries are buffered until `window`
-  /// packets are pending, then released in a seeded-random order; flush()
-  /// (or any later delivery) releases stragglers.
+  /// Wraps `inner` (not owned) with fault injection per `cfg`.
+  ChaosDriver(Driver& inner, std::uint64_t seed, ChaosConfig cfg);
+  /// Order-scrambling only (the legacy decorator behavior).
   ChaosDriver(Driver& inner, std::uint64_t seed, std::size_t window = 4);
+
+  /// Flushes stragglers through the (possibly defunct) deliver upcall and
+  /// verifies none remain: frames held past session teardown would
+  /// reference freed pool blocks.
+  ~ChaosDriver() override;
 
   [[nodiscard]] const Capabilities& caps() const noexcept override {
     return inner_->caps();
   }
   [[nodiscard]] bool send_idle(Track track) const noexcept override {
-    return inner_->send_idle(track);
+    return !killed_ && inner_->send_idle(track);
   }
-  void post_send(SendDesc desc, Callback on_sent) override {
-    inner_->post_send(std::move(desc), std::move(on_sent));
-  }
+  void post_send(SendDesc desc, Callback on_sent) override;
   void set_deliver(DeliverFn deliver) override;
+  void set_error(ErrorFn on_error) override { inner_->set_error(std::move(on_error)); }
   bool progress() override { return inner_->progress(); }
   void register_metrics(obs::MetricsRegistry& registry,
-                        const std::string& prefix) const override {
-    inner_->register_metrics(registry, prefix);
-  }
+                        const std::string& prefix) const override;
 
-  /// Release every buffered packet (in scrambled order).
+  /// Hard-kill the rail: every future send is swallowed (its completion
+  /// never fires) and every future receive is discarded, in both cases
+  /// silently — exactly what a dead NIC port looks like to the peers. The
+  /// reliability layer must detect this via retransmission timeouts.
+  void kill();
+  [[nodiscard]] bool killed() const noexcept { return killed_; }
+
+  /// Release every buffered frame (in scrambled order, delays ignored).
   void flush();
 
   [[nodiscard]] std::size_t buffered() const noexcept { return pending_.size(); }
 
+  struct Stats {
+    std::uint64_t frames_seen = 0;  ///< frames offered by the inner driver
+    std::uint64_t drops = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t corruptions = 0;
+    std::uint64_t delays = 0;
+    std::uint64_t swallowed_sends = 0;   ///< posts discarded after kill()
+    std::uint64_t discarded_recvs = 0;   ///< deliveries discarded after kill()
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
  private:
-  void release_all();
+  void on_inner_deliver(Track track, std::span<const std::byte> wire);
+  void release_all(bool honor_delays);
 
   Driver* inner_;
   util::Xoshiro256 rng_;
-  std::size_t window_;
+  ChaosConfig cfg_;
   DeliverFn deliver_;
+  bool killed_ = false;
   /// Deferred deliveries must own their bytes: the inner driver's span is
   /// only valid during its upcall, and these are released later.
   struct Held {
     Track track;
     std::vector<std::byte> wire;
+    /// Release rounds this frame still sits out (delay injection).
+    std::uint32_t delay_rounds = 0;
   };
   std::vector<Held> pending_;
+  Stats stats_;
 };
 
 }  // namespace nmad::drv

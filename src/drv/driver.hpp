@@ -15,6 +15,7 @@
 // with API calls.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -69,6 +70,11 @@ struct SendDesc {
   /// (e.g. aggregation memcpys); the driver charges it to the host CPU
   /// before the transfer starts.
   double extra_cpu_us = 0.0;
+  /// Per-rail reliability envelope (proto::FrameEnvelope wire image),
+  /// sealed by the RailGuard before the post. Drivers transmit it in front
+  /// of the packet bytes; it is all-zero (and ignored by the receiver's
+  /// custom deliver) for raw driver-level tests that bypass the guard.
+  std::array<std::byte, proto::kFrameEnvelopeBytes> envelope{};
 
   SendDesc() = default;
   SendDesc(Track t, proto::PacketView v, double cpu = 0.0)
@@ -81,6 +87,37 @@ struct SendDesc {
   [[nodiscard]] std::size_t wire_size() const noexcept {
     return view.wire_size();
   }
+  /// Full on-wire size: envelope + packet. This is what the receiver's
+  /// DeliverFn sees; ack-only frames are envelope-only (wire_size() == 0).
+  [[nodiscard]] std::size_t frame_size() const noexcept {
+    return proto::kFrameEnvelopeBytes + view.wire_size();
+  }
+};
+
+/// Why a rail stopped working, as reported by the driver itself.
+enum class RailErrorKind : std::uint8_t {
+  kSendFailed = 1,  ///< a send syscall / NIC op returned a hard error
+  kRecvFailed = 2,  ///< the receive path returned a hard error
+  kPeerGone = 3,    ///< the peer closed its endpoint (clean or crash)
+};
+
+[[nodiscard]] constexpr const char* rail_error_name(RailErrorKind k) noexcept {
+  switch (k) {
+    case RailErrorKind::kSendFailed: return "send_failed";
+    case RailErrorKind::kRecvFailed: return "recv_failed";
+    case RailErrorKind::kPeerGone: return "peer_gone";
+  }
+  return "unknown";
+}
+
+/// A recoverable rail failure event. Drivers surface these through the
+/// ErrorFn upcall instead of panicking; the reliability layer reacts by
+/// marking the rail dead and failing its traffic over to the survivors.
+struct RailError {
+  RailErrorKind kind = RailErrorKind::kSendFailed;
+  Track track = Track::kSmall;
+  int sys_errno = 0;    ///< errno for socket-backed drivers, 0 otherwise
+  std::string detail;   ///< human-readable context for logs
 };
 
 class Driver {
@@ -92,6 +129,12 @@ class Driver {
   /// upcall — consumers must decode (and copy what they keep) before
   /// returning.
   using DeliverFn = std::function<void(Track, std::span<const std::byte>)>;
+  /// Upcall invoked when the driver hits a non-recoverable I/O failure on
+  /// this rail. After reporting, the failed track (or the whole endpoint,
+  /// for kPeerGone) goes permanently non-idle: post_send must not be called
+  /// again and no further delivers occur. The rail is expected to be
+  /// declared dead by the reliability layer; the process keeps running.
+  using ErrorFn = std::function<void(const RailError&)>;
 
   virtual ~Driver() = default;
 
@@ -106,6 +149,12 @@ class Driver {
 
   /// Install the receive upcall (set once, by the scheduling layer).
   virtual void set_deliver(DeliverFn deliver) = 0;
+
+  /// Install the rail-failure upcall. Optional: drivers that cannot fail
+  /// (pure simulation) keep the default no-op. Without a handler installed,
+  /// a real driver that hits an error still must not crash — it parks the
+  /// failed track and drops the event.
+  virtual void set_error(ErrorFn on_error) { (void)on_error; }
 
   /// Drive I/O for drivers that need active progression (e.g. sockets).
   /// Returns true if any work was performed. Simulated drivers are pumped

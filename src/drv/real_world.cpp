@@ -26,12 +26,25 @@ void RealWorld::defer(std::function<void()> fn) {
   deferred_.push_back(std::move(fn));
 }
 
+void RealWorld::schedule_after(sim::TimeNs delay, std::function<void()> fn) {
+  timers_.push(Timer{now() + delay, timer_order_++, std::move(fn)});
+}
+
 bool RealWorld::progress_once() {
   bool worked = false;
   // Drain the deferred queue first: submissions become packets here.
   while (!deferred_.empty()) {
     auto fn = std::move(deferred_.front());
     deferred_.pop_front();
+    fn();
+    worked = true;
+  }
+  // Fire expired timers (retransmission deadlines). Timers run after the
+  // deferred queue so a round's submissions are on the wire before its
+  // timeouts are judged.
+  while (!timers_.empty() && timers_.top().deadline <= now()) {
+    auto fn = std::move(const_cast<Timer&>(timers_.top()).fn);
+    timers_.pop();
     fn();
     worked = true;
   }

@@ -8,6 +8,7 @@
 
 #include <deque>
 #include <functional>
+#include <queue>
 #include <vector>
 
 #include "drv/driver.hpp"
@@ -27,6 +28,11 @@ class RealWorld {
   /// Queue work for the next progression round (Scheduler::DeferFn).
   void defer(std::function<void()> fn);
 
+  /// Run `fn` once at least `delay` wall-clock time has passed, checked at
+  /// progression-round granularity (Scheduler::TimerFn — retransmission
+  /// timeouts, delayed acks).
+  void schedule_after(sim::TimeNs delay, std::function<void()> fn);
+
   /// Drive drivers and deferred work until `pred()` holds. Spins politely
   /// (sched_yield) when nothing progresses. Session::ProgressFn.
   void progress_until(const std::function<bool()>& pred);
@@ -35,8 +41,20 @@ class RealWorld {
   bool progress_once();
 
  private:
+  struct Timer {
+    sim::TimeNs deadline;
+    std::uint64_t order;  ///< insertion order breaks deadline ties (FIFO)
+    std::function<void()> fn;
+    bool operator>(const Timer& other) const noexcept {
+      return deadline != other.deadline ? deadline > other.deadline
+                                        : order > other.order;
+    }
+  };
+
   std::vector<Driver*> drivers_;
   std::deque<std::function<void()>> deferred_;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
+  std::uint64_t timer_order_ = 0;
   mutable sim::TimeNs epoch_ = 0;
 };
 

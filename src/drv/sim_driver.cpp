@@ -38,7 +38,7 @@ void SimDriver::register_metrics(obs::MetricsRegistry& registry,
 
 void SimDriver::post_send(SendDesc desc, Callback on_sent) {
   NMAD_ASSERT(send_idle(desc.track), "post_send on busy track");
-  NMAD_ASSERT(desc.wire_size() > 0, "post_send of empty packet");
+  // wire_size() == 0 is legal: an ack-only frame is just the envelope.
   busy_[static_cast<std::size_t>(desc.track)] = true;
   if (desc.track == Track::kSmall) {
     // max_small_packet caps the *payload*; allow protocol headers on top
@@ -70,8 +70,13 @@ void SimDriver::send_eager(SendDesc desc, Callback on_sent) {
   // This models the NIC reading host memory during the PIO injection — it
   // is the simulated wire, not a host-side staging copy, so it is not
   // charged to bytes_copied. Gathering here also lets the pooled header
-  // block recycle as soon as this frame leaves post_send.
-  auto wire = std::make_shared<std::vector<std::byte>>(desc.view.to_bytes());
+  // block recycle as soon as this frame leaves post_send. The reliability
+  // envelope rides in front of the packet; like real NIC hardware framing
+  // it is excluded from the calibrated PIO timing and byte stats above.
+  auto wire = std::make_shared<std::vector<std::byte>>();
+  wire->reserve(desc.frame_size());
+  wire->insert(wire->end(), desc.envelope.begin(), desc.envelope.end());
+  desc.view.gather_into(*wire);
   desc.view.reset();
 
   const sim::TimeNs cpu_done = world_.cpu(node_).acquire(
@@ -106,8 +111,12 @@ void SimDriver::send_dma(SendDesc desc, Callback on_sent) {
   // Gather into the transit buffer at post time (the DMA engine reads the
   // chunk's user memory directly; the copy below is the simulated wire,
   // not a host-side copy — see send_eager). The view's pooled blocks are
-  // recycled immediately.
-  auto wire = std::make_shared<std::vector<std::byte>>(desc.view.to_bytes());
+  // recycled immediately. The envelope is NIC framing: carried in front of
+  // the packet but excluded from the modeled flow size and byte stats.
+  auto wire = std::make_shared<std::vector<std::byte>>();
+  wire->reserve(desc.frame_size());
+  wire->insert(wire->end(), desc.envelope.begin(), desc.envelope.end());
+  desc.view.gather_into(*wire);
   desc.view.reset();
 
   world_.trace().record(engine.now(), "dma.program",

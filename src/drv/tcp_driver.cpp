@@ -142,34 +142,63 @@ util::Expected<std::unique_ptr<TcpDriver>> TcpDriver::connect_to(
 }
 
 bool TcpDriver::send_idle(Track track) const noexcept {
-  return !tracks_[static_cast<std::size_t>(track)].busy;
+  const TrackState& ts = tracks_[static_cast<std::size_t>(track)];
+  return !ts.busy && !ts.failed;
 }
 
 void TcpDriver::set_deliver(DeliverFn deliver) { deliver_ = std::move(deliver); }
 
+void TcpDriver::set_error(ErrorFn on_error) { on_error_ = std::move(on_error); }
+
+void TcpDriver::fail(Track track, RailErrorKind kind, int sys_errno,
+                     const char* detail) {
+  TrackState& ts = tracks_[static_cast<std::size_t>(track)];
+  if (ts.failed) return;
+  ts.failed = true;
+  // Drop the in-flight frame: its bytes can no longer reach the peer. The
+  // reliability layer re-posts retained packets on a surviving rail, so
+  // releasing the view here is safe (it holds an alias, not the original).
+  ts.busy = false;
+  ts.out = SendDesc{};
+  ts.out_off = 0;
+  ts.out_total = 0;
+  ts.on_sent = nullptr;
+  stats_.rail_errors += 1;
+  if (on_error_) {
+    RailError err;
+    err.kind = kind;
+    err.track = track;
+    err.sys_errno = sys_errno;
+    err.detail = detail;
+    on_error_(err);
+  }
+}
+
 void TcpDriver::post_send(SendDesc desc, Callback on_sent) {
   TrackState& ts = tracks_[static_cast<std::size_t>(desc.track)];
   NMAD_ASSERT(!ts.busy, "post_send on busy TCP track");
-  const std::size_t wire_size = desc.wire_size();
-  NMAD_ASSERT(wire_size <= 0xffffffffu, "frame too large");
+  NMAD_ASSERT(!ts.failed, "post_send on failed TCP track");
+  // The on-wire frame is envelope + packet; the length prefix covers both.
+  const std::size_t frame_size = desc.frame_size();
+  NMAD_ASSERT(frame_size <= 0xffffffffu, "frame too large");
 
   ts.busy = true;
   ts.out = std::move(desc);
   ts.out_off = 0;
-  ts.out_total = 4 + wire_size;
+  ts.out_total = 4 + frame_size;
   for (int i = 0; i < 4; ++i) {
     ts.frame_len[static_cast<std::size_t>(i)] =
-        std::byte((wire_size >> (8 * i)) & 0xff);
+        std::byte((frame_size >> (8 * i)) & 0xff);
   }
   ts.on_sent = std::move(on_sent);
   stats_.packets_sent += 1;
-  stats_.bytes_sent += wire_size;
+  stats_.bytes_sent += frame_size;
   // Kick the write immediately; completion is reported from progress() so
   // the on_sent upcall never runs inside post_send (Driver contract).
 }
 
-bool TcpDriver::flush_writes(TrackState& ts) {
-  if (!ts.busy) return false;
+bool TcpDriver::flush_writes(Track track, TrackState& ts) {
+  if (!ts.busy || ts.failed) return false;
   bool worked = false;
   while (ts.out_off < ts.out_total) {
     // Gather straight from the PacketView: length prefix, header block and
@@ -189,6 +218,7 @@ bool TcpDriver::flush_writes(TrackState& ts) {
       ts.iov.push_back(iovec{const_cast<std::byte*>(p), n});
     };
     add(ts.frame_len.data(), ts.frame_len.size());
+    add(ts.out.envelope.data(), ts.out.envelope.size());
     const auto head = ts.out.view.head();
     add(head.data(), head.size());
     for (const auto& s : ts.out.view.payload_spans()) add(s.data(), s.size());
@@ -205,7 +235,14 @@ bool TcpDriver::flush_writes(TrackState& ts) {
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return worked;
-    NMAD_PANIC("TCP send failed (peer gone?)");
+    // Hard send failure (EPIPE/ECONNRESET when the peer died, or any other
+    // socket error): park the track and surface a recoverable RailError
+    // instead of panicking — the reliability layer fails over.
+    const RailErrorKind kind = (errno == EPIPE || errno == ECONNRESET)
+                                   ? RailErrorKind::kPeerGone
+                                   : RailErrorKind::kSendFailed;
+    fail(track, kind, errno, "TCP send failed");
+    return true;
   }
   // Frame fully handed to the kernel: release the view (recycling its
   // pooled blocks — the payload spans are not read past this point), then
@@ -221,7 +258,11 @@ bool TcpDriver::flush_writes(TrackState& ts) {
 }
 
 bool TcpDriver::drain_reads(Track track, TrackState& ts) {
+  if (ts.failed) return false;
   bool worked = false;
+  bool peer_gone = false;
+  bool recv_failed = false;
+  int recv_errno = 0;
   std::byte buf[64 * 1024];
   for (;;) {
     const ssize_t n = ::recv(ts.fd, buf, sizeof(buf), 0);
@@ -231,8 +272,15 @@ bool TcpDriver::drain_reads(Track track, TrackState& ts) {
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-    if (n == 0) break;  // peer closed; deliver what we have
-    NMAD_PANIC("TCP recv failed");
+    if (n == 0) {
+      // Peer closed its end (clean exit or crash). Deliver the complete
+      // frames already buffered, then park the track with peer_gone.
+      peer_gone = true;
+      break;
+    }
+    recv_failed = true;
+    recv_errno = errno;
+    break;
   }
   // Deliver every complete frame in place: spans into ts.in, no per-frame
   // vector. Safe against re-entrancy because deliver upcalls post sends
@@ -254,6 +302,13 @@ bool TcpDriver::drain_reads(Track track, TrackState& ts) {
                 ts.in.begin() + static_cast<std::ptrdiff_t>(ts.in_off));
     ts.in_off = 0;
   }
+  if (peer_gone) {
+    fail(track, RailErrorKind::kPeerGone, 0, "peer closed connection");
+    worked = true;
+  } else if (recv_failed) {
+    fail(track, RailErrorKind::kRecvFailed, recv_errno, "TCP recv failed");
+    worked = true;
+  }
   return worked;
 }
 
@@ -261,7 +316,7 @@ bool TcpDriver::progress() {
   stats_.progress_polls += 1;
   bool worked = false;
   for (std::size_t i = 0; i < tracks_.size(); ++i) {
-    worked |= flush_writes(tracks_[i]);
+    worked |= flush_writes(static_cast<Track>(i), tracks_[i]);
     worked |= drain_reads(static_cast<Track>(i), tracks_[i]);
   }
   return worked;
@@ -274,6 +329,7 @@ void TcpDriver::register_metrics(obs::MetricsRegistry& registry,
   registry.add_raw(prefix + "packets_received", &stats_.packets_received);
   registry.add_raw(prefix + "bytes_received", &stats_.bytes_received);
   registry.add_raw(prefix + "polls", &stats_.progress_polls);
+  registry.add_raw(prefix + "rail_errors", &stats_.rail_errors);
 }
 
 }  // namespace nmad::drv

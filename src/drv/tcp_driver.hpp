@@ -51,7 +51,14 @@ class TcpDriver final : public Driver {
   [[nodiscard]] bool send_idle(Track track) const noexcept override;
   void post_send(SendDesc desc, Callback on_sent) override;
   void set_deliver(DeliverFn deliver) override;
+  void set_error(ErrorFn on_error) override;
   bool progress() override;
+
+  /// True once `track` hit a hard I/O failure (send error, recv error or
+  /// peer close) and was parked. A failed track never becomes idle again.
+  [[nodiscard]] bool failed(Track track) const noexcept {
+    return tracks_[static_cast<std::size_t>(track)].failed;
+  }
 
   struct Stats {
     std::uint64_t packets_sent = 0;
@@ -60,6 +67,8 @@ class TcpDriver final : public Driver {
     std::uint64_t bytes_received = 0;
     /// Progression rounds that polled this endpoint's sockets.
     std::uint64_t progress_polls = 0;
+    /// Hard I/O failures surfaced as RailError events (one per track max).
+    std::uint64_t rail_errors = 0;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -87,15 +96,21 @@ class TcpDriver final : public Driver {
     // consumed prefix, compacted once per drain.
     std::vector<std::byte> in;
     std::size_t in_off = 0;
+    // Permanently parked after a hard I/O failure: no further sends are
+    // accepted, no further reads are attempted, pending output is dropped.
+    bool failed = false;
   };
 
   TcpDriver(int fd_small, int fd_large);
-  bool flush_writes(TrackState& ts);
+  bool flush_writes(Track track, TrackState& ts);
   bool drain_reads(Track track, TrackState& ts);
+  /// Park `track` after a hard failure and surface one RailError upcall.
+  void fail(Track track, RailErrorKind kind, int sys_errno, const char* detail);
 
   Capabilities caps_;
   std::array<TrackState, kTrackCount> tracks_;
   DeliverFn deliver_;
+  ErrorFn on_error_;
   Stats stats_;
 };
 

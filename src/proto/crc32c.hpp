@@ -1,0 +1,31 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+// frame-envelope checksum (iSCSI/ext4 flavor, chosen over CRC32/zlib for
+// its better error-detection properties on short frames).
+//
+// The implementation is streaming: a frame's checksum is folded over the
+// envelope prefix, the packet's header block and each payload span in turn,
+// so the scatter-gather packet path never flattens a packet just to
+// checksum it (the zero-copy contract of proto/wire.hpp is preserved).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace nmad::proto {
+
+inline constexpr std::uint32_t kCrc32cInit = 0xffffffffu;
+
+/// Fold `data` into a running CRC32C state. Start from kCrc32cInit and
+/// finalize with crc32c_finish once every piece has been folded in.
+[[nodiscard]] std::uint32_t crc32c_update(std::uint32_t state,
+                                          std::span<const std::byte> data) noexcept;
+
+[[nodiscard]] constexpr std::uint32_t crc32c_finish(std::uint32_t state) noexcept {
+  return state ^ 0xffffffffu;
+}
+
+/// One-shot convenience over a single contiguous buffer.
+[[nodiscard]] std::uint32_t crc32c(std::span<const std::byte> data) noexcept;
+
+}  // namespace nmad::proto

@@ -16,9 +16,9 @@ void MessageAssembly::rebind(std::span<std::byte> new_dest) {
   dest_ = new_dest;
 }
 
-util::Status MessageAssembly::add_chunk(std::uint64_t offset,
-                                        std::span<const std::byte> payload) {
-  if (payload.empty()) return {};
+util::Expected<bool> MessageAssembly::add_chunk(std::uint64_t offset,
+                                                std::span<const std::byte> payload) {
+  if (payload.empty()) return false;
   const std::uint64_t end = offset + payload.size();
   if (end > dest_.size()) {
     return util::make_error(util::sformat(
@@ -33,6 +33,12 @@ util::Status MessageAssembly::add_chunk(std::uint64_t offset,
   if (it != intervals_.begin()) {
     auto prev = std::prev(it);
     if (prev->second > offset) {
+      if (prev->first <= offset && prev->second >= end) {
+        // Fully covered: a retransmitted or requeued chunk whose original
+        // made it. The payload is byte-identical by the protocol's
+        // chunking invariant; nothing to apply.
+        return false;
+      }
       return util::make_error(util::sformat(
           "chunk [%llu, %llu) overlaps received range [%llu, %llu)",
           static_cast<unsigned long long>(offset),
@@ -68,7 +74,7 @@ util::Status MessageAssembly::add_chunk(std::uint64_t offset,
     intervals_.erase(it);
   }
   intervals_.emplace(new_start, new_end);
-  return {};
+  return true;
 }
 
 }  // namespace nmad::proto

@@ -22,10 +22,16 @@ class MessageAssembly {
   /// `dest` must stay valid until complete(); its size is the message length.
   explicit MessageAssembly(std::span<std::byte> dest) : dest_(dest) {}
 
-  /// Copy `payload` into the message at `offset`. Rejects chunks that fall
-  /// outside the message or overlap previously received bytes (a protocol
-  /// violation — each byte is sent exactly once).
-  util::Status add_chunk(std::uint64_t offset, std::span<const std::byte> payload);
+  /// Copy `payload` into the message at `offset`. Returns true when new
+  /// bytes were applied, false for a chunk whose range is already fully
+  /// covered — an exact duplicate, which the reliability layer produces
+  /// legitimately (a retransmission whose original did arrive, or a
+  /// requeued packet after a rail failover) and which is ignored. Chunks
+  /// that fall outside the message or *partially* overlap received bytes
+  /// are still errors: the protocol never re-chunks sent data, so a
+  /// partial overlap means corrupted addressing.
+  util::Expected<bool> add_chunk(std::uint64_t offset,
+                                 std::span<const std::byte> payload);
 
   [[nodiscard]] std::uint64_t bytes_received() const noexcept { return received_; }
   [[nodiscard]] std::uint64_t total_bytes() const noexcept { return dest_.size(); }

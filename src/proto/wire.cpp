@@ -1,6 +1,7 @@
 #include "proto/wire.hpp"
 
 #include <cstring>
+#include "proto/crc32c.hpp"
 #include "util/fmt.hpp"
 
 #include "util/panic.hpp"
@@ -127,6 +128,17 @@ PacketView PacketView::from_encoded(PooledBuffer head) {
   return view;
 }
 
+PacketView PacketView::alias() const {
+  PacketView view;
+  view.alias_head_ = head();
+  view.inline_ = inline_;
+  view.overflow_ = overflow_;
+  view.span_count_ = span_count_;
+  view.payload_bytes_ = payload_bytes_;
+  // copied_bytes_ stays 0: the copy was charged when the original was built.
+  return view;
+}
+
 std::span<const std::span<const std::byte>> PacketView::payload_spans()
     const noexcept {
   if (!overflow_.empty()) return overflow_;
@@ -140,7 +152,7 @@ std::uint64_t PacketView::heap_allocs() const noexcept {
 
 void PacketView::gather_into(std::vector<std::byte>& out) const {
   out.reserve(out.size() + wire_size());
-  const auto h = head_.bytes();
+  const auto h = head();
   out.insert(out.end(), h.begin(), h.end());
   for (const auto& s : payload_spans()) {
     out.insert(out.end(), s.begin(), s.end());
@@ -156,6 +168,7 @@ std::vector<std::byte> PacketView::to_bytes() const {
 void PacketView::reset() noexcept {
   head_.release();
   staging_.release();
+  alias_head_ = {};
   overflow_.clear();
   span_count_ = 0;
   payload_bytes_ = 0;
@@ -268,6 +281,63 @@ PacketView GatherBuilder::finish() && {
   NMAD_ASSERT(stage_off == view.staging_.size(),
               "staged ranges do not cover the staging block");
   return view;
+}
+
+// --------------------------------------------------------------------------
+// Frame envelope
+// --------------------------------------------------------------------------
+
+void seal_frame_envelope(std::span<std::byte> out, const FrameEnvelope& env,
+                         std::span<const std::byte> head,
+                         std::span<const std::span<const std::byte>> payloads) {
+  NMAD_ASSERT(out.size() >= kFrameEnvelopeBytes, "envelope buffer too small");
+  std::byte* p = out.data();
+  store_u16(p + 0, kFrameMagic);
+  p[2] = std::byte{kFrameVersion};
+  p[3] = std::byte{env.flags};
+  store_u32(p + 4, env.seq);
+  store_u32(p + 8, env.ack_small);
+  store_u32(p + 12, env.ack_large);
+  // Checksum the envelope with the crc field absent, then the packet bytes
+  // span by span — the streamed fold that keeps the gather path zero-copy.
+  std::uint32_t crc = crc32c_update(kCrc32cInit, std::span<const std::byte>(p, 16));
+  crc = crc32c_update(crc, head);
+  for (const auto& s : payloads) crc = crc32c_update(crc, s);
+  store_u32(p + 16, crc32c_finish(crc));
+}
+
+util::Expected<FrameEnvelope> decode_frame_envelope(std::span<const std::byte> frame) {
+  if (frame.size() < kFrameEnvelopeBytes) {
+    return util::make_error(
+        util::sformat("frame too short for envelope: %zu bytes", frame.size()));
+  }
+  if (get_u16(frame, 0) != kFrameMagic) {
+    return util::make_error("bad frame magic");
+  }
+  const auto version = std::to_integer<std::uint8_t>(frame[2]);
+  if (version != kFrameVersion) {
+    return util::make_error(util::sformat("unsupported frame version %u", version));
+  }
+  FrameEnvelope env;
+  env.flags = std::to_integer<std::uint8_t>(frame[3]);
+  env.seq = get_u32(frame, 4);
+  env.ack_small = get_u32(frame, 8);
+  env.ack_large = get_u32(frame, 12);
+  env.checksum = get_u32(frame, 16);
+  if ((env.flags & kFrameAckOnly) != 0 && frame.size() != kFrameEnvelopeBytes) {
+    return util::make_error("ack-only frame carries payload bytes");
+  }
+  if ((env.flags & kFrameAckOnly) == 0 && frame.size() == kFrameEnvelopeBytes) {
+    return util::make_error("data frame carries no packet");
+  }
+  return env;
+}
+
+bool verify_frame_checksum(std::span<const std::byte> frame) noexcept {
+  if (frame.size() < kFrameEnvelopeBytes) return false;
+  std::uint32_t crc = crc32c_update(kCrc32cInit, frame.first(16));
+  crc = crc32c_update(crc, frame.subspan(kFrameEnvelopeBytes));
+  return crc32c_finish(crc) == get_u32(frame, 16);
 }
 
 util::Expected<DecodedPacket> decode_packet(std::span<const std::byte> wire) {

@@ -52,6 +52,64 @@ inline constexpr std::size_t kSegHeaderBytes = 20;
 inline constexpr std::uint16_t kMagic = 0x4d4e;  // "NM"
 inline constexpr std::uint8_t kVersion = 1;
 
+// --------------------------------------------------------------------------
+// Frame envelope (per-rail reliability layer)
+// --------------------------------------------------------------------------
+//
+// Every frame a driver puts on a wire is the encoded packet prefixed by a
+// fixed 20-byte *envelope* — the per-rail reliability header added by the
+// fault-tolerance subsystem (core/rail_guard.hpp):
+//
+//   magic(2) version(1) flags(1) seq(4) ack_small(4) ack_large(4) crc32c(4)
+//
+//  - `seq` is a per-(rail, track) sequence number starting at 1; 0 marks an
+//    unsequenced frame (raw driver tests). The receiver suppresses
+//    duplicate sequence numbers (retransmissions, injected duplication).
+//  - `ack_small` / `ack_large` piggyback the sender's *receive* state on
+//    this rail: cumulative highest-contiguous sequence received per track.
+//    An envelope with flags bit kFrameAckOnly set carries no packet at all
+//    (standalone ack on an otherwise idle rail).
+//  - `crc32c` covers the envelope (with the crc field zeroed) plus the
+//    packet bytes, folded span-by-span at the gather boundary so the
+//    zero-copy packet path never flattens a frame to checksum it.
+//
+// The envelope is sealed by the RailGuard at post time and validated by it
+// at delivery; corrupt or malformed frames are counted and dropped (the
+// ack/retransmit protocol recovers the data), never trusted.
+
+inline constexpr std::size_t kFrameEnvelopeBytes = 20;
+inline constexpr std::uint16_t kFrameMagic = 0x464e;  // "NF"
+inline constexpr std::uint8_t kFrameVersion = 1;
+
+enum FrameFlags : std::uint8_t {
+  kFrameAckOnly = 1u << 0,  ///< envelope-only frame: acks, no packet
+};
+
+struct FrameEnvelope {
+  std::uint8_t flags = 0;
+  std::uint32_t seq = 0;        ///< per-(rail, track) sequence; 0 = unsequenced
+  std::uint32_t ack_small = 0;  ///< cumulative ack of peer seqs, small track
+  std::uint32_t ack_large = 0;  ///< cumulative ack of peer seqs, large track
+  std::uint32_t checksum = 0;   ///< CRC32C over envelope (crc zeroed) + packet
+};
+
+/// Encode `env` into `out` (>= kFrameEnvelopeBytes) and seal it: the
+/// checksum is computed over the envelope prefix plus `head` plus each
+/// payload span, in wire order, and stored in the crc field.
+void seal_frame_envelope(std::span<std::byte> out, const FrameEnvelope& env,
+                         std::span<const std::byte> head,
+                         std::span<const std::span<const std::byte>> payloads);
+
+/// Validate the fixed fields (size, magic, version, ack-only length rules)
+/// and decode the envelope. Does NOT verify the checksum — callers decide
+/// whether to pay for verify_frame_checksum (the fuzz target exercises
+/// both paths independently).
+util::Expected<FrameEnvelope> decode_frame_envelope(std::span<const std::byte> frame);
+
+/// Recompute the checksum of a contiguous received frame (envelope +
+/// packet) and compare with the stored crc field.
+[[nodiscard]] bool verify_frame_checksum(std::span<const std::byte> frame) noexcept;
+
 /// Total on-wire size of a packet carrying the given payload split across
 /// `seg_count` segments.
 constexpr std::size_t packet_wire_size(std::size_t seg_count,
@@ -98,9 +156,15 @@ class PacketView {
   /// wire image lives in `head`, there is no payload).
   [[nodiscard]] static PacketView from_encoded(PooledBuffer head);
 
+  /// Non-owning view of the same packet: borrows this view's head block and
+  /// payload span list without touching pool ownership. Used by the
+  /// retransmit path, which must re-post a frame the original (retained)
+  /// view still owns. The alias must not outlive the original.
+  [[nodiscard]] PacketView alias() const;
+
   /// Encoded packet header + seg headers (for flat views: the whole wire).
   [[nodiscard]] std::span<const std::byte> head() const noexcept {
-    return head_.bytes();
+    return alias_head_.data() != nullptr ? alias_head_ : head_.bytes();
   }
   /// Payload pieces, in wire order.
   [[nodiscard]] std::span<const std::span<const std::byte>> payload_spans()
@@ -108,7 +172,7 @@ class PacketView {
   [[nodiscard]] std::size_t span_count() const noexcept { return span_count_; }
   [[nodiscard]] std::size_t payload_bytes() const noexcept { return payload_bytes_; }
   [[nodiscard]] std::size_t wire_size() const noexcept {
-    return head_.size() + payload_bytes_;
+    return head().size() + payload_bytes_;
   }
   /// Payload bytes that were memcpy'd while building this packet
   /// (aggregation staging only; zero for the zero-copy paths).
@@ -131,6 +195,8 @@ class PacketView {
 
   PooledBuffer head_;
   PooledBuffer staging_;
+  /// Set only on alias() views: borrowed head bytes owned by the original.
+  std::span<const std::byte> alias_head_{};
   std::array<std::span<const std::byte>, kInlineSpans> inline_{};
   std::vector<std::span<const std::byte>> overflow_;
   std::uint32_t span_count_ = 0;

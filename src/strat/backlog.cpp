@@ -51,6 +51,21 @@ bool BacklogBase::has_backlog() const noexcept {
   return !small_.empty() || !parked_.empty() || !chunks_.empty();
 }
 
+void BacklogBase::on_rail_dead(core::Gate& /*gate*/, core::RailIndex rail) {
+  const auto idx = static_cast<std::int32_t>(rail);
+  for (Chunk& c : chunks_) {
+    if (c.rail_affinity == idx) c.rail_affinity = Chunk::kAnyRail;
+  }
+}
+
+void BacklogBase::on_gate_failed(core::Gate& /*gate*/) {
+  small_.clear();
+  parked_.clear();
+  parked_count_ = 0;
+  chunks_.clear();
+  update_depth();
+}
+
 std::optional<PacketPlan> BacklogBase::pack_small_single(core::Gate& gate,
                                                          core::Rail& /*rail*/) {
   if (small_.empty()) return std::nullopt;

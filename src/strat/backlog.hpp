@@ -23,6 +23,11 @@ class BacklogBase : public Strategy {
   void on_submit_large(core::Gate& gate, LargeEntry entry) override;
   void on_rdv_granted(core::Gate& gate, core::MsgKey key) override;
   [[nodiscard]] bool has_backlog() const noexcept override;
+  /// Chunks pinned to the dead rail float to "first free NIC" so the
+  /// survivors drain them.
+  void on_rail_dead(core::Gate& gate, core::RailIndex rail) override;
+  /// Drop the whole backlog: the requests it belongs to are being failed.
+  void on_gate_failed(core::Gate& gate) override;
 
  protected:
   /// A granted piece of a large message, ready for a DMA track.

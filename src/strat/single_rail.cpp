@@ -20,16 +20,23 @@ class StrategySingleRail final : public BacklogBase {
 
   std::optional<PacketPlan> try_pack(core::Gate& gate, core::Rail& rail,
                                      drv::Track track) override {
-    if (rail.index() != cfg_.rail) return std::nullopt;
+    // The fixed rail owns all traffic while it lives; once dead, any
+    // surviving rail the pump offers may take over.
+    if (rail.index() != cfg_.rail && gate.rail(cfg_.rail).alive()) {
+      return std::nullopt;
+    }
     if (track == drv::Track::kSmall) return pack_small_single(gate, rail);
     return pack_chunk(gate, rail);
   }
 
  private:
-  void plan_grant(core::Gate& /*gate*/, core::MsgKey /*key*/,
+  void plan_grant(core::Gate& gate, core::MsgKey /*key*/,
                   std::vector<LargeEntry> entries) override {
+    const std::int32_t affinity = gate.rail(cfg_.rail).alive()
+                                      ? static_cast<std::int32_t>(cfg_.rail)
+                                      : Chunk::kAnyRail;
     for (const LargeEntry& e : entries) {
-      push_whole_chunk(e, static_cast<std::int32_t>(cfg_.rail));
+      push_whole_chunk(e, affinity);
     }
   }
 };

@@ -41,11 +41,11 @@ class StrategySplitBase : public BacklogBase {
 
   void plan_grant(core::Gate& gate, core::MsgKey /*key*/,
                   std::vector<LargeEntry> entries) override {
-    // Just-in-time rail selection: split across the DMA tracks that are
-    // idle right now.
+    // Just-in-time rail selection: split across the healthy DMA tracks
+    // that are idle right now (dead or suspect rails take no new stripes).
     std::vector<std::pair<std::int32_t, double>> shares;
     for (core::Rail& rail : gate.rails()) {
-      if (rail.idle(drv::Track::kLarge)) {
+      if (rail.healthy() && rail.idle(drv::Track::kLarge)) {
         shares.emplace_back(static_cast<std::int32_t>(rail.index()),
                             rail_weight(gate, rail.index()));
       }

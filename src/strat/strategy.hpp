@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/reliability.hpp"
 #include "core/request.hpp"
 #include "core/types.hpp"
 #include "drv/driver.hpp"
@@ -113,6 +114,19 @@ class Strategy {
   /// True while any backlog (small, parked or granted large) remains.
   [[nodiscard]] virtual bool has_backlog() const noexcept = 0;
 
+  /// Rail `rail` was declared dead. The strategy must stop targeting it:
+  /// retarget any backlog pinned to that rail so the survivors can drain
+  /// it. Default: no-op (single-rail strategies with a live rail, stateless
+  /// policies).
+  virtual void on_rail_dead(core::Gate& gate, core::RailIndex rail) {
+    (void)gate;
+    (void)rail;
+  }
+
+  /// Every rail of the gate died: drop all backlog (the scheduler fails
+  /// the requests). Default: no-op.
+  virtual void on_gate_failed(core::Gate& gate) { (void)gate; }
+
   [[nodiscard]] const StrategyMetrics& metrics() const noexcept { return metrics_; }
 
   Strategy() = default;
@@ -135,6 +149,9 @@ struct StrategyConfig {
   std::uint32_t min_chunk = 8 * 1024 + 1;
   /// For single-rail strategies: which rail to use.
   core::RailIndex rail = 0;
+  /// Per-rail reliability layer (sequencing, ack/retransmit, failover) —
+  /// see core/reliability.hpp. Acks are off by default.
+  core::ReliabilityConfig reliability;
 };
 
 /// Instantiate a built-in strategy by name. Known names:

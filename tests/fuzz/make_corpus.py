@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Regenerate the seed corpus for fuzz_frame_decoder.
+
+Emits a handful of structurally interesting frames into tests/fuzz/corpus/:
+valid sealed frames (the fuzzer mutates from deep states instead of
+rediscovering the magic/CRC by chance), plus rejected-shape seeds. Mirrors
+the C++ wire format (proto/wire.hpp): all integers little-endian, frame =
+20-byte envelope + encoded packet, CRC32C (Castagnoli) over the first 16
+envelope bytes (the crc field itself is excluded) followed by the packet
+bytes.
+"""
+
+import os
+import struct
+
+POLY = 0x82F63B78  # reflected Castagnoli
+
+
+def crc32c(data: bytes) -> int:
+    crc = 0xFFFFFFFF
+    for byte in data:
+        crc ^= byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ POLY if crc & 1 else crc >> 1
+    return crc ^ 0xFFFFFFFF
+
+
+def envelope(flags: int, seq: int, ack_small: int, ack_large: int,
+             packet: bytes) -> bytes:
+    head = struct.pack("<HBBIII", 0x464E, 1, flags, seq, ack_small, ack_large)
+    crc = crc32c(head + packet)
+    return head + struct.pack("<I", crc) + packet
+
+
+def packet(kind: int, segments) -> bytes:
+    payload_len = sum(len(p) for _, p in segments)
+    out = struct.pack("<HBBHHII", 0x4D4E, 1, kind, len(segments), 0,
+                      payload_len, 0)
+    for header, _ in segments:
+        out += struct.pack("<IIIII", *header)
+    for _, payload in segments:
+        out += payload
+    return out
+
+
+def main():
+    corpus = os.path.join(os.path.dirname(os.path.abspath(__file__)), "corpus")
+    os.makedirs(corpus, exist_ok=True)
+
+    # (tag, msg_seq, offset, len, total_len)
+    seeds = {
+        # Standalone ack: envelope-only, both cumulative acks set.
+        "ack_only": envelope(1, 0, 7, 3, b""),
+        # Sequenced single-segment data frame (the common case).
+        "data_1seg": envelope(0, 1, 0, 0, packet(
+            1, [((9, 2, 0, 24, 24), bytes(range(24)))])),
+        # Aggregated frame: two segments from different messages.
+        "data_2seg": envelope(0, 5, 2, 0, packet(
+            1, [((1, 3, 0, 8, 8), b"A" * 8), ((4, 1, 16, 8, 32), b"B" * 8)])),
+        # Rendezvous control frames (empty payload, total_len announced).
+        "rdv_req": envelope(0, 2, 0, 0, packet(2, [((6, 1, 0, 0, 1 << 20), b"")])),
+        "rdv_ack": envelope(0, 1, 0, 0, packet(3, [((6, 1, 0, 0, 0), b"")])),
+        # Unsequenced frame (seq 0): the raw-driver-test shape.
+        "unsequenced": envelope(0, 0, 0, 0, packet(
+            1, [((0, 0, 0, 4, 4), b"\x01\x02\x03\x04")])),
+    }
+    # Rejected shapes keep the fuzzer exploring the failure paths too.
+    seeds["bad_crc"] = bytearray(seeds["data_1seg"])
+    seeds["bad_crc"][25] ^= 0x40
+    seeds["truncated_envelope"] = seeds["data_1seg"][:13]
+
+    for name, data in seeds.items():
+        with open(os.path.join(corpus, name + ".bin"), "wb") as f:
+            f.write(bytes(data))
+        print(f"wrote corpus/{name}.bin ({len(data)} bytes)")
+
+
+if __name__ == "__main__":
+    main()

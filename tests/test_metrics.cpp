@@ -65,7 +65,9 @@ TEST(MetricsPrimitives, CounterIncAndOverflowWrap) {
   obs::Counter wrap;
   wrap.inc(std::numeric_limits<std::uint64_t>::max());
   wrap.inc(3);
-  if constexpr (obs::kMetricsEnabled) EXPECT_EQ(wrap.value(), 2u);
+  if constexpr (obs::kMetricsEnabled) {
+    EXPECT_EQ(wrap.value(), 2u);
+  }
 }
 
 TEST(MetricsPrimitives, GaugeTracksHighWater) {

@@ -51,8 +51,17 @@ TEST(Reassembly, RejectsOverlaps) {
   std::vector<std::byte> dest(64);
   MessageAssembly assembly(dest);
   EXPECT_TRUE(assembly.add_chunk(10, std::span(src).subspan(10, 20)).has_value());
-  // Exact duplicate, partial front overlap, partial back overlap, engulfing.
-  EXPECT_FALSE(assembly.add_chunk(10, std::span(src).subspan(10, 20)).has_value());
+  // A fully-covered duplicate (failover repost / retransmission whose
+  // original landed) is tolerated but applies nothing.
+  auto dup = assembly.add_chunk(10, std::span(src).subspan(10, 20));
+  ASSERT_TRUE(dup.has_value());
+  EXPECT_FALSE(*dup);
+  EXPECT_EQ(assembly.bytes_received(), 20u);
+  // Sub-range duplicate is also fully covered: tolerated.
+  auto sub = assembly.add_chunk(15, std::span(src).subspan(15, 5));
+  ASSERT_TRUE(sub.has_value());
+  EXPECT_FALSE(*sub);
+  // Partial front overlap, partial back overlap, engulfing: still errors.
   EXPECT_FALSE(assembly.add_chunk(5, std::span(src).subspan(5, 10)).has_value());
   EXPECT_FALSE(assembly.add_chunk(25, std::span(src).subspan(25, 10)).has_value());
   EXPECT_FALSE(assembly.add_chunk(0, std::span(src).subspan(0, 64)).has_value());

@@ -1,6 +1,8 @@
 // TCP-driver tests: the identical core/strategy stack over real kernel
 // sockets (socketpair endpoints, single process, RealWorld pump).
 #include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <memory>
 #include <span>
@@ -129,6 +131,77 @@ TEST(TcpDriver, AggregationHappensOverSocketsToo) {
   // All six submissions were queued before the first progression round, so
   // the strategy coalesced them into one frame.
   EXPECT_EQ(f.drv_a->stats().packets_sent, 1u);
+}
+
+TEST(TcpDriver, PeerCloseSurfacesRailErrorInsteadOfCrashing) {
+  auto [da, db] = drv::TcpDriver::create_pair();
+  da->set_deliver([](drv::Track, std::span<const std::byte>) {});
+  std::vector<drv::RailError> errors;
+  da->set_error([&](const drv::RailError& e) { errors.push_back(e); });
+
+  // The peer endpoint goes away (clean close of both track sockets).
+  db.reset();
+
+  for (int i = 0; i < 1000 && errors.empty(); ++i) da->progress();
+  ASSERT_FALSE(errors.empty()) << "peer close never surfaced";
+  for (const auto& e : errors) {
+    EXPECT_EQ(e.kind, drv::RailErrorKind::kPeerGone);
+    EXPECT_TRUE(da->failed(e.track));
+    EXPECT_FALSE(da->send_idle(e.track));  // parked, never idle again
+  }
+  EXPECT_GE(da->stats().rail_errors, 1u);
+  // Further progression on the dead endpoint is a harmless no-op.
+  for (int i = 0; i < 10; ++i) da->progress();
+}
+
+TEST(TcpDriver, PeerProcessExitFailsPendingRequestsCleanly) {
+  // Regression for the original failure mode: one side of a transfer
+  // _exit()s and the survivor used to panic (or SIGPIPE) instead of
+  // failing the pending requests over a dead rail.
+  auto [da, db] = drv::TcpDriver::create_pair();
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    // Child: hold the peer endpoint open briefly, then vanish without any
+    // shutdown handshake. _exit skips destructors — the hard-crash case.
+    usleep(30 * 1000);
+    _exit(0);
+  }
+  // Parent: drop its copy of the peer endpoint so the child's _exit is the
+  // event that delivers EOF on the survivor's sockets.
+  db.reset();
+
+  drv::RealWorld world;
+  world.attach(da.get());
+  auto clock = [&world] { return world.now(); };
+  auto defer = [&world](std::function<void()> fn) { world.defer(std::move(fn)); };
+  auto progress = [&world](const std::function<bool()>& pred) {
+    world.progress_until(pred);
+  };
+  auto timer = [&world](sim::TimeNs delay, std::function<void()> fn) {
+    world.schedule_after(delay, std::move(fn));
+  };
+  Session a("A", clock, defer, progress, timer);
+  strat::StrategyConfig scfg;
+  scfg.reliability.ack_enabled = true;
+  const GateId gate = a.connect({da.get()}, "single_rail", scfg);
+
+  const auto payload = random_bytes(4096, 6);
+  auto send = a.isend(gate, 1, payload);
+  // The peer never acks and then dies: the request must settle as failed
+  // (rail dead -> gate failed), not hang and not crash the process.
+  a.wait(send);
+  EXPECT_TRUE(send->failed());
+  EXPECT_FALSE(send->completed());
+  EXPECT_TRUE(a.scheduler().gate(gate).failed());
+  for (auto& rail : a.scheduler().gate(gate).rails()) {
+    EXPECT_EQ(rail.guard.state(), RailState::kDead);
+  }
+
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status));
 }
 
 TEST(TcpDriver, TrackIdleContract) {

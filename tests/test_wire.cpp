@@ -2,8 +2,10 @@
 // rejection, and a randomized encode/decode property sweep.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
+#include "proto/crc32c.hpp"
 #include "proto/wire.hpp"
 #include "util/rng.hpp"
 
@@ -263,6 +265,125 @@ TEST(WireGather, ControlFastPathsMatchLegacyEncodersByteForByte) {
   EXPECT_EQ(req.copied_bytes(), 0u);
   PacketView ack = encode_rdv_ack_view(pool, 5, 77);
   EXPECT_EQ(ack.to_bytes(), legacy_ack);
+}
+
+// --------------------------------------------------------------------------
+// Frame envelope (the per-rail reliability header in front of every packet)
+// --------------------------------------------------------------------------
+
+std::vector<std::byte> sealed_frame(const FrameEnvelope& env,
+                                    std::span<const std::byte> packet) {
+  std::vector<std::byte> frame(kFrameEnvelopeBytes + packet.size());
+  std::copy(packet.begin(), packet.end(), frame.begin() + kFrameEnvelopeBytes);
+  seal_frame_envelope(std::span(frame).first(kFrameEnvelopeBytes), env, packet,
+                      {});
+  return frame;
+}
+
+TEST(FrameEnvelope, SealDecodeRoundTrip) {
+  const auto packet = encode_data_packet(SegHeader{3, 9, 0, 8, 8},
+                                         std::vector<std::byte>(8, std::byte{0xab}));
+  FrameEnvelope env;
+  env.seq = 41;
+  env.ack_small = 17;
+  env.ack_large = 123456789;
+  const auto frame = sealed_frame(env, packet);
+
+  const auto decoded = decode_frame_envelope(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->flags, 0);
+  EXPECT_EQ(decoded->seq, 41u);
+  EXPECT_EQ(decoded->ack_small, 17u);
+  EXPECT_EQ(decoded->ack_large, 123456789u);
+  EXPECT_TRUE(verify_frame_checksum(frame));
+  // The packet bytes behind the envelope are untouched.
+  EXPECT_TRUE(std::equal(packet.begin(), packet.end(),
+                         frame.begin() + kFrameEnvelopeBytes));
+}
+
+TEST(FrameEnvelope, AckOnlyFrameIsEnvelopeSized) {
+  FrameEnvelope env;
+  env.flags = kFrameAckOnly;
+  env.ack_small = 5;
+  const auto frame = sealed_frame(env, {});
+  ASSERT_EQ(frame.size(), kFrameEnvelopeBytes);
+  const auto decoded = decode_frame_envelope(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_NE(decoded->flags & kFrameAckOnly, 0);
+  EXPECT_EQ(decoded->ack_small, 5u);
+  EXPECT_TRUE(verify_frame_checksum(frame));
+  // An ack-only frame carrying trailing bytes is malformed.
+  auto padded = frame;
+  padded.push_back(std::byte{0});
+  EXPECT_FALSE(decode_frame_envelope(padded).has_value());
+}
+
+TEST(FrameEnvelope, RejectsTruncationAtEveryCut) {
+  const auto packet = encode_data_packet(SegHeader{1, 1, 0, 4, 4},
+                                         std::vector<std::byte>(4, std::byte{1}));
+  FrameEnvelope env;
+  env.seq = 1;
+  const auto frame = sealed_frame(env, packet);
+  for (std::size_t cut = 0; cut < kFrameEnvelopeBytes; ++cut) {
+    EXPECT_FALSE(decode_frame_envelope(std::span(frame).first(cut)).has_value())
+        << "cut at " << cut;
+  }
+}
+
+TEST(FrameEnvelope, RejectsBadMagicAndVersion) {
+  FrameEnvelope env;
+  env.seq = 1;
+  const auto packet = encode_data_packet(SegHeader{1, 1, 0, 4, 4},
+                                         std::vector<std::byte>(4, std::byte{1}));
+  auto bad_magic = sealed_frame(env, packet);
+  bad_magic[0] ^= std::byte{0xff};
+  EXPECT_FALSE(decode_frame_envelope(bad_magic).has_value());
+
+  auto bad_version = sealed_frame(env, packet);
+  bad_version[2] ^= std::byte{0xff};
+  EXPECT_FALSE(decode_frame_envelope(bad_version).has_value());
+}
+
+TEST(FrameEnvelope, ChecksumCatchesEverySingleBitFlip) {
+  const auto packet = encode_data_packet(SegHeader{2, 7, 0, 16, 16},
+                                         std::vector<std::byte>(16, std::byte{0x5c}));
+  FrameEnvelope env;
+  env.seq = 3;
+  env.ack_small = 2;
+  const auto frame = sealed_frame(env, packet);
+  ASSERT_TRUE(verify_frame_checksum(frame));
+  for (std::size_t bit = 0; bit < frame.size() * 8; ++bit) {
+    auto flipped = frame;
+    flipped[bit / 8] ^= std::byte(1u << (bit % 8));
+    EXPECT_FALSE(verify_frame_checksum(flipped)) << "bit " << bit;
+  }
+}
+
+TEST(FrameEnvelope, Crc32cKnownAnswerAndStreamingEquivalence) {
+  // RFC 3720 check value: crc32c("123456789") == 0xe3069283.
+  const char* kat = "123456789";
+  const auto bytes = std::as_bytes(std::span(kat, 9));
+  EXPECT_EQ(crc32c(bytes), 0xe3069283u);
+
+  // Folding the same bytes in arbitrary pieces must match the one-shot.
+  nmad::util::Xoshiro256 rng(15);
+  const auto data = [&] {
+    std::vector<std::byte> d(333);
+    for (auto& b : d) b = std::byte(rng.next() & 0xff);
+    return d;
+  }();
+  const auto oneshot = crc32c(data);
+  for (int round = 0; round < 20; ++round) {
+    std::uint32_t state = kCrc32cInit;
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const std::size_t n =
+          std::min<std::size_t>(1 + rng.next_below(64), data.size() - off);
+      state = crc32c_update(state, std::span(data).subspan(off, n));
+      off += n;
+    }
+    EXPECT_EQ(crc32c_finish(state), oneshot);
+  }
 }
 
 TEST(Wire, RandomizedRoundTripSweep) {
