@@ -65,9 +65,23 @@ TwoNodePlatform::TwoNodePlatform(PlatformConfig config)
     session_a_->scheduler().gate(gate_ab_).set_ratios(weights);
     session_b_->scheduler().gate(gate_ba_).set_ratios(weights);
   }
+
+  mode_ = resolve_progress_mode(config_.progress_mode);
+  if (mode_ == ProgressMode::kThreaded) {
+    const std::size_t threads = config_.progress_threads != 0
+                                    ? config_.progress_threads
+                                    : config_.links.size();
+    session_a_->start_threaded(w->progress_mutex(), &w->engine(), threads);
+    session_b_->start_threaded(w->progress_mutex(), &w->engine(), threads);
+  }
 }
 
-TwoNodePlatform::~TwoNodePlatform() = default;
+TwoNodePlatform::~TwoNodePlatform() {
+  // Engine events cross sessions, so every progress thread must stop
+  // before either session's scheduler is destroyed.
+  session_a_->stop_threaded();
+  session_b_->stop_threaded();
+}
 
 PlatformConfig paper_platform(std::string strategy, strat::StrategyConfig cfg) {
   PlatformConfig config;

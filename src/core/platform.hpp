@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "core/progress.hpp"
 #include "core/session.hpp"
 #include "drv/sim_world.hpp"
 #include "netmodel/nic_profile.hpp"
@@ -34,6 +35,13 @@ struct PlatformConfig {
   /// rail is loaded instead of re-measuring, and fresh measurements are
   /// saved back to it.
   std::string sampling_cache_path;
+  /// Progression mode. kDefault follows NMAD_PROGRESS_MODE (else serial);
+  /// pin kSerial explicitly in tests that rely on serial determinism
+  /// (aggregation-window counts, exact event traces) so they stay correct
+  /// when the suite runs with NMAD_PROGRESS_MODE=threaded.
+  ProgressMode progress_mode = ProgressMode::kDefault;
+  /// Progress threads per session in threaded mode; 0 = one per rail.
+  std::size_t progress_threads = 0;
 };
 
 class TwoNodePlatform {
@@ -52,6 +60,9 @@ class TwoNodePlatform {
   [[nodiscard]] drv::SimWorld& world() noexcept { return *world_; }
   [[nodiscard]] sim::TimeNs now() const noexcept { return world_->now(); }
   [[nodiscard]] const PlatformConfig& config() const noexcept { return config_; }
+  /// The mode the platform actually runs (config resolved against the
+  /// NMAD_PROGRESS_MODE environment): kSerial or kThreaded.
+  [[nodiscard]] ProgressMode progress_mode() const noexcept { return mode_; }
 
   /// Rail endpoints on each side, in link order.
   [[nodiscard]] const std::vector<drv::SimDriver*>& rails_a() const noexcept {
@@ -63,6 +74,7 @@ class TwoNodePlatform {
 
  private:
   PlatformConfig config_;
+  ProgressMode mode_ = ProgressMode::kSerial;
   std::unique_ptr<drv::SimWorld> world_;
   std::vector<drv::SimDriver*> rails_a_;
   std::vector<drv::SimDriver*> rails_b_;
@@ -76,5 +88,14 @@ class TwoNodePlatform {
 /// Opteron hosts, with the given strategy.
 PlatformConfig paper_platform(std::string strategy,
                               strat::StrategyConfig cfg = {});
+
+/// `cfg` pinned to serial progression regardless of NMAD_PROGRESS_MODE.
+/// For tests and benches that assert serial determinism: exact aggregation
+/// windows, trace contents, virtual-time values, or that step the sim
+/// engine from the application thread (racy with progress threads live).
+[[nodiscard]] inline PlatformConfig pin_serial(PlatformConfig cfg) {
+  cfg.progress_mode = ProgressMode::kSerial;
+  return cfg;
+}
 
 }  // namespace nmad::core

@@ -1,0 +1,186 @@
+#include "core/progress.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "sim/engine.hpp"
+#include "util/log.hpp"
+#include "util/panic.hpp"
+
+namespace nmad::core {
+
+namespace {
+
+/// Escalating backoff for spin loops: stay hot for a few rounds, then
+/// yield, then sleep — progress latency matters less than not burning a
+/// core once the world has gone quiet.
+void backoff(std::uint32_t round) {
+  if (round < 16) return;
+  if (round < 64) {
+    std::this_thread::yield();
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(50));
+}
+
+}  // namespace
+
+ProgressMode progress_mode_from_env() {
+  const char* v = std::getenv("NMAD_PROGRESS_MODE");
+  if (v == nullptr) return ProgressMode::kDefault;
+  if (std::strcmp(v, "threaded") == 0) return ProgressMode::kThreaded;
+  if (std::strcmp(v, "serial") == 0) return ProgressMode::kSerial;
+  NMAD_LOG_WARN("core", "NMAD_PROGRESS_MODE=%s not recognized, using serial", v);
+  return ProgressMode::kDefault;
+}
+
+ProgressMode resolve_progress_mode(ProgressMode requested) {
+  if (requested != ProgressMode::kDefault) return requested;
+  const ProgressMode env = progress_mode_from_env();
+  return env == ProgressMode::kDefault ? ProgressMode::kSerial : env;
+}
+
+const char* to_string(ProgressMode mode) {
+  switch (mode) {
+    case ProgressMode::kDefault:
+      return "default";
+    case ProgressMode::kSerial:
+      return "serial";
+    case ProgressMode::kThreaded:
+      return "threaded";
+  }
+  NMAD_PANIC("bad ProgressMode");
+}
+
+ProgressEngine::ProgressEngine(Scheduler& scheduler, Config config, Hooks hooks)
+    : scheduler_(scheduler),
+      cfg_(config),
+      hooks_(std::move(hooks)),
+      submission_(cfg_.submission_capacity),
+      completion_(cfg_.completion_capacity) {
+  NMAD_ASSERT(hooks_.lock != nullptr, "ProgressEngine needs a progress mutex");
+  NMAD_ASSERT(cfg_.threads >= 1, "ProgressEngine needs at least one thread");
+  // Fired on a progress thread under the world lock; the push is the
+  // SPSC producer side, serialized across threads by that same lock.
+  scheduler_.set_completion_hook([this](const CompletionEvent& ev) {
+    CompletionEvent copy = ev;
+    if (!completion_.try_push(std::move(copy))) {
+      completions_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  threads_.reserve(cfg_.threads);
+  for (std::size_t i = 0; i < cfg_.threads; ++i) {
+    threads_.emplace_back([this, i] { thread_main(i); });
+  }
+}
+
+ProgressEngine::~ProgressEngine() {
+  stop();
+  scheduler_.set_completion_hook(nullptr);
+}
+
+void ProgressEngine::stop() {
+  stop_.store(true, std::memory_order_release);
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+void ProgressEngine::push_submission(SubmitOp op) {
+  // Backpressure: the ring is bounded, so a submission burst faster than
+  // the progression can drain simply slows the application thread down to
+  // the drain rate. try_push does not consume `op` on failure.
+  std::uint32_t round = 0;
+  while (!submission_.try_push(std::move(op))) {
+    if (round == 0) {
+      submission_backpressure_.fetch_add(1, std::memory_order_relaxed);
+    }
+    backoff(++round);
+  }
+}
+
+void ProgressEngine::submit(SendHandle h) {
+  SubmitOp op;
+  op.send = std::move(h);
+  push_submission(std::move(op));
+}
+
+void ProgressEngine::submit(RecvHandle h) {
+  SubmitOp op;
+  op.recv = std::move(h);
+  push_submission(std::move(op));
+}
+
+bool ProgressEngine::drain_submissions() {
+  SubmitOp op;
+  bool any = false;
+  while (submission_.try_pop(op)) {
+    if (op.send != nullptr) {
+      scheduler_.submit_send(std::move(op.send));
+    } else if (op.recv != nullptr) {
+      scheduler_.submit_recv(std::move(op.recv));
+    }
+    any = true;
+  }
+  return any;
+}
+
+void ProgressEngine::thread_main(std::size_t rail) {
+  std::uint32_t idle_rounds = 0;
+  while (!stop_.load(std::memory_order_acquire)) {
+    bool progressed = false;
+    if (hooks_.lock->try_lock()) {
+      std::lock_guard<std::mutex> guard(*hooks_.lock, std::adopt_lock);
+      if (drain_submissions()) progressed = true;
+      if (hooks_.engine != nullptr) {
+        for (std::size_t i = 0; i < cfg_.engine_batch; ++i) {
+          if (!hooks_.engine->step()) break;
+          progressed = true;
+        }
+      }
+      if (hooks_.poll && hooks_.poll(rail)) progressed = true;
+      if (!progressed && hooks_.idle) hooks_.idle();
+    }
+    if (progressed) {
+      idle_rounds = 0;
+    } else {
+      backoff(++idle_rounds);
+    }
+  }
+}
+
+void ProgressEngine::wait(const std::function<bool()>& pred) {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point quiet_since{};
+  bool quiet = false;
+  std::uint32_t round = 0;
+  while (!pred()) {
+    backoff(++round);
+    if (cfg_.stall_timeout_ms == 0) continue;
+    // Deadlock watchdog: "quiet" must hold CONTINUOUSLY for the timeout —
+    // a progress thread can be mid-callback with the queue momentarily
+    // empty, so one quiet sample proves nothing.
+    const bool is_quiet =
+        (hooks_.engine == nullptr || hooks_.engine->idle()) &&
+        submission_.empty();
+    if (!is_quiet) {
+      quiet = false;
+      continue;
+    }
+    const auto now = Clock::now();
+    if (!quiet) {
+      quiet = true;
+      quiet_since = now;
+    } else if (now - quiet_since >
+               std::chrono::milliseconds(cfg_.stall_timeout_ms)) {
+      NMAD_PANIC(
+          "threaded wait stalled: engine idle, submissions drained, predicate "
+          "still false (deadlock in the communication pattern?)");
+    }
+  }
+}
+
+}  // namespace nmad::core

@@ -1,0 +1,182 @@
+// Threaded progression: dedicated progress threads drive the scheduler so
+// the application thread never enters it (paper §2 — request processing is
+// disconnected from the API calls; here even the *driving* of that
+// processing leaves the application thread).
+//
+// Data flow in threaded mode:
+//
+//   app thread                      progress threads (one per rail)
+//   ----------                      ------------------------------
+//   Scheduler::make_send/recv       loop:
+//     (no shared mutable state)       try_lock(world progress mutex)
+//   SpscRing submission  ------->      drain submission ring
+//     try_push, lock-free              -> Scheduler::submit_send/recv
+//   poll Request::done()               step sim engine (batch)
+//     acquire load                     poll rail driver (real drivers)
+//   SpscRing completion  <-------      idle hook (e.g. chaos flush)
+//     try_pop, lock-free             backoff when no progress
+//
+// The scheduler, strategies and gates stay single-threaded code: every
+// entry into them happens with the world progress mutex held (on a sim
+// world that is SimWorld::progress_mutex() — one lock for the whole world
+// because engine events cross sessions). The lock-free surface is exactly
+// the application-side hot path: building requests, pushing submissions,
+// polling completion flags and draining the completion ring.
+//
+// Mode selection: ProgressMode::kDefault resolves the NMAD_PROGRESS_MODE
+// environment variable ("serial" | "threaded"); an explicit kSerial or
+// kThreaded wins over the environment, which lets tests that depend on
+// serial determinism (aggregation-window counts, virtual-time traces) pin
+// themselves while the rest of the suite follows the environment.
+//
+// Shutdown order: every ProgressEngine sharing a sim engine must be
+// stopped before ANY of their sessions is destroyed — engine events cross
+// sessions, so a still-running thread of session B can fire an event into
+// session A's scheduler. TwoNodePlatform handles this in its destructor.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/request.hpp"
+#include "core/scheduler.hpp"
+#include "core/spsc_ring.hpp"
+
+namespace nmad::sim {
+class Engine;
+}  // namespace nmad::sim
+
+namespace nmad::core {
+
+enum class ProgressMode : std::uint8_t {
+  kDefault,   ///< resolve NMAD_PROGRESS_MODE, fall back to serial
+  kSerial,    ///< classic single-threaded progression (bit-reproducible)
+  kThreaded,  ///< per-rail progress threads + lock-free submission rings
+};
+
+/// NMAD_PROGRESS_MODE environment override: "threaded" | "serial" (anything
+/// else, or unset, is kDefault).
+[[nodiscard]] ProgressMode progress_mode_from_env();
+
+/// kDefault -> environment -> kSerial; explicit modes pass through.
+[[nodiscard]] ProgressMode resolve_progress_mode(ProgressMode requested);
+
+[[nodiscard]] const char* to_string(ProgressMode mode);
+
+class ProgressEngine {
+ public:
+  struct Config {
+    std::size_t threads = 1;  ///< progress threads (one per rail)
+    std::size_t submission_capacity = 1024;
+    std::size_t completion_capacity = 4096;
+    /// Max engine events fired per lock acquisition — bounds how long one
+    /// thread holds the world mutex before others get a turn.
+    std::size_t engine_batch = 64;
+    /// Panic after this long with the engine idle, the submission ring
+    /// empty and a wait() predicate still false (application deadlock —
+    /// the serial mode equivalent is run_until() draining the queue).
+    /// 0 disables the watchdog.
+    std::uint64_t stall_timeout_ms = 5000;
+  };
+
+  struct Hooks {
+    /// World progress mutex (required): serializes every scheduler entry
+    /// and every engine step across all sessions of the world.
+    std::mutex* lock = nullptr;
+    /// Discrete-event engine stepped under the lock (sim worlds). May be
+    /// null for real drivers, where `poll` does the work instead.
+    sim::Engine* engine = nullptr;
+    /// Poll rail `i`'s driver (under the lock); returns true on progress.
+    /// Null over the simulator — delivery rides engine events there.
+    std::function<bool(std::size_t)> poll;
+    /// Called under the lock when a full round made no progress (e.g. the
+    /// chaos harness flushes its buffered frames here).
+    std::function<void()> idle;
+  };
+
+  /// Installs itself as `scheduler`'s completion hook and starts the
+  /// progress threads. The scheduler's gates must all exist already.
+  ProgressEngine(Scheduler& scheduler, Config config, Hooks hooks);
+  /// stop()s and uninstalls the completion hook.
+  ~ProgressEngine();
+  ProgressEngine(const ProgressEngine&) = delete;
+  ProgressEngine& operator=(const ProgressEngine&) = delete;
+
+  /// Join all progress threads (idempotent). After this the engine routes
+  /// nothing; the owning Session falls back to serial entry points.
+  void stop();
+
+  // --- application-thread interface ---------------------------------------
+  /// Enqueue a made request for submission. Spins (yielding) while the
+  /// ring is full — backpressure, counted in submission_backpressure().
+  void submit(SendHandle h);
+  void submit(RecvHandle h);
+
+  /// Block until pred() holds, while progress threads do the work. Panics
+  /// if the world goes fully quiet (engine idle, ring empty) for longer
+  /// than Config::stall_timeout_ms with pred still false.
+  void wait(const std::function<bool()>& pred);
+
+  /// Pause the progress threads for a burst of submissions: while the
+  /// returned lock is held no thread can drain the ring or step the
+  /// engine, so every request pushed lands in ONE strategy optimization
+  /// window — the serial semantics, where the engine only runs inside
+  /// wait(). Never wait() while holding it, and never push more requests
+  /// than the ring capacity (the drain side is blocked).
+  [[nodiscard]] std::unique_lock<std::mutex> pause() {
+    return std::unique_lock<std::mutex>(*hooks_.lock);
+  }
+
+  /// Drain the submission ring from the calling thread (takes the world
+  /// lock): on return every request submit()ed before the call has reached
+  /// the scheduler. Lets an application sequence cross-session submissions
+  /// deterministically (e.g. guarantee receives are in the matching table
+  /// before the peer's sends are released).
+  void flush_submissions() {
+    std::lock_guard<std::mutex> lock(*hooks_.lock);
+    drain_submissions();
+  }
+
+  /// Drain one settled-request event (observational — a dropped event
+  /// never delays request completion; the request's done flag is the
+  /// authoritative signal). FIFO in settlement order.
+  bool pop_completion(CompletionEvent& out) { return completion_.try_pop(out); }
+
+  [[nodiscard]] std::uint64_t completions_dropped() const noexcept {
+    return completions_dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t submission_backpressure() const noexcept {
+    return submission_backpressure_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return threads_.size();
+  }
+
+ private:
+  /// Exactly one handle set. Default-constructed (both null) marks a
+  /// moved-from ring slot.
+  struct SubmitOp {
+    SendHandle send;
+    RecvHandle recv;
+  };
+
+  void thread_main(std::size_t rail);
+  bool drain_submissions();  // under the lock
+  void push_submission(SubmitOp op);
+
+  Scheduler& scheduler_;
+  Config cfg_;
+  Hooks hooks_;
+  SpscRing<SubmitOp> submission_;
+  SpscRing<CompletionEvent> completion_;
+  std::atomic<std::uint64_t> completions_dropped_{0};
+  std::atomic<std::uint64_t> submission_backpressure_{0};
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace nmad::core

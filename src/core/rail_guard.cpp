@@ -38,7 +38,7 @@ void RailGuard::init(drv::Driver& driver, RailIndex index,
               "RailGuard hooks incomplete");
   NMAD_ASSERT(!cfg_.ack_enabled || hooks_.timer != nullptr,
               "ack/retransmit requires a timer hook");
-  metrics.state.set(static_cast<std::int64_t>(state_));
+  metrics.state.set(static_cast<std::int64_t>(state()));
 }
 
 // --------------------------------------------------------------------------
@@ -70,7 +70,7 @@ drv::SendDesc RailGuard::make_alias(const TxEntry& entry) const {
 
 void RailGuard::post(drv::SendDesc desc, std::vector<strat::Contribution> contribs) {
   NMAD_ASSERT(driver_ != nullptr, "RailGuard used before init");
-  NMAD_ASSERT(state_ != RailState::kDead, "post on dead rail");
+  NMAD_ASSERT(state() != RailState::kDead, "post on dead rail");
   const auto track_idx = static_cast<std::size_t>(desc.track);
   const std::uint32_t seq = ++next_seq_[track_idx];
   seal(desc, 0, seq);
@@ -124,7 +124,7 @@ sim::TimeNs RailGuard::next_rto(std::uint32_t retries) {
 }
 
 void RailGuard::arm_retransmit_timer() {
-  if (!cfg_.ack_enabled || state_ == RailState::kDead) return;
+  if (!cfg_.ack_enabled || state() == RailState::kDead) return;
   sim::TimeNs earliest = 0;
   bool found = false;
   for (const TxEntry& e : tx_) {
@@ -145,7 +145,7 @@ void RailGuard::arm_retransmit_timer() {
 
 void RailGuard::on_retransmit_timer() {
   rto_timer_armed_ = false;
-  if (state_ == RailState::kDead) return;
+  if (state() == RailState::kDead) return;
   handle_deadlines();
 }
 
@@ -166,7 +166,7 @@ void RailGuard::handle_deadlines() {
       return;
     }
     tx_[i].deadline = now + next_rto(tx_[i].retries);
-    if (state_ == RailState::kHealthy &&
+    if (state() == RailState::kHealthy &&
         consecutive_timeouts_ >= cfg_.suspect_after) {
       transition(RailState::kSuspect);
     }
@@ -201,7 +201,7 @@ void RailGuard::handle_deadlines() {
 }
 
 bool RailGuard::flush() {
-  if (state_ == RailState::kDead || !cfg_.ack_enabled) return false;
+  if (state() == RailState::kDead || !cfg_.ack_enabled) return false;
   bool posted = false;
   // Due retransmissions first (they also re-arm the timer) ...
   const sim::TimeNs now = hooks_.now();
@@ -226,7 +226,7 @@ bool RailGuard::flush() {
 // --------------------------------------------------------------------------
 
 void RailGuard::on_frame(drv::Track track, std::span<const std::byte> frame) {
-  if (state_ == RailState::kDead) return;  // quiesced: drop silently
+  if (state() == RailState::kDead) return;  // quiesced: drop silently
   auto env = proto::decode_frame_envelope(frame);
   if (!env) {
     metrics.malformed_drops.inc();
@@ -280,7 +280,7 @@ void RailGuard::process_acks(const proto::FrameEnvelope& env) {
   if (!advanced) return;
   metrics.acks_received.inc();
   consecutive_timeouts_ = 0;
-  if (state_ == RailState::kSuspect) {
+  if (state() == RailState::kSuspect) {
     // An acknowledged probe: the rail recovered.
     transition(RailState::kHealthy);
   }
@@ -318,7 +318,7 @@ void RailGuard::note_ack_needed() {
   ack_timer_armed_ = true;
   hooks_.timer(cfg_.ack_delay_ns, [this] {
     ack_timer_armed_ = false;
-    if (state_ == RailState::kDead || !owes_ack()) return;
+    if (state() == RailState::kDead || !owes_ack()) return;
     ack_due_ = true;
     if (!try_send_standalone_ack()) hooks_.kick();
   });
@@ -343,18 +343,18 @@ bool RailGuard::try_send_standalone_ack() {
 // --------------------------------------------------------------------------
 
 void RailGuard::transition(RailState next) {
-  if (state_ == next) return;
-  NMAD_ASSERT(state_ != RailState::kDead, "no transitions out of dead");
-  NMAD_LOG_INFO("rail", "rail%u: %s -> %s", index_, rail_state_name(state_),
+  if (state() == next) return;
+  NMAD_ASSERT(state() != RailState::kDead, "no transitions out of dead");
+  NMAD_LOG_INFO("rail", "rail%u: %s -> %s", index_, rail_state_name(state()),
                 rail_state_name(next));
-  state_ = next;
+  state_.store(next, std::memory_order_relaxed);
   metrics.state_transitions.inc();
-  metrics.state.set(static_cast<std::int64_t>(state_));
-  if (hooks_.on_state_change) hooks_.on_state_change(state_);
+  metrics.state.set(static_cast<std::int64_t>(next));
+  if (hooks_.on_state_change) hooks_.on_state_change(next);
 }
 
 void RailGuard::die(const char* reason) {
-  if (state_ == RailState::kDead) return;
+  if (state() == RailState::kDead) return;
   NMAD_LOG_WARN("rail", "rail%u declared dead: %s", index_, reason);
   transition(RailState::kDead);
 }
@@ -367,7 +367,7 @@ void RailGuard::on_driver_error(const drv::RailError& err) {
 }
 
 std::vector<RailGuard::PendingFrame> RailGuard::take_unacked() {
-  NMAD_ASSERT(state_ == RailState::kDead, "take_unacked on a live rail");
+  NMAD_ASSERT(state() == RailState::kDead, "take_unacked on a live rail");
   std::vector<PendingFrame> out;
   out.reserve(tx_.size());
   for (TxEntry& e : tx_) {

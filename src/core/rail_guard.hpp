@@ -17,6 +17,7 @@
 // credited on local send completion and nothing is retained.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -93,8 +94,9 @@ class RailGuard {
   RailGuard& operator=(const RailGuard&) = delete;
   /// Movable only before init(): gates build their rail vector first and
   /// the scheduler installs guards afterwards (the driver/timer lambdas
-  /// capture `this`, which a post-init move would dangle).
-  RailGuard(RailGuard&&) = default;
+  /// capture `this`, which a post-init move would dangle). A pre-init
+  /// guard is all default state, so moving is just fresh construction.
+  RailGuard(RailGuard&& other) noexcept { (void)other; }
   RailGuard& operator=(RailGuard&&) = delete;
 
   void init(drv::Driver& driver, RailIndex index, ReliabilityConfig cfg,
@@ -125,9 +127,15 @@ class RailGuard {
   /// not returned.
   [[nodiscard]] std::vector<PendingFrame> take_unacked();
 
-  [[nodiscard]] RailState state() const noexcept { return state_; }
-  [[nodiscard]] bool alive() const noexcept { return state_ != RailState::kDead; }
-  [[nodiscard]] bool healthy() const noexcept { return state_ == RailState::kHealthy; }
+  [[nodiscard]] RailState state() const noexcept {
+    return state_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool alive() const noexcept {
+    return state() != RailState::kDead;
+  }
+  [[nodiscard]] bool healthy() const noexcept {
+    return state() == RailState::kHealthy;
+  }
   [[nodiscard]] std::size_t unacked_count() const noexcept { return tx_.size(); }
   [[nodiscard]] const ReliabilityConfig& config() const noexcept { return cfg_; }
 
@@ -176,7 +184,11 @@ class RailGuard {
   Hooks hooks_;
   util::Xoshiro256 jitter_{0};
 
-  RailState state_ = RailState::kHealthy;
+  /// Atomic so any thread may ask alive()/healthy() (the state gauge used
+  /// to be the only externally visible copy, written with a plain store
+  /// justified by single-threadedness). Transitions still happen only on
+  /// the progression engine, under its lock in threaded mode.
+  std::atomic<RailState> state_{RailState::kHealthy};
   std::uint32_t consecutive_timeouts_ = 0;
 
   std::uint32_t next_seq_[drv::kTrackCount] = {0, 0};

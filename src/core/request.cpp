@@ -4,35 +4,44 @@
 
 namespace nmad::core {
 
+// State transitions run on the progression engine (serialized by its lock
+// in threaded mode), so the read-check-write sequences below are
+// single-writer; the release store publishes every side effect (delivered
+// bytes, received_len_, completion_time_) to application threads that
+// observe done() with an acquire load.
+
 void SendRequest::credit_sent(std::uint32_t bytes, sim::TimeNs now) {
-  if (state_ == RequestState::kFailed) return;  // stale credit after failover
-  NMAD_ASSERT(state_ == RequestState::kPending, "credit on completed send");
-  bytes_sent_ += bytes;
-  NMAD_ASSERT(bytes_sent_ <= total_len_, "send credited beyond message length");
-  if (bytes_sent_ == total_len_) {
-    state_ = RequestState::kCompleted;
-    completion_time_ = now;
+  const RequestState st = state_.load(std::memory_order_relaxed);
+  if (st == RequestState::kFailed) return;  // stale credit after failover
+  NMAD_ASSERT(st == RequestState::kPending, "credit on completed send");
+  const std::uint32_t sent =
+      bytes_sent_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  NMAD_ASSERT(sent <= total_len_, "send credited beyond message length");
+  if (sent == total_len_) {
+    completion_time_.store(now, std::memory_order_relaxed);
+    state_.store(RequestState::kCompleted, std::memory_order_release);
   }
 }
 
 void SendRequest::fail(sim::TimeNs now) {
-  if (state_ != RequestState::kPending) return;
-  state_ = RequestState::kFailed;
-  completion_time_ = now;
+  if (state_.load(std::memory_order_relaxed) != RequestState::kPending) return;
+  completion_time_.store(now, std::memory_order_relaxed);
+  state_.store(RequestState::kFailed, std::memory_order_release);
 }
 
 void RecvRequest::complete(std::uint32_t received_len, sim::TimeNs now) {
-  NMAD_ASSERT(state_ == RequestState::kPending, "double completion of recv");
+  NMAD_ASSERT(state_.load(std::memory_order_relaxed) == RequestState::kPending,
+              "double completion of recv");
   NMAD_ASSERT(received_len <= buffer_.size(), "received more than buffer holds");
-  received_len_ = received_len;
-  state_ = RequestState::kCompleted;
-  completion_time_ = now;
+  received_len_.store(received_len, std::memory_order_relaxed);
+  completion_time_.store(now, std::memory_order_relaxed);
+  state_.store(RequestState::kCompleted, std::memory_order_release);
 }
 
 void RecvRequest::fail(sim::TimeNs now) {
-  if (state_ != RequestState::kPending) return;
-  state_ = RequestState::kFailed;
-  completion_time_ = now;
+  if (state_.load(std::memory_order_relaxed) != RequestState::kPending) return;
+  completion_time_.store(now, std::memory_order_relaxed);
+  state_.store(RequestState::kFailed, std::memory_order_release);
 }
 
 }  // namespace nmad::core

@@ -5,8 +5,19 @@
 // application are shared_ptrs; the scheduler keeps raw pointers that are
 // guaranteed valid because the Session retains every live request until
 // completion.
+//
+// Thread model: under the threaded progression engine the application
+// thread polls done()/completed()/failed() while a progress thread settles
+// the request. The state is therefore an atomic, written with release and
+// read with acquire ordering so everything the engine wrote before settling
+// (received bytes in the user buffer, received_len_, completion_time_) is
+// visible to the application once done() returns true. The auxiliary cells
+// (bytes_sent_, received_len_, completion_time_, seq_) are relaxed atomics:
+// they are single-writer (the progression engine, serialized by its lock)
+// and carry no synchronization duty of their own.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -24,34 +35,47 @@ enum class RequestState : std::uint8_t {
 
 class SendRequest {
  public:
-  SendRequest(Tag tag, MsgSeq seq, std::vector<ConstSegment> segments,
+  SendRequest(Tag tag, std::vector<ConstSegment> segments,
               std::uint32_t total_len)
-      : tag_(tag), seq_(seq), segments_(std::move(segments)), total_len_(total_len) {}
+      : tag_(tag), segments_(std::move(segments)), total_len_(total_len) {}
 
   [[nodiscard]] Tag tag() const noexcept { return tag_; }
-  [[nodiscard]] MsgSeq seq() const noexcept { return seq_; }
-  [[nodiscard]] MsgKey key() const noexcept { return MsgKey{tag_, seq_}; }
+  /// Send ordinal for this (gate, tag) stream. Assigned when the scheduler
+  /// accepts the submission — in threaded mode that is on a progress
+  /// thread, in ring order, so it always matches application post order.
+  [[nodiscard]] MsgSeq seq() const noexcept {
+    return seq_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] MsgKey key() const noexcept { return MsgKey{tag_, seq()}; }
   [[nodiscard]] const std::vector<ConstSegment>& segments() const noexcept {
     return segments_;
   }
   [[nodiscard]] std::uint32_t total_len() const noexcept { return total_len_; }
 
   [[nodiscard]] bool completed() const noexcept {
-    return state_ == RequestState::kCompleted;
+    return state_.load(std::memory_order_acquire) == RequestState::kCompleted;
   }
   [[nodiscard]] bool failed() const noexcept {
-    return state_ == RequestState::kFailed;
+    return state_.load(std::memory_order_acquire) == RequestState::kFailed;
   }
   /// Settled either way — the state a wait() terminates on.
   [[nodiscard]] bool done() const noexcept {
-    return state_ != RequestState::kPending;
+    return state_.load(std::memory_order_acquire) != RequestState::kPending;
   }
   /// Virtual time of local completion; -1 while pending.
-  [[nodiscard]] sim::TimeNs completion_time() const noexcept { return completion_time_; }
-  [[nodiscard]] std::uint32_t bytes_sent() const noexcept { return bytes_sent_; }
+  [[nodiscard]] sim::TimeNs completion_time() const noexcept {
+    return completion_time_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint32_t bytes_sent() const noexcept {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] GateId gate() const noexcept { return gate_; }
 
   // --- scheduling-layer interface ----------------------------------------
+  /// Bind the per-(gate, tag) sequence number (set once at submission).
+  void assign_seq(MsgSeq seq) noexcept {
+    seq_.store(seq, std::memory_order_relaxed);
+  }
   /// Credit locally-completed payload bytes; completes the request when the
   /// whole message has left the node. Zero-length messages complete on
   /// their (empty) packet's completion.
@@ -66,43 +90,52 @@ class SendRequest {
 
  private:
   Tag tag_;
-  MsgSeq seq_;
+  std::atomic<MsgSeq> seq_{0};
   std::vector<ConstSegment> segments_;
   std::uint32_t total_len_;
-  std::uint32_t bytes_sent_ = 0;
-  RequestState state_ = RequestState::kPending;
-  sim::TimeNs completion_time_ = -1;
+  std::atomic<std::uint32_t> bytes_sent_{0};
+  std::atomic<RequestState> state_{RequestState::kPending};
+  std::atomic<sim::TimeNs> completion_time_{-1};
   sim::TimeNs submit_time_ = 0;
   GateId gate_ = 0;
 };
 
 class RecvRequest {
  public:
-  RecvRequest(Tag tag, MsgSeq seq, std::span<std::byte> buffer)
-      : tag_(tag), seq_(seq), buffer_(buffer) {}
+  RecvRequest(Tag tag, std::span<std::byte> buffer)
+      : tag_(tag), buffer_(buffer) {}
 
   [[nodiscard]] Tag tag() const noexcept { return tag_; }
-  /// Receive ordinal for this tag (assigned at post time).
-  [[nodiscard]] MsgSeq seq() const noexcept { return seq_; }
-  [[nodiscard]] MsgKey key() const noexcept { return MsgKey{tag_, seq_}; }
+  /// Receive ordinal for this (gate, tag) stream (assigned at submission).
+  [[nodiscard]] MsgSeq seq() const noexcept {
+    return seq_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] MsgKey key() const noexcept { return MsgKey{tag_, seq()}; }
   [[nodiscard]] std::span<std::byte> buffer() const noexcept { return buffer_; }
 
   [[nodiscard]] bool completed() const noexcept {
-    return state_ == RequestState::kCompleted;
+    return state_.load(std::memory_order_acquire) == RequestState::kCompleted;
   }
   [[nodiscard]] bool failed() const noexcept {
-    return state_ == RequestState::kFailed;
+    return state_.load(std::memory_order_acquire) == RequestState::kFailed;
   }
   /// Settled either way — the state a wait() terminates on.
   [[nodiscard]] bool done() const noexcept {
-    return state_ != RequestState::kPending;
+    return state_.load(std::memory_order_acquire) != RequestState::kPending;
   }
-  [[nodiscard]] sim::TimeNs completion_time() const noexcept { return completion_time_; }
+  [[nodiscard]] sim::TimeNs completion_time() const noexcept {
+    return completion_time_.load(std::memory_order_relaxed);
+  }
   /// Actual message length (valid once completed).
-  [[nodiscard]] std::uint32_t received_len() const noexcept { return received_len_; }
+  [[nodiscard]] std::uint32_t received_len() const noexcept {
+    return received_len_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] GateId gate() const noexcept { return gate_; }
 
   // --- scheduling-layer interface ----------------------------------------
+  void assign_seq(MsgSeq seq) noexcept {
+    seq_.store(seq, std::memory_order_relaxed);
+  }
   void complete(std::uint32_t received_len, sim::TimeNs now);
   /// Mark the request failed (all rails of its gate are dead). No-op once
   /// completed.
@@ -114,11 +147,11 @@ class RecvRequest {
 
  private:
   Tag tag_;
-  MsgSeq seq_;
+  std::atomic<MsgSeq> seq_{0};
   std::span<std::byte> buffer_;
-  std::uint32_t received_len_ = 0;
-  RequestState state_ = RequestState::kPending;
-  sim::TimeNs completion_time_ = -1;
+  std::atomic<std::uint32_t> received_len_{0};
+  std::atomic<RequestState> state_{RequestState::kPending};
+  std::atomic<sim::TimeNs> completion_time_{-1};
   sim::TimeNs submit_time_ = 0;
   GateId gate_ = 0;
 };

@@ -151,12 +151,9 @@ void Scheduler::sweep_completed() {
 // Collect layer entry points
 // --------------------------------------------------------------------------
 
-SendHandle Scheduler::isend(GateId gate_id, Tag tag,
-                            std::vector<std::span<const std::byte>> segments) {
-  sweep_completed();
-  Gate& g = gate(gate_id);
-  const MsgSeq seq = g.next_send_seq_[tag]++;
-
+SendHandle Scheduler::make_send(GateId gate_id, Tag tag,
+                                std::vector<std::span<const std::byte>> segments) {
+  NMAD_ASSERT(gate_id < gates_.size(), "unknown gate id");
   std::vector<ConstSegment> views;
   std::uint64_t offset = 0;
   for (const auto& s : segments) {
@@ -167,21 +164,33 @@ SendHandle Scheduler::isend(GateId gate_id, Tag tag,
   NMAD_ASSERT(offset <= 0xffffffffULL, "message exceeds 4 GiB");
   const auto total = static_cast<std::uint32_t>(offset);
 
-  auto req = std::make_shared<SendRequest>(tag, seq, std::move(views), total);
+  auto req = std::make_shared<SendRequest>(tag, std::move(views), total);
   req->note_submit_time(now_());
   req->note_gate(gate_id);
   metrics_.sends_posted.inc();
   metrics_.send_bytes_submitted.inc(total);
   metrics_.send_size.record(total);
+  return req;
+}
+
+void Scheduler::submit_send(SendHandle req) {
+  sweep_completed();
+  Gate& g = gate(req->gate());
+  const Tag tag = req->tag();
+  const MsgSeq seq = g.next_send_seq_[tag]++;
+  req->assign_seq(seq);
   live_sends_.push_back(req);
 
   if (g.failed_) {
     // All rails dead: nothing will ever move. Fail fast.
-    req->fail(now_());
-    return req;
+    const sim::TimeNs t = now_();
+    req->fail(t);
+    notify_send_settled(*req, t);
+    return;
   }
 
   strat::Strategy& strat = g.strategy();
+  const std::uint32_t total = req->total_len();
   bool has_large = false;
   if (total == 0) {
     // A zero-length message still needs one (empty) packet so the receiver
@@ -205,22 +214,38 @@ SendHandle Scheduler::isend(GateId gate_id, Tag tag,
         proto::encode_rdv_req_view(g.header_pool(), tag, seq, total), 0.0});
   }
   schedule_pump(g);
+}
+
+SendHandle Scheduler::isend(GateId gate_id, Tag tag,
+                            std::vector<std::span<const std::byte>> segments) {
+  SendHandle req = make_send(gate_id, tag, std::move(segments));
+  submit_send(req);
   return req;
 }
 
-RecvHandle Scheduler::irecv(GateId gate_id, Tag tag, std::span<std::byte> buffer) {
-  sweep_completed();
-  Gate& g = gate(gate_id);
-  const MsgSeq seq = g.next_recv_seq_[tag]++;
-  auto req = std::make_shared<RecvRequest>(tag, seq, buffer);
+RecvHandle Scheduler::make_recv(GateId gate_id, Tag tag,
+                                std::span<std::byte> buffer) {
+  NMAD_ASSERT(gate_id < gates_.size(), "unknown gate id");
+  auto req = std::make_shared<RecvRequest>(tag, buffer);
   req->note_submit_time(now_());
   req->note_gate(gate_id);
   metrics_.recvs_posted.inc();
+  return req;
+}
+
+void Scheduler::submit_recv(RecvHandle req) {
+  sweep_completed();
+  Gate& g = gate(req->gate());
+  const Tag tag = req->tag();
+  const MsgSeq seq = g.next_recv_seq_[tag]++;
+  req->assign_seq(seq);
   live_recvs_.push_back(req);
 
   if (g.failed_) {
-    req->fail(now_());
-    return req;
+    const sim::TimeNs t = now_();
+    req->fail(t);
+    notify_recv_settled(*req, t);
+    return;
   }
 
   const MsgKey key{tag, seq};
@@ -232,6 +257,11 @@ RecvHandle Scheduler::irecv(GateId gate_id, Tag tag, std::span<std::byte> buffer
     g.incoming_[key].recv = req.get();
   }
   schedule_pump(g);
+}
+
+RecvHandle Scheduler::irecv(GateId gate_id, Tag tag, std::span<std::byte> buffer) {
+  RecvHandle req = make_recv(gate_id, tag, buffer);
+  submit_recv(req);
   return req;
 }
 
@@ -394,6 +424,20 @@ void Scheduler::note_rail_post(Rail& rail, const drv::SendDesc& desc) {
   }
 }
 
+void Scheduler::notify_send_settled(const SendRequest& req, sim::TimeNs t) {
+  if (!completion_hook_) return;
+  completion_hook_(CompletionEvent{CompletionEvent::Kind::kSend, req.gate(),
+                                   req.tag(), req.seq(), req.total_len(), t,
+                                   req.failed()});
+}
+
+void Scheduler::notify_recv_settled(const RecvRequest& req, sim::TimeNs t) {
+  if (!completion_hook_) return;
+  completion_hook_(CompletionEvent{CompletionEvent::Kind::kRecv, req.gate(),
+                                   req.tag(), req.seq(), req.received_len(), t,
+                                   req.failed()});
+}
+
 void Scheduler::credit_contribs(Gate& /*gate*/,
                                 const std::vector<strat::Contribution>& contribs) {
   const sim::TimeNs t = now_();
@@ -403,6 +447,7 @@ void Scheduler::credit_contribs(Gate& /*gate*/,
     if (!was_completed && c.req->completed()) {
       metrics_.sends_completed.inc();
       metrics_.send_latency_ns.record(elapsed_ns(c.req->submit_time(), t));
+      notify_send_settled(*c.req, t);
     }
   }
 }
@@ -440,10 +485,14 @@ void Scheduler::fail_gate(Gate& gate) {
   gate.strategy().on_gate_failed(gate);
   const sim::TimeNs t = now_();
   for (const auto& h : live_sends_) {
-    if (h->gate() == gate.id()) h->fail(t);
+    if (h->gate() != gate.id() || h->done()) continue;
+    h->fail(t);
+    notify_send_settled(*h, t);
   }
   for (const auto& h : live_recvs_) {
-    if (h->gate() == gate.id()) h->fail(t);
+    if (h->gate() != gate.id() || h->done()) continue;
+    h->fail(t);
+    notify_recv_settled(*h, t);
   }
 }
 
@@ -572,6 +621,7 @@ void Scheduler::try_finalize(Gate& gate, MsgKey key) {
   metrics_.recv_bytes_delivered.inc(inc.total_len);
   metrics_.recv_size.record(inc.total_len);
   metrics_.recv_latency_ns.record(elapsed_ns(inc.recv->submit_time(), t));
+  notify_recv_settled(*inc.recv, t);
   gate.incoming_.erase(it);
 }
 

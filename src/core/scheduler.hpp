@@ -54,11 +54,36 @@ struct RequestMetrics {
                      const std::string& prefix) const;
 };
 
+/// A request settled (completed or failed). Fired by the scheduler on the
+/// progression engine, immediately after the request's state store, in
+/// settlement order. The threaded progression engine forwards these into
+/// its completion ring so the application can observe cross-request
+/// ordering without locks. Ordering contract: *matching* within one
+/// (gate, tag) stream always follows seq order (the k-th recv gets the
+/// k-th message), but *settlement* reorders whenever transfers genuinely
+/// finish out of order — a small eager message overtakes an earlier
+/// rendezvous transfer, or multi-rail chunks land at different times.
+/// Only single-rail traffic on one track settles strictly in seq order.
+struct CompletionEvent {
+  enum class Kind : std::uint8_t { kSend, kRecv };
+  Kind kind = Kind::kSend;
+  GateId gate = 0;
+  Tag tag = 0;
+  MsgSeq seq = 0;
+  std::uint32_t bytes = 0;  ///< message payload length
+  sim::TimeNs time = 0;     ///< settlement timestamp (clock fn)
+  bool failed = false;      ///< settled by failure, not completion
+};
+
 class Scheduler {
  public:
   /// `now` supplies timestamps for request completion (virtual time over
   /// the simulator; wall-clock for real drivers).
   using ClockFn = std::function<sim::TimeNs()>;
+  /// Observer for settled requests (see CompletionEvent). Runs on the
+  /// progression engine with the scheduler's serialization held — keep it
+  /// cheap and never call back into the scheduler from it.
+  using CompletionHook = std::function<void(const CompletionEvent&)>;
   /// `defer(fn)` runs fn at the next progression point (a zero-delay event
   /// on the simulator; the next progress() round for real drivers). This is
   /// what disconnects request processing from the API calls (paper §2): an
@@ -88,17 +113,42 @@ class Scheduler {
 
   /// Submit a message made of `segments` (a logically contiguous sequence
   /// of user-memory views). The user memory must stay valid until the
-  /// returned request completes.
+  /// returned request completes. Equivalent to make_send + submit_send.
   SendHandle isend(GateId gate, Tag tag,
                    std::vector<std::span<const std::byte>> segments);
 
   /// Post a receive for the next message with `tag` on `gate`. `buffer`
-  /// must be at least as large as the matching message.
+  /// must be at least as large as the matching message. Equivalent to
+  /// make_recv + submit_recv.
   RecvHandle irecv(GateId gate, Tag tag, std::span<std::byte> buffer);
+
+  // --- split submission (threaded progression) ----------------------------
+  // make_* builds and stamps the request without touching any gate or
+  // scheduler mutable state (the request metrics are atomic), so it is safe
+  // on the application thread with progress threads live. submit_* binds
+  // the per-(gate, tag) sequence number and hands the request to the
+  // strategy; it must run on the progression engine (under its lock in
+  // threaded mode). Requests must reach submit_* in make_* order per
+  // thread — the SPSC submission ring preserves exactly that, which keeps
+  // matching order equal to application post order.
+  [[nodiscard]] SendHandle make_send(
+      GateId gate, Tag tag, std::vector<std::span<const std::byte>> segments);
+  void submit_send(SendHandle req);
+  [[nodiscard]] RecvHandle make_recv(GateId gate, Tag tag,
+                                     std::span<std::byte> buffer);
+  void submit_recv(RecvHandle req);
+
+  /// Install the settled-request observer (nullptr to remove). Installed
+  /// before progress threads start; not thread-safe against them.
+  void set_completion_hook(CompletionHook hook) {
+    completion_hook_ = std::move(hook);
+  }
 
   [[nodiscard]] sim::TimeNs now() const { return now_(); }
 
-  /// Pending (uncompleted) requests — drained-state check for tests.
+  /// Pending (uncompleted) requests — drained-state check for tests. Reads
+  /// scheduler-owned state: call only with the progression engine quiescent
+  /// (or under its lock in threaded mode).
   [[nodiscard]] std::size_t pending_requests() const noexcept;
 
   /// Request-level aggregates (per-rail counters live on the gates' rails).
@@ -147,6 +197,8 @@ class Scheduler {
   void try_finalize(Gate& gate, MsgKey key);
   void enqueue_ack(Gate& gate, MsgKey key);
   void sweep_completed();
+  void notify_send_settled(const SendRequest& req, sim::TimeNs t);
+  void notify_recv_settled(const RecvRequest& req, sim::TimeNs t);
 
   ClockFn now_;
   DeferFn defer_;
@@ -158,6 +210,7 @@ class Scheduler {
   std::vector<SendHandle> live_sends_;
   std::vector<RecvHandle> live_recvs_;
   RequestMetrics metrics_;
+  CompletionHook completion_hook_;
 };
 
 }  // namespace nmad::core

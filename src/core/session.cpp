@@ -3,6 +3,7 @@
 #include <cstring>
 #include <utility>
 
+#include "core/progress.hpp"
 #include "util/panic.hpp"
 
 namespace nmad::core {
@@ -40,6 +41,34 @@ Session::Session(std::string name, Scheduler::ClockFn clock,
   NMAD_ASSERT(progress_ != nullptr, "Session needs a progress function");
 }
 
+Session::~Session() = default;
+
+void Session::start_threaded(std::mutex& world_mutex, sim::Engine* engine,
+                             std::size_t threads, std::function<void()> idle,
+                             std::function<bool(std::size_t)> poll) {
+  NMAD_ASSERT(progress_engine_ == nullptr, "session already threaded");
+  ProgressEngine::Config cfg;
+  cfg.threads = threads == 0 ? 1 : threads;
+  ProgressEngine::Hooks hooks;
+  hooks.lock = &world_mutex;
+  hooks.engine = engine;
+  hooks.idle = std::move(idle);
+  hooks.poll = std::move(poll);
+  progress_engine_ =
+      std::make_unique<ProgressEngine>(scheduler_, cfg, std::move(hooks));
+}
+
+void Session::stop_threaded() { progress_engine_.reset(); }
+
+std::unique_lock<std::mutex> Session::submission_burst() {
+  if (progress_engine_ != nullptr) return progress_engine_->pause();
+  return {};
+}
+
+void Session::flush_submissions() {
+  if (progress_engine_ != nullptr) progress_engine_->flush_submissions();
+}
+
 void Session::register_metrics(obs::MetricsRegistry& registry, std::string prefix) {
   if (prefix.empty()) prefix = name_ + ".";
   scheduler_.register_metrics(registry, prefix);
@@ -53,15 +82,25 @@ GateId Session::connect(std::vector<drv::Driver*> rails,
 }
 
 SendHandle Session::isend(GateId gate, Tag tag, std::span<const std::byte> data) {
-  return scheduler_.isend(gate, tag, {data});
+  return isend_segments(gate, tag, {data});
 }
 
 SendHandle Session::isend_segments(GateId gate, Tag tag,
                                    std::vector<std::span<const std::byte>> segments) {
+  if (progress_engine_ != nullptr) {
+    SendHandle h = scheduler_.make_send(gate, tag, std::move(segments));
+    progress_engine_->submit(h);
+    return h;
+  }
   return scheduler_.isend(gate, tag, std::move(segments));
 }
 
 RecvHandle Session::irecv(GateId gate, Tag tag, std::span<std::byte> buffer) {
+  if (progress_engine_ != nullptr) {
+    RecvHandle h = scheduler_.make_recv(gate, tag, buffer);
+    progress_engine_->submit(h);
+    return h;
+  }
   return scheduler_.irecv(gate, tag, buffer);
 }
 
@@ -73,7 +112,7 @@ RecvHandle Session::post_unpack(GateId gate, Tag tag,
   PendingUnpack pending;
   pending.staging = std::make_shared<std::vector<std::byte>>(total);
   pending.segments = std::move(segments);
-  pending.handle = scheduler_.irecv(gate, tag, *pending.staging);
+  pending.handle = irecv(gate, tag, *pending.staging);
   RecvHandle handle = pending.handle;
   pending_unpacks_.push_back(std::move(pending));
   return handle;
@@ -96,12 +135,20 @@ void Session::scatter_ready_unpacks() {
 }
 
 void Session::wait(const SendHandle& h) {
-  progress_([&] { return h->done(); });
+  if (progress_engine_ != nullptr) {
+    progress_engine_->wait([&] { return h->done(); });
+  } else {
+    progress_([&] { return h->done(); });
+  }
   NMAD_ASSERT(h->done(), "wait returned with incomplete send (deadlock?)");
 }
 
 void Session::wait(const RecvHandle& h) {
-  progress_([&] { return h->done(); });
+  if (progress_engine_ != nullptr) {
+    progress_engine_->wait([&] { return h->done(); });
+  } else {
+    progress_([&] { return h->done(); });
+  }
   NMAD_ASSERT(h->done(), "wait returned with incomplete recv (deadlock?)");
   scatter_ready_unpacks();
 }
@@ -119,7 +166,11 @@ void Session::wait_all(std::span<const SendHandle> sends,
     }
     return true;
   };
-  progress_(all_done);
+  if (progress_engine_ != nullptr) {
+    progress_engine_->wait(all_done);
+  } else {
+    progress_(all_done);
+  }
   NMAD_ASSERT(all_done(), "wait_all returned with incomplete requests (deadlock?)");
   scatter_ready_unpacks();
 }

@@ -10,14 +10,20 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/scheduler.hpp"
 
+namespace nmad::sim {
+class Engine;
+}  // namespace nmad::sim
+
 namespace nmad::core {
 
+class ProgressEngine;
 class Session;
 
 /// Incremental construction of an outgoing message (one or more segments).
@@ -70,9 +76,43 @@ class Session {
   /// (core/reliability.hpp) — it backs the RTO and delayed-ack timers.
   Session(std::string name, Scheduler::ClockFn clock, Scheduler::DeferFn defer,
           ProgressFn progress, Scheduler::TimerFn timer = nullptr);
+  ~Session();
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] Scheduler& scheduler() noexcept { return scheduler_; }
+
+  // --- threaded progression (core/progress.hpp) ---------------------------
+  /// Switch this session to threaded progression: isend/irecv route through
+  /// a lock-free submission ring and `threads` progress threads (one per
+  /// rail) drive the scheduler under `world_mutex`. Call after every
+  /// connect(); all sessions sharing `engine` must be stop_threaded()'d
+  /// before any of them is destroyed (engine events cross sessions).
+  /// `engine` may be null for real drivers — then `poll` does the work.
+  /// `idle` runs under the lock when a progress round moves nothing.
+  void start_threaded(std::mutex& world_mutex, sim::Engine* engine,
+                      std::size_t threads,
+                      std::function<void()> idle = nullptr,
+                      std::function<bool(std::size_t)> poll = nullptr);
+  /// Join the progress threads and fall back to serial entry points.
+  void stop_threaded();
+  [[nodiscard]] bool threaded() const noexcept {
+    return progress_engine_ != nullptr;
+  }
+  /// The live engine in threaded mode (completion ring, drop counters);
+  /// null in serial mode.
+  [[nodiscard]] ProgressEngine* progress_engine() noexcept {
+    return progress_engine_.get();
+  }
+  /// Burst scope: in threaded mode, blocks the progress threads while the
+  /// returned lock is held so a series of isend/irecv calls lands in one
+  /// strategy optimization window (the serial semantics). Returns an empty
+  /// (lock-free) guard in serial mode. Never wait() while holding it.
+  [[nodiscard]] std::unique_lock<std::mutex> submission_burst();
+  /// Threaded mode: block until every isend/irecv issued before this call
+  /// has been drained into the scheduler (e.g. so receives are matchable
+  /// before a peer's sends are released). No-op in serial mode, where
+  /// submission is synchronous.
+  void flush_submissions();
 
   /// Create a gate towards a peer over the given rails, with a strategy
   /// created by strat::make_strategy(strategy_name, cfg).
@@ -127,6 +167,9 @@ class Session {
   std::string name_;
   Scheduler scheduler_;
   ProgressFn progress_;
+  /// Live only in threaded mode. Declared after scheduler_ so it is
+  /// destroyed (threads joined, completion hook removed) first.
+  std::unique_ptr<ProgressEngine> progress_engine_;
   std::vector<PendingUnpack> pending_unpacks_;
 };
 

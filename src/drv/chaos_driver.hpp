@@ -16,6 +16,12 @@
 //
 // Every injection is counted and exposed in the metrics tree (chaos.*), so
 // soak tests can assert that faults actually fired.
+//
+// Thread safety: like every driver, not internally synchronized — the
+// buffer, RNG and stats are touched only under the world progress mutex.
+// In threaded mode, flush() is typically wired as the progress threads'
+// idle hook (runs under the lock); tests reading stats() with progress
+// threads live must take the world mutex first.
 #pragma once
 
 #include <array>

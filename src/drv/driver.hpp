@@ -13,6 +13,13 @@
 // that notification is what triggers the optimizing strategy — the paper's
 // core idea of scheduling in relationship with NIC activity rather than
 // with API calls.
+//
+// Thread safety: drivers are NOT internally synchronized. Every entry —
+// post_send, deliver upcalls, stats reads — happens with the world
+// progress mutex held: on the application thread in serial mode, on the
+// progress threads in threaded mode (core/progress.hpp). Implementations
+// must not spawn their own threads that touch driver state without taking
+// that same lock.
 #pragma once
 
 #include <array>

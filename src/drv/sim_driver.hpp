@@ -10,6 +10,12 @@
 // the descriptor; the transfer itself is a fluid flow across the NIC link
 // and both hosts' I/O buses (FairShareNet), so concurrent DMA transfers
 // genuinely overlap and contend only for bus capacity.
+//
+// Thread safety: all state (track status, stats) is plain data driven by
+// engine events; post_send and the event callbacks run with the world
+// progress mutex held in threaded mode (engine steppers are serialized by
+// it), so no internal locking is needed. Read stats only under that mutex
+// while progress threads are live.
 #pragma once
 
 #include <array>

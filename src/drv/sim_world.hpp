@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,16 @@ class SimWorld {
                                              const netmodel::NicProfile& nic);
 
   [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+
+  /// The world progress lock for threaded progression (core/progress.hpp):
+  /// any thread stepping the engine or entering a scheduler attached to
+  /// this world must hold it. One lock for the whole world — engine events
+  /// cross sessions (a send completion on node A schedules a delivery into
+  /// node B's scheduler), so per-session locking cannot contain them.
+  /// Serial mode never touches it. Lock order: progress_mutex() first,
+  /// then the engine's internal queue mutex (a leaf, taken by
+  /// schedule/cancel under any caller's locks).
+  [[nodiscard]] std::mutex& progress_mutex() noexcept { return progress_mutex_; }
   [[nodiscard]] sim::FairShareNet& net() noexcept { return net_; }
   [[nodiscard]] sim::Trace& trace() noexcept { return trace_; }
   [[nodiscard]] sim::TimeNs now() const noexcept { return engine_.now(); }
@@ -71,6 +82,7 @@ class SimWorld {
   };
 
   sim::Engine engine_;
+  std::mutex progress_mutex_;
   sim::FairShareNet net_;
   sim::Trace trace_;
   std::vector<Node> nodes_;

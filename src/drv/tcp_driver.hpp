@@ -17,6 +17,12 @@
 // header block and payload spans as separate iovecs — no flattening copy);
 // inbound frames are decoded in place from the receive buffer and handed
 // up as non-owning spans.
+//
+// Thread safety: no internal locks. post_send and progress() (the poll
+// that drains sockets and fires deliver upcalls) must both run under the
+// world progress mutex; with threaded progression, wire progress() as the
+// ProgressEngine poll hook so a progress thread owns the sockets while
+// the application thread stays on the lock-free submission path.
 #pragma once
 
 #include <sys/uio.h>

@@ -3,18 +3,30 @@
 // counters in strat/, request aggregates in core/).
 //
 // Design constraints (docs/ARCHITECTURE.md §Observability):
-//  - zero heap allocation and no branches beyond the arithmetic on the hot
-//    path: Counter::inc is one add, Histogram::record is a bit_width plus
-//    two adds into fixed storage;
+//  - zero heap allocation and no locks on the hot path: Counter::inc is one
+//    relaxed atomic add, Histogram::record is a bit_width plus two relaxed
+//    adds into fixed storage;
 //  - the whole layer compiles out: with NMAD_METRICS_ENABLED=0 (CMake
 //    option NMAD_METRICS=OFF) every type below collapses to an empty
 //    no-op shell with the identical API, so instrumented code builds
 //    unchanged and readers observe zeros;
-//  - single-threaded by design, like the progression engine that drives
-//    all instrumented paths — increments are plain (non-atomic) stores.
+//  - race-free under the threaded progression engine: every cell is a
+//    std::atomic updated with memory_order_relaxed, so per-rail progress
+//    threads increment concurrently without serializing on each other.
+//    Relaxed ordering is sufficient — metrics are monotonic event tallies
+//    read on the cold path (snapshots), never used for synchronization.
+//    Cross-cell consistency (e.g. a histogram's count vs its buckets) is
+//    only guaranteed on a quiescent engine, which is when snapshots are
+//    taken.
+//
+// The types are copyable (setup-time convenience: Rail vectors move while
+// gates are assembled); copies transfer the current values with relaxed
+// loads and must not race with concurrent writers — which holds because
+// copies only happen before the progress threads start.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cstdint>
 
@@ -50,56 +62,118 @@ inline constexpr std::size_t kHistogramBuckets = 64;
 /// snapshot deltas handle transparently via unsigned subtraction.
 class Counter {
  public:
-  void inc(std::uint64_t n = 1) noexcept { value_ += n; }
-  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
-  void reset() noexcept { value_ = 0; }
+  Counter() = default;
+  Counter(const Counter& other) noexcept
+      : value_(other.value_.load(std::memory_order_relaxed)) {}
+  Counter& operator=(const Counter& other) noexcept {
+    value_.store(other.value_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    return *this;
+  }
+
+  void inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Signed level indicator with a high-water mark (e.g. backlog depth).
+/// add/sub are atomic read-modify-writes; the high-water mark is maintained
+/// with a relaxed CAS max, so concurrent updaters never lose a peak.
 class Gauge {
  public:
-  void set(std::int64_t v) noexcept {
-    value_ = v;
-    if (v > high_water_) high_water_ = v;
+  Gauge() = default;
+  Gauge(const Gauge& other) noexcept
+      : value_(other.value_.load(std::memory_order_relaxed)),
+        high_water_(other.high_water_.load(std::memory_order_relaxed)) {}
+  Gauge& operator=(const Gauge& other) noexcept {
+    value_.store(other.value_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    high_water_.store(other.high_water_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    return *this;
   }
-  void add(std::int64_t d) noexcept { set(value_ + d); }
-  void sub(std::int64_t d) noexcept { set(value_ - d); }
-  [[nodiscard]] std::int64_t value() const noexcept { return value_; }
-  [[nodiscard]] std::int64_t high_water() const noexcept { return high_water_; }
-  void reset() noexcept { value_ = 0; high_water_ = 0; }
+
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+    raise_high_water(v);
+  }
+  void add(std::int64_t d) noexcept {
+    const std::int64_t nv = value_.fetch_add(d, std::memory_order_relaxed) + d;
+    raise_high_water(nv);
+  }
+  void sub(std::int64_t d) noexcept { add(-d); }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t high_water() const noexcept {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept {
+    value_.store(0, std::memory_order_relaxed);
+    high_water_.store(0, std::memory_order_relaxed);
+  }
 
  private:
-  std::int64_t value_ = 0;
-  std::int64_t high_water_ = 0;
+  void raise_high_water(std::int64_t v) noexcept {
+    std::int64_t hw = high_water_.load(std::memory_order_relaxed);
+    while (v > hw && !high_water_.compare_exchange_weak(
+                         hw, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> high_water_{0};
 };
 
 /// Fixed-log2-bucket histogram for sizes and latencies. All storage is
 /// inline; record() never allocates.
 class Histogram {
  public:
-  void record(std::uint64_t v) noexcept {
-    buckets_[histogram_bucket_index(v)] += 1;
-    count_ += 1;
-    sum_ += v;
+  Histogram() = default;
+  Histogram(const Histogram& other) noexcept { *this = other; }
+  Histogram& operator=(const Histogram& other) noexcept {
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+      buckets_[i].store(other.buckets_[i].load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    }
+    count_.store(other.count_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    sum_.store(other.sum_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    return *this;
   }
-  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
-  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+
+  void record(std::uint64_t v) noexcept {
+    buckets_[histogram_bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
-    return buckets_[i];
+    return buckets_[i].load(std::memory_order_relaxed);
   }
   void reset() noexcept {
-    buckets_.fill(0);
-    count_ = 0;
-    sum_ = 0;
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
   }
 
  private:
-  std::array<std::uint64_t, kHistogramBuckets> buckets_{};
-  std::uint64_t count_ = 0;
-  std::uint64_t sum_ = 0;
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
 };
 
 #else  // NMAD_METRICS_ENABLED == 0: no-op shells, identical API.

@@ -2,12 +2,27 @@
 //
 // Everything in the simulated platform — NIC DMA engines, CPU occupancy,
 // wire latencies, the communication library's progression — advances by
-// scheduling callbacks on one Engine. Single-threaded by design: runs are
-// bit-reproducible, which the benchmark suite and golden tests rely on.
+// scheduling callbacks on one Engine. Serial runs are bit-reproducible,
+// which the benchmark suite and golden tests rely on.
+//
+// Thread model (for the threaded progression engine, core/progress.hpp):
+//  - schedule / schedule_at / cancel and the observers (now, idle,
+//    pending_events, events_fired) may be called from any thread: the
+//    event queue is guarded by a leaf mutex and the clock is atomic.
+//  - the STEPPERS (step / run / run_until / run_for) must be externally
+//    serialized — at most one thread advances virtual time at a time.
+//    In threaded mode SimWorld::progress_mutex() provides that
+//    serialization; serial mode is single-threaded by construction.
+//  - callbacks fire with the queue mutex RELEASED, so an event may freely
+//    schedule/cancel further events. Whatever lock serializes the
+//    steppers is still held, so callbacks that enter the scheduling
+//    layer remain mutually excluded.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
@@ -18,8 +33,11 @@ class Engine {
  public:
   using Callback = EventQueue::Callback;
 
-  /// Current virtual time.
-  [[nodiscard]] TimeNs now() const noexcept { return now_; }
+  /// Current virtual time. Safe from any thread; a cross-thread reader
+  /// sees some recent instant (the clock only moves forward).
+  [[nodiscard]] TimeNs now() const noexcept {
+    return now_.load(std::memory_order_acquire);
+  }
 
   /// Schedule `cb` to run `delay` ns from now (delay >= 0).
   EventId schedule(TimeNs delay, Callback cb);
@@ -27,7 +45,10 @@ class Engine {
   /// Schedule at an absolute virtual time (>= now()).
   EventId schedule_at(TimeNs at, Callback cb);
 
-  bool cancel(EventId id) { return queue_.cancel(id); }
+  bool cancel(EventId id) {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    return queue_.cancel(id);
+  }
 
   /// Run events until the queue drains. Returns the number of events fired.
   std::size_t run();
@@ -45,14 +66,23 @@ class Engine {
   /// Fire exactly one event if any is pending. Returns false on empty queue.
   bool step();
 
-  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
-  [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
-  [[nodiscard]] std::uint64_t events_fired() const noexcept { return fired_; }
+  [[nodiscard]] bool idle() const noexcept {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    return queue_.empty();
+  }
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    return queue_.size();
+  }
+  [[nodiscard]] std::uint64_t events_fired() const noexcept {
+    return fired_.load(std::memory_order_relaxed);
+  }
 
  private:
+  mutable std::mutex queue_mutex_;  ///< leaf lock: guards queue_ only
   EventQueue queue_;
-  TimeNs now_ = 0;
-  std::uint64_t fired_ = 0;
+  std::atomic<TimeNs> now_{0};
+  std::atomic<std::uint64_t> fired_{0};
 };
 
 }  // namespace nmad::sim

@@ -10,6 +10,13 @@
 // out next, on which rail, whether small segments are aggregated into one
 // packet, and how a granted large message is split into chunks across
 // rails.
+//
+// Locking contract: strategies keep plain (non-atomic) state — backlogs,
+// windows, ratio samplers. The core scheduler consults them only with the
+// world progress mutex held (serial mode holds it implicitly by being
+// single-threaded; threaded progression takes it around every
+// submit/pump/completion, see core/progress.hpp), so strategy code never
+// needs its own synchronization.
 #pragma once
 
 #include <cstdint>

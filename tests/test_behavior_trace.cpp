@@ -19,7 +19,7 @@ std::vector<std::byte> filled(std::size_t n) {
 }
 
 TEST(Trace, SmallMessageTakesPioPathOnly) {
-  TwoNodePlatform p(paper_platform("single_rail"));
+  TwoNodePlatform p(pin_serial(paper_platform("single_rail")));
   p.world().trace().enable();
 
   const auto payload = filled(512);
@@ -36,7 +36,7 @@ TEST(Trace, SmallMessageTakesPioPathOnly) {
 }
 
 TEST(Trace, LargeMessageDoesRendezvousThenDma) {
-  TwoNodePlatform p(paper_platform("single_rail"));
+  TwoNodePlatform p(pin_serial(paper_platform("single_rail")));
   p.world().trace().enable();
 
   const auto payload = filled(200000);
@@ -59,7 +59,7 @@ TEST(Trace, LargeMessageDoesRendezvousThenDma) {
 TEST(Trace, GreedySmallMessagesPioSerialize) {
   // Two eager sends on two rails: the second pio.start must not begin
   // before the first pio.done (single progression CPU).
-  TwoNodePlatform p(paper_platform("greedy"));
+  TwoNodePlatform p(pin_serial(paper_platform("greedy")));
   p.world().trace().enable();
 
   const auto payload = filled(4096);
@@ -89,7 +89,7 @@ TEST(Trace, ParallelPioCoresOverlap) {
   PlatformConfig cfg = paper_platform("greedy");
   cfg.host_a.pio_cores = 2;
   cfg.host_b.pio_cores = 2;
-  TwoNodePlatform p(std::move(cfg));
+  TwoNodePlatform p(pin_serial(std::move(cfg)));
   p.world().trace().enable();
 
   const auto payload = filled(4096);
@@ -109,7 +109,7 @@ TEST(Trace, ParallelPioCoresOverlap) {
 TEST(Trace, SplitChunksStreamConcurrently) {
   // Adaptive stripping: both rails' DMA engines must be active at the same
   // virtual time for one message.
-  TwoNodePlatform p(paper_platform("split_balance"));
+  TwoNodePlatform p(pin_serial(paper_platform("split_balance")));
   p.world().trace().enable();
 
   const auto payload = filled(1 << 20);
@@ -128,7 +128,7 @@ TEST(Trace, SplitChunksStreamConcurrently) {
 }
 
 TEST(Trace, DumpRendersAllEvents) {
-  TwoNodePlatform p(paper_platform("single_rail"));
+  TwoNodePlatform p(pin_serial(paper_platform("single_rail")));
   p.world().trace().enable();
   const auto payload = filled(16);
   std::vector<std::byte> sink(16);
@@ -146,7 +146,7 @@ TEST(Trace, DumpRendersAllEvents) {
 
 TEST(Determinism, IdenticalRunsProduceIdenticalVirtualTimes) {
   auto run_once = [] {
-    TwoNodePlatform p(paper_platform("split_balance"));
+    TwoNodePlatform p(pin_serial(paper_platform("split_balance")));
     util::Xoshiro256 rng(11);
     std::vector<RecvHandle> recvs;
     std::vector<SendHandle> sends;

@@ -10,7 +10,9 @@
 // on the survivor with the dead rail's un-acked frames requeued.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/platform.hpp"
@@ -86,7 +88,26 @@ struct ChaosFixture {
       : ChaosFixture(seed, strategy,
                      drv::ChaosConfig::uniform(drv::FaultProfile{}, window)) {}
 
+  /// Switch both sessions to threaded progression: one progress thread per
+  /// rail, sharing the world mutex. The idle hook replaces the serial
+  /// progress callback's chaos-buffer flush — it runs on a progress thread
+  /// under the world mutex whenever the engine drains, releasing packets
+  /// the window is holding back so the run cannot stall below the window.
+  void start_threaded() {
+    auto idle = [this] {
+      for (auto& w : wrappers) w->flush();
+    };
+    const std::size_t threads = wrappers.size() / 2;  // one per rail
+    a->start_threaded(world.progress_mutex(), &world.engine(), threads, idle);
+    b->start_threaded(world.progress_mutex(), &world.engine(), threads, idle);
+  }
+
   ~ChaosFixture() {
+    // Progress threads of BOTH sessions must stop before either session
+    // dies: engine events cross sessions, so a live thread of one could
+    // step a callback into the other's freed scheduler. No-op in serial.
+    a->stop_threaded();
+    b->stop_threaded();
     // Drain the chaos buffers while the sessions (the deliver upcall
     // targets) are still alive; dead guards drop the frames harmlessly.
     // The wrappers' own destructor flush must find nothing left.
@@ -245,6 +266,114 @@ TEST_P(ChaosFaultSoak, LossDupCorruptHealOrReportDeadRail) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosFaultSoak,
+                         ::testing::Values(11u, 23u, 37u),
+                         [](const auto& pinfo) {
+                           return "seed" + std::to_string(pinfo.param);
+                         });
+
+// --------------------------------------------------------------------------
+// Threaded chaos soak: the same fault profile with per-rail progress
+// threads driving the engine. The contract is unchanged — every wave
+// either delivers byte-identical payloads or reports a dead gate, never a
+// hang (the progression engine's stall watchdog panics a genuine deadlock,
+// and a wall-clock bound catches pathological slowdowns) and never wrong
+// bytes. All non-atomic chaos/gate state is read under the world progress
+// mutex, which serializes against the live progress threads.
+// --------------------------------------------------------------------------
+
+class ThreadedChaosFaultSoak : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ThreadedChaosFaultSoak, LossDupCorruptUnderProgressThreads) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  drv::FaultProfile profile;
+  profile.drop = 0.01;
+  profile.duplicate = 0.01;
+  profile.corrupt = 0.005;
+  strat::StrategyConfig scfg;
+  scfg.reliability.ack_enabled = true;
+  ChaosFixture f(GetParam(), "aggreg_greedy",
+                 drv::ChaosConfig::uniform(profile, /*window=*/3), scfg);
+  f.start_threaded();
+  util::Xoshiro256 rng(GetParam() * 29 + 3);
+
+  auto injected = [&f] {
+    // ChaosDriver stats are plain counters mutated on the progress threads
+    // (all sends and deliveries run under the world mutex there).
+    std::lock_guard<std::mutex> lock(f.world.progress_mutex());
+    std::uint64_t n = 0;
+    for (auto& w : f.wrappers) {
+      n += w->stats().drops + w->stats().duplicates + w->stats().corruptions;
+    }
+    return n;
+  };
+  auto gate_failed = [&f](Session& s, GateId g) {
+    std::lock_guard<std::mutex> lock(f.world.progress_mutex());
+    return s.scheduler().gate(g).failed();
+  };
+
+  constexpr int kMessages = 24;
+  constexpr int kMaxWaves = 8;
+  int wave = 0;
+  for (; wave < kMaxWaves; ++wave) {
+    std::vector<std::vector<std::byte>> payloads, sinks;
+    std::vector<RecvHandle> recvs;
+    std::vector<SendHandle> sends;
+    for (int i = 0; i < kMessages; ++i) {
+      payloads.push_back(
+          random_bytes(1 + rng.next_below(90000), GetParam() + i + wave * 100));
+      sinks.emplace_back(payloads.back().size(), std::byte{0});
+    }
+    for (int i = 0; i < kMessages; ++i) {
+      recvs.push_back(f.b->irecv(f.gate_ba, static_cast<proto::Tag>(i % 3),
+                                 sinks[i]));
+    }
+    for (int i = 0; i < kMessages; ++i) {
+      sends.push_back(f.a->isend(f.gate_ab, static_cast<proto::Tag>(i % 3),
+                                 payloads[i]));
+    }
+    // In threaded mode wait_all spins on the (atomic) settled flags while
+    // the progress threads run; its stall watchdog panics a genuine hang.
+    f.a->wait_all(sends, recvs);
+
+    for (int i = 0; i < kMessages; ++i) {
+      if (recvs[i]->completed()) {
+        EXPECT_EQ(sinks[i], payloads[i]) << "message " << i << " corrupted";
+        EXPECT_EQ(recvs[i]->received_len(), payloads[i].size());
+      } else {
+        // A request may only fail when its whole gate lost every rail.
+        EXPECT_TRUE(recvs[i]->failed());
+        EXPECT_TRUE(gate_failed(*f.b, f.gate_ba));
+      }
+      if (!sends[i]->completed()) {
+        EXPECT_TRUE(sends[i]->failed());
+        EXPECT_TRUE(gate_failed(*f.a, f.gate_ab));
+      }
+    }
+    if (injected() > 0 || gate_failed(*f.a, f.gate_ab)) break;
+  }
+  EXPECT_GT(injected(), 0u)
+      << "fault profile injected nothing across " << wave + 1 << " waves";
+
+  if (obs::kMetricsEnabled && !gate_failed(*f.a, f.gate_ab)) {
+    // RailGuard metrics are atomic counters — safe to read lock-free.
+    std::uint64_t retransmits = 0;
+    for (auto* s : {f.a.get(), f.b.get()}) {
+      auto& gate = s->scheduler().gate(0);
+      for (auto& rail : gate.rails()) {
+        retransmits += rail.guard.metrics.retransmits.value();
+      }
+    }
+    EXPECT_GT(retransmits, 0u) << "faults fired but nothing was retransmitted";
+  }
+
+  // Wall-clock watchdog: this soak simulates ~milliseconds of virtual
+  // traffic; anything near this bound means live-lock, not load.
+  const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+      std::chrono::steady_clock::now() - wall_start);
+  EXPECT_LT(elapsed.count(), 120) << "threaded chaos soak wall-clock blowout";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThreadedChaosFaultSoak,
                          ::testing::Values(11u, 23u, 37u),
                          [](const auto& pinfo) {
                            return "seed" + std::to_string(pinfo.param);

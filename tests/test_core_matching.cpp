@@ -23,7 +23,7 @@ std::vector<std::byte> random_bytes(std::size_t n, std::uint64_t seed) {
 }
 
 TwoNodePlatform make_platform(const char* strategy = "aggreg_greedy") {
-  return TwoNodePlatform(paper_platform(strategy));
+  return TwoNodePlatform(pin_serial(paper_platform(strategy)));
 }
 
 TEST(Matching, UnexpectedEagerMessageBuffersUntilRecvPosted) {

@@ -30,7 +30,7 @@ class PanicAsException : public ::testing::Test {
 using ErrorPaths = PanicAsException;
 
 TEST_F(ErrorPaths, RecvBufferSmallerThanMessagePanics) {
-  TwoNodePlatform p(paper_platform("single_rail"));
+  TwoNodePlatform p(pin_serial(paper_platform("single_rail")));
   std::vector<std::byte> payload(100, std::byte{1});
   std::vector<std::byte> tiny(10);
   auto recv = p.b().irecv(p.gate_ba(), 0, tiny);
@@ -39,7 +39,7 @@ TEST_F(ErrorPaths, RecvBufferSmallerThanMessagePanics) {
 }
 
 TEST_F(ErrorPaths, UnknownGateIdPanics) {
-  TwoNodePlatform p(paper_platform("single_rail"));
+  TwoNodePlatform p(pin_serial(paper_platform("single_rail")));
   EXPECT_THROW((void)p.a().scheduler().gate(99), std::runtime_error);
 }
 
@@ -48,7 +48,7 @@ TEST_F(ErrorPaths, UnknownStrategyNamePanics) {
 }
 
 TEST_F(ErrorPaths, BadRatioVectorPanics) {
-  TwoNodePlatform p(paper_platform("single_rail"));
+  TwoNodePlatform p(pin_serial(paper_platform("single_rail")));
   auto& gate = p.a().scheduler().gate(p.gate_ab());
   EXPECT_THROW(gate.set_ratios({1.0}), std::runtime_error);        // wrong arity
   EXPECT_THROW(gate.set_ratios({0.0, 0.0}), std::runtime_error);   // zero sum
@@ -91,7 +91,7 @@ TEST_F(ErrorPaths, CorruptPacketDeliveryPanics) {
   // Hand a garbage frame directly to the scheduler's deliver upcall — the
   // scheduler must refuse to process it (protocol violation), not
   // silently drop or misparse it.
-  TwoNodePlatform p(paper_platform("single_rail"));
+  TwoNodePlatform p(pin_serial(paper_platform("single_rail")));
   drv::Driver& rail = p.a().scheduler().gate(p.gate_ab()).rail(0).driver();
   (void)rail;  // the deliver hook was installed by the scheduler
   auto* sim_rail = p.rails_b()[0];
@@ -117,7 +117,7 @@ TEST_F(ErrorPaths, GateNeedsRailsAndStrategy) {
 }
 
 TEST_F(ErrorPaths, PackBuilderDoubleSubmitPanics) {
-  TwoNodePlatform p(paper_platform("single_rail"));
+  TwoNodePlatform p(pin_serial(paper_platform("single_rail")));
   std::vector<std::byte> data(8, std::byte{2});
   auto pack = p.a().pack(p.gate_ab(), 0);
   pack.add(data);
@@ -141,7 +141,7 @@ TEST_F(ErrorPaths, WorldRejectsSelfLink) {
 TEST_F(ErrorPaths, MessageOverlapOnWireIsRejected) {
   // Two chunks covering the same bytes constitute a protocol violation
   // that must terminate processing (each byte is sent exactly once).
-  TwoNodePlatform p(paper_platform("single_rail"));
+  TwoNodePlatform p(pin_serial(paper_platform("single_rail")));
   std::vector<std::byte> sink(100);
   auto recv = p.b().irecv(p.gate_ba(), 0, sink);
   (void)recv;

@@ -4,6 +4,7 @@
 // simulation must drain. Parameterized gtest generates the full matrix.
 #include <gtest/gtest.h>
 
+#include <mutex>
 #include <tuple>
 #include <vector>
 
@@ -53,11 +54,18 @@ TEST_P(DeliveryMatrix, ByteExactDelivery) {
   EXPECT_EQ(sink, payload);
   for (const auto& r : recvs) EXPECT_TRUE(r->completed());
   for (const auto& s : sends) EXPECT_TRUE(s->completed());
-  EXPECT_EQ(p.a().scheduler().pending_requests(), 0u);
-  EXPECT_EQ(p.b().scheduler().pending_requests(), 0u);
-  // The world must drain: no leaked events beyond the final completions.
-  p.world().engine().run();
-  EXPECT_TRUE(p.world().engine().idle());
+  {
+    // In threaded mode the progress threads are still live: the world
+    // progress mutex serializes us against them (engine steppers must be
+    // externally serialized), making the drain check race-free in both
+    // modes.
+    std::lock_guard<std::mutex> lock(p.world().progress_mutex());
+    EXPECT_EQ(p.a().scheduler().pending_requests(), 0u);
+    EXPECT_EQ(p.b().scheduler().pending_requests(), 0u);
+    // The world must drain: no leaked events beyond the final completions.
+    p.world().engine().run();
+    EXPECT_TRUE(p.world().engine().idle());
+  }
 }
 
 std::vector<std::string> all_strategies() {
@@ -120,14 +128,16 @@ TEST_P(RandomTrafficStress, ManyRandomMessagesBothDirections) {
                       : p.b().isend(p.gate_ba(), m.tag, m.payload);
   }
 
-  auto all_done = [&] {
-    for (const auto& m : msgs) {
-      if (!m.send->completed() || !m.recv->completed()) return false;
-    }
-    return true;
-  };
-  p.world().engine().run_until(all_done);
-  ASSERT_TRUE(all_done());
+  // Session wait rather than stepping the engine directly: works in both
+  // serial (drives the engine) and threaded (progress threads drive it)
+  // modes.
+  std::vector<SendHandle> sends;
+  std::vector<RecvHandle> recvs;
+  for (const auto& m : msgs) {
+    sends.push_back(m.send);
+    recvs.push_back(m.recv);
+  }
+  p.a().wait_all(sends, recvs);
   for (const auto& m : msgs) {
     EXPECT_EQ(m.sink, m.payload);
     EXPECT_EQ(m.recv->received_len(), m.payload.size());

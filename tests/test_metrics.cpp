@@ -185,7 +185,7 @@ std::vector<std::byte> random_bytes(std::size_t n, std::uint64_t seed) {
 /// Total packets_sent by session a across all rails after sending 8 x 128B
 /// segments as one multi-segment message.
 std::uint64_t packets_for_eight_segments(const char* strategy) {
-  core::TwoNodePlatform p(core::paper_platform(strategy));
+  core::TwoNodePlatform p(core::pin_serial(core::paper_platform(strategy)));
   obs::MetricsRegistry reg;
   p.a().register_metrics(reg, "a.");
   const obs::Snapshot before = reg.snapshot();
@@ -229,7 +229,7 @@ TEST(MetricsEndToEnd, AggregationSendsFewerPacketsThanGreedy) {
 TEST(MetricsEndToEnd, SmallMessageIsPioLargeIsRendezvous) {
   if constexpr (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
 
-  core::TwoNodePlatform p(core::paper_platform("single_rail"));
+  core::TwoNodePlatform p(core::pin_serial(core::paper_platform("single_rail")));
   obs::MetricsRegistry reg;
   p.a().register_metrics(reg, "a.");
   p.b().register_metrics(reg, "b.");  // the receive counters live on b
@@ -269,7 +269,7 @@ TEST(MetricsEndToEnd, SmallMessageIsPioLargeIsRendezvous) {
 }
 
 TEST(MetricsEndToEnd, RegistryCoversEveryLayer) {
-  core::TwoNodePlatform p(core::paper_platform("aggreg_greedy"));
+  core::TwoNodePlatform p(core::pin_serial(core::paper_platform("aggreg_greedy")));
   obs::MetricsRegistry reg;
   p.a().register_metrics(reg, "a.");
   p.b().register_metrics(reg, "b.");

@@ -25,7 +25,7 @@ double one_way_us(const NicProfile& nic, std::size_t size,
   cfg.strategy = "single_rail";
   cfg.host_a.pio_cores = pio_cores;
   cfg.host_b.pio_cores = pio_cores;
-  TwoNodePlatform p(std::move(cfg));
+  TwoNodePlatform p(pin_serial(std::move(cfg)));
 
   std::vector<std::byte> payload(size, std::byte{0x44});
   std::vector<std::byte> sink(size);
@@ -95,7 +95,7 @@ TEST(ModelProperties, BusNeverMattersForOneIsolatedRail) {
     cfg.strategy = "single_rail";
     cfg.host_a.bus_bandwidth_mbps = bus;
     cfg.host_b.bus_bandwidth_mbps = bus;
-    TwoNodePlatform p(std::move(cfg));
+    TwoNodePlatform p(pin_serial(std::move(cfg)));
 
     std::vector<std::byte> payload(4 << 20, std::byte{0x1});
     std::vector<std::byte> sink(4 << 20);
@@ -116,7 +116,7 @@ TEST(ModelProperties, NarrowBusThrottlesTwoRailAggregate) {
     PlatformConfig cfg = paper_platform("iso_split");
     cfg.host_a.bus_bandwidth_mbps = bus;
     cfg.host_b.bus_bandwidth_mbps = bus;
-    TwoNodePlatform p(std::move(cfg));
+    TwoNodePlatform p(pin_serial(std::move(cfg)));
 
     const std::size_t size = 8 << 20;
     std::vector<std::byte> payload(size, std::byte{0x2});

@@ -30,7 +30,7 @@ std::vector<std::byte> random_bytes(std::size_t n, std::uint64_t seed) {
 TEST(PaperClaims, AggregationAcrossLogicalChannels) {
   // Four small messages on four different tags (the paper's "different
   // logical channels"), submitted back-to-back: one physical packet.
-  TwoNodePlatform p(paper_platform("aggreg_greedy"));
+  TwoNodePlatform p(pin_serial(paper_platform("aggreg_greedy")));
   const auto payload = random_bytes(64, 1);
   std::vector<std::vector<std::byte>> sinks(4, std::vector<std::byte>(64));
   std::vector<RecvHandle> recvs;
@@ -55,7 +55,7 @@ TEST(PaperClaims, SmallMessageOvertakesEarlierLargeMessage) {
   // A large message is submitted FIRST, a small one after it. The small
   // one must complete delivery long before the large one: the engine sends
   // out-of-order with respect to submission.
-  TwoNodePlatform p(paper_platform("aggreg_greedy"));
+  TwoNodePlatform p(pin_serial(paper_platform("aggreg_greedy")));
   const auto big = random_bytes(4 << 20, 2);
   const auto small = random_bytes(32, 3);
   std::vector<std::byte> sink_big(big.size());
@@ -80,7 +80,7 @@ TEST(PaperClaims, BacklogSmallSegmentsAreGrouped) {
   // busy with a first packet, later small submissions accumulate and leave
   // grouped. Submit one small message; then, once it is in flight, submit
   // five more in a burst: they must travel as one packet, not five.
-  TwoNodePlatform p(paper_platform("aggreg_greedy"));
+  TwoNodePlatform p(pin_serial(paper_platform("aggreg_greedy")));
   const auto payload = random_bytes(256, 4);
   std::vector<std::vector<std::byte>> sinks(6, std::vector<std::byte>(256));
   std::vector<RecvHandle> recvs;
@@ -112,7 +112,7 @@ TEST(PaperClaims, LargeSegmentSplitAcrossDifferentNetworks) {
   // traveled on BOTH technologies and were reassembled byte-exactly.
   PlatformConfig cfg = paper_platform("split_balance");
   cfg.sampled_ratios = true;
-  TwoNodePlatform p(std::move(cfg));
+  TwoNodePlatform p(pin_serial(std::move(cfg)));
 
   const auto payload = random_bytes(2 << 20, 5);
   std::vector<std::byte> sink(payload.size());
@@ -134,7 +134,7 @@ TEST(PaperClaims, LargeSegmentSplitAcrossDifferentNetworks) {
 TEST(PaperClaims, ControlPacketsAreNotStarvedByDataBacklog) {
   // The rendezvous handshake must cut ahead of a deep small-message
   // backlog, or large transfers would be serialized behind eager traffic.
-  TwoNodePlatform p(paper_platform("aggreg_greedy"));
+  TwoNodePlatform p(pin_serial(paper_platform("aggreg_greedy")));
   const auto small = random_bytes(8000, 6);
   const auto big = random_bytes(4 << 20, 7);
 

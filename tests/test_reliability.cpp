@@ -326,7 +326,7 @@ TEST(RailGuard, AckDisabledKeepsLegacyLocalCompletionSemantics) {
 TEST(Reliability, CleanPlatformWithAcksIsRetransmitFree) {
   strat::StrategyConfig cfg;
   cfg.reliability.ack_enabled = true;
-  TwoNodePlatform p(paper_platform("aggreg_greedy", cfg));
+  TwoNodePlatform p(pin_serial(paper_platform("aggreg_greedy", cfg)));
 
   util::Xoshiro256 rng(31);
   std::vector<std::vector<std::byte>> payloads, sinks;
@@ -372,7 +372,7 @@ TEST(Reliability, CleanPlatformWithAcksIsRetransmitFree) {
 }
 
 TEST(Reliability, DefaultConfigArmsNoTimersAndEmitsNoAcks) {
-  TwoNodePlatform p(paper_platform("aggreg_greedy"));
+  TwoNodePlatform p(pin_serial(paper_platform("aggreg_greedy")));
   const auto payload = random_bytes(150000, 77);
   std::vector<std::byte> sink(payload.size());
   auto recv = p.b().irecv(p.gate_ba(), 2, sink);

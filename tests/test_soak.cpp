@@ -3,6 +3,7 @@
 // the engine stays correct and bounded over a long virtual run.
 #include <gtest/gtest.h>
 
+#include <mutex>
 #include <vector>
 
 #include "core/platform.hpp"
@@ -48,14 +49,19 @@ TEST(Soak, TenThousandMessagesInWaves) {
     }
   }
 
-  EXPECT_EQ(p.a().scheduler().pending_requests(), 0u);
-  EXPECT_EQ(p.b().scheduler().pending_requests(), 0u);
   EXPECT_GT(total_bytes, 10'000'000u);
   // The run must have made sensible virtual progress (not stuck at 0, not
   // runaway): ~20 MB of mostly-aggregated eager traffic.
   EXPECT_GT(p.now(), sim::us_to_ns(1000.0));
-  p.world().engine().run();
-  EXPECT_TRUE(p.world().engine().idle());
+  {
+    // The world progress mutex serializes these drain checks against any
+    // live progress threads (threaded mode); no-op contention in serial.
+    std::lock_guard<std::mutex> lock(p.world().progress_mutex());
+    EXPECT_EQ(p.a().scheduler().pending_requests(), 0u);
+    EXPECT_EQ(p.b().scheduler().pending_requests(), 0u);
+    p.world().engine().run();
+    EXPECT_TRUE(p.world().engine().idle());
+  }
 }
 
 }  // namespace

@@ -29,7 +29,7 @@ std::unique_ptr<TwoNodePlatform> run_burst(const std::string& strategy,
                                            std::size_t count, std::size_t size,
                                            strat::StrategyConfig cfg = {}) {
   PlatformConfig pc = paper_platform(strategy, cfg);
-  auto p = std::make_unique<TwoNodePlatform>(std::move(pc));
+  auto p = std::make_unique<TwoNodePlatform>(pin_serial(std::move(pc)));
   const auto payload = random_bytes(size, size + count);
   std::vector<std::vector<std::byte>> sinks(count, std::vector<std::byte>(size));
   std::vector<RecvHandle> recvs;
@@ -130,7 +130,7 @@ TEST(StrategyAggregGreedy, LargeTrafficUsesBothRails) {
 
 TEST(StrategySplitBalance, SplitsOneLargeMessageByRatio) {
   PlatformConfig pc = paper_platform("split_balance");
-  TwoNodePlatform p(std::move(pc));
+  TwoNodePlatform p(pin_serial(std::move(pc)));
   p.a().scheduler().gate(p.gate_ab()).set_ratios({0.75, 0.25});
 
   const std::size_t size = 1 << 20;
@@ -152,7 +152,7 @@ TEST(StrategySplitBalance, SplitsOneLargeMessageByRatio) {
 
 TEST(StrategyIsoSplit, SplitsEvenRegardlessOfRatios) {
   PlatformConfig pc = paper_platform("iso_split");
-  TwoNodePlatform p(std::move(pc));
+  TwoNodePlatform p(pin_serial(std::move(pc)));
   p.a().scheduler().gate(p.gate_ab()).set_ratios({0.9, 0.1});  // must be ignored
 
   const std::size_t size = 1 << 20;
@@ -174,7 +174,7 @@ TEST(StrategySplitBalance, NeverCreatesSubThresholdChunks) {
   // above min_chunk, or the message must not be split at all.
   for (std::size_t size : {16u * 1024 + 100u, 20u * 1024, 64u * 1024}) {
     PlatformConfig pc = paper_platform("split_balance");
-    TwoNodePlatform p(std::move(pc));
+    TwoNodePlatform p(pin_serial(std::move(pc)));
     const auto payload = random_bytes(size, size);
     std::vector<std::byte> sink(size);
     auto recv = p.b().irecv(p.gate_ba(), 0, sink);

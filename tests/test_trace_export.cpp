@@ -56,7 +56,7 @@ TEST(TraceExport, EscapesJsonSpecials) {
 }
 
 TEST(TraceExport, EndToEndPlatformTraceIsWritable) {
-  core::TwoNodePlatform p(core::paper_platform("split_balance"));
+  core::TwoNodePlatform p(core::pin_serial(core::paper_platform("split_balance")));
   p.world().trace().enable();
   std::vector<std::byte> payload(1 << 20, std::byte{1});
   std::vector<std::byte> sink(1 << 20);

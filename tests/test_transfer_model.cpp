@@ -55,7 +55,7 @@ TEST(TransferModel, AgreesWithIsolatedSimulatorRuns) {
     core::PlatformConfig cfg;
     cfg.links = {profile};
     cfg.strategy = "single_rail";
-    core::TwoNodePlatform p(std::move(cfg));
+    core::TwoNodePlatform p(core::pin_serial(std::move(cfg)));
 
     for (std::uint64_t size : {64ull, 4096ull, 262144ull, 4194304ull}) {
       std::vector<std::byte> payload(size, std::byte{0x77});
