@@ -14,6 +14,10 @@ which fails the build when:
   * a packet_path entry (micro_hotpaths) violates the zero-copy contract:
     bytes_copied must never exceed total_bytes, paths flagged zero_copy
     must report bytes_copied == 0, and packets_per_sec must be positive;
+  * a must-hold check failed: check records whose "what" starts with
+    "gate:" are acceptance gates (e.g. the striped collective broadcast
+    beating the best single rail) and fail the build even in smoke mode,
+    where ordinary checks are advisory and only recorded;
   * the reliability layer misbehaved on a clean (lossless) run: benches
     inject no faults, so any railN.retransmits > 0 means spurious timeouts
     (an RTO mistuned far below the simulated RTT), and any railN.state
@@ -120,6 +124,14 @@ def check_report(path):
             if bytes_sent == 0 and polls == 0:
                 errors.append(f"{path}: series '{label}': {rail_id}: dead rail "
                               "(bytes_sent=0 and drv.polls=0 on both endpoints)")
+
+    for chk in report.get("checks", []):
+        what = chk.get("what", "")
+        if what.startswith("gate:") and chk.get("ok") is not True:
+            errors.append(
+                f"{path}: must-hold check failed: '{what}' "
+                f"(measured={chk.get('measured')}, "
+                f"reference={chk.get('reference')})")
 
     packet_paths = report.get("packet_path", [])
     for entry in packet_paths:

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links point at files that exist.
+
+For every ``[text](target)`` link in the given markdown files:
+
+  * external targets (http://, https://, mailto:) are skipped;
+  * pure-anchor targets (#section) are skipped;
+  * everything else is resolved relative to the containing file's directory
+    (after stripping any trailing #anchor) and must exist on disk.
+
+Stdlib-only, so it runs anywhere CI does.
+
+Usage: check_markdown_links.py FILE.md [FILE.md ...]
+"""
+
+import pathlib
+import re
+import sys
+
+# [text](target) — target without closing parens; images ![alt](p) included.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^()\s]+)\)")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def check_file(path):
+    errors = []
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), 1):
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in LINK_RE.findall(line):
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                errors.append(f"{path}:{lineno}: broken link '{target}' "
+                              f"(resolved to {resolved})")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    failures = []
+    checked = 0
+    for name in argv[1:]:
+        path = pathlib.Path(name)
+        if not path.is_file():
+            failures.append(f"{name}: no such file")
+            continue
+        checked += 1
+        failures.extend(check_file(path))
+    for msg in failures:
+        print(f"FAIL {msg}", file=sys.stderr)
+    if not failures:
+        print(f"OK   {checked} files, all relative links resolve")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Keep docs/METRICS.md in lock-step with the metrics the source registers.
+
+Source side: every line in src/ that calls ``registry.add(...)``,
+``registry.add_raw(...)`` or ``registry.label(...)`` names its metric in the
+last string literal on the line (the prefix part is runtime-composed, the
+leaf name is always a literal). Those literals are the ground truth.
+
+Doc side: docs/METRICS.md documents metrics as backticked tokens inside
+markdown table rows (lines starting with '|'). Tokens may carry placeholder
+path components like ``rail<R>.`` or ``gate<G>.``; placeholders are
+stripped before matching.
+
+A doc token matches a source literal when, after placeholder stripping, it
+equals the literal or ends with ``"." + literal`` or ``"_" + literal``
+(pools register composite prefixes like ``pool.header_`` + ``hits``, so the
+documented name is ``pool.header_hits``).
+
+Failure modes:
+  * a registered metric no metric-table row covers  -> docs are stale;
+  * a documented token no registration site matches -> docs list a ghost.
+
+Usage: check_metrics_docs.py [repo_root]   (defaults to the checkout root)
+"""
+
+import pathlib
+import re
+import sys
+
+REGISTER_RE = re.compile(r"registry\.(?:add|add_raw|label)\(")
+LITERAL_RE = re.compile(r'"([^"]*)"')
+DOC_TOKEN_RE = re.compile(r"`([A-Za-z0-9_.<>]+)`")
+PLACEHOLDER_RE = re.compile(r"<[A-Za-z]+>")
+
+
+def source_metrics(src_root):
+    """Map of metric-name literal -> list of 'file:line' registration sites."""
+    names = {}
+    for path in sorted(src_root.rglob("*.cpp")) + sorted(src_root.rglob("*.hpp")):
+        for lineno, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), 1):
+            if not REGISTER_RE.search(line):
+                continue
+            literals = LITERAL_RE.findall(line)
+            if not literals or not literals[-1]:
+                continue
+            where = f"{path.relative_to(src_root.parent)}:{lineno}"
+            names.setdefault(literals[-1], []).append(where)
+    return names
+
+
+def doc_tokens(doc_path):
+    """Map of backticked table token -> list of line numbers."""
+    tokens = {}
+    for lineno, line in enumerate(
+            doc_path.read_text(encoding="utf-8").splitlines(), 1):
+        if not line.lstrip().startswith("|"):
+            continue
+        for token in DOC_TOKEN_RE.findall(line):
+            tokens.setdefault(token, []).append(lineno)
+    return tokens
+
+
+def matches(token, literal):
+    stripped = PLACEHOLDER_RE.sub("", token)
+    return (stripped == literal
+            or stripped.endswith("." + literal)
+            or stripped.endswith("_" + literal))
+
+
+def main(argv):
+    root = pathlib.Path(argv[1]) if len(argv) > 1 else \
+        pathlib.Path(__file__).resolve().parent.parent
+    src_root = root / "src"
+    doc_path = root / "docs" / "METRICS.md"
+    if not src_root.is_dir() or not doc_path.is_file():
+        print(f"FAIL cannot find {src_root} or {doc_path}", file=sys.stderr)
+        return 2
+
+    registered = source_metrics(src_root)
+    documented = doc_tokens(doc_path)
+    if not registered:
+        print("FAIL no registration sites found in src/ (checker broken?)",
+              file=sys.stderr)
+        return 2
+    if not documented:
+        print(f"FAIL no backticked table tokens found in {doc_path}",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    for literal, sites in sorted(registered.items()):
+        if not any(matches(token, literal) for token in documented):
+            failures.append(
+                f"metric '{literal}' (registered at {sites[0]}) is not "
+                f"documented in {doc_path.name}")
+    for token, lines in sorted(documented.items()):
+        if not any(matches(token, literal) for literal in registered):
+            failures.append(
+                f"{doc_path.name}:{lines[0]}: documented metric '{token}' "
+                "matches no registration site in src/")
+
+    for msg in failures:
+        print(f"FAIL {msg}", file=sys.stderr)
+    if not failures:
+        print(f"OK   {len(registered)} registered metrics, "
+              f"{len(documented)} documented tokens, all in sync")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

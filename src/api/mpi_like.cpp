@@ -23,7 +23,8 @@ RecvStatus MpiRequest::status() const {
 
 MpiRequest Communicator::isend_bytes(std::span<const std::byte> data,
                                      core::Tag tag) {
-  NMAD_ASSERT(tag < kBarrierTag, "tag collides with reserved barrier tag");
+  NMAD_ASSERT(tag < core::kReservedTagBase,
+              "tag collides with the reserved (collective/barrier) tag space");
   MpiRequest req;
   req.session_ = session_;
   req.tag_ = tag;
@@ -32,7 +33,8 @@ MpiRequest Communicator::isend_bytes(std::span<const std::byte> data,
 }
 
 MpiRequest Communicator::irecv_bytes(std::span<std::byte> buffer, core::Tag tag) {
-  NMAD_ASSERT(tag < kBarrierTag, "tag collides with reserved barrier tag");
+  NMAD_ASSERT(tag < core::kReservedTagBase,
+              "tag collides with the reserved (collective/barrier) tag space");
   MpiRequest req;
   req.session_ = session_;
   req.tag_ = tag;
@@ -62,8 +64,14 @@ RecvStatus Communicator::sendrecv(std::span<const std::byte> send_data,
 }
 
 void Communicator::barrier() {
-  // Exchange zero-byte tokens; completion of the inbound token proves the
-  // peer reached its barrier() too.
+  if (group_) {
+    // N-party: dissemination across every rank of the group.
+    const bool ok = group_->barrier();
+    NMAD_ASSERT(ok, "N-party barrier failed (a peer's gate died)");
+    return;
+  }
+  // Two-party: exchange zero-byte tokens; completion of the inbound token
+  // proves the peer reached its barrier() too.
   std::byte dummy;
   auto recv = session_->irecv(gate_, kBarrierTag, std::span<std::byte>(&dummy, 0));
   auto send = session_->isend(gate_, kBarrierTag, {});

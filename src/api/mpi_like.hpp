@@ -5,19 +5,29 @@
 // implemented", §2), and its stated next step is wiring the library under
 // MPICH-Madeleine (§4). This header provides that flavor in miniature: a
 // Communicator with blocking/non-blocking typed send/recv, wildcard-free
-// tag matching, sendrecv, and a two-party barrier — enough to port small
-// MPI-style kernels onto the multi-rail engine unchanged.
+// tag matching, sendrecv, and a barrier — enough to port small MPI-style
+// kernels onto the multi-rail engine unchanged.
 //
-// Scope note: this is a point-to-point communicator between two endpoints
-// (the paper's whole evaluation is two nodes); collectives beyond
-// barrier/sendrecv are out of scope.
+// Two shapes exist: the original two-party communicator bound to one gate
+// (the paper's whole evaluation is two nodes), and an N-party form bound
+// to one gate per peer, whose barrier() runs the collectives layer's
+// dissemination algorithm (src/coll/). Richer group operations
+// (broadcast/reduce/allreduce) live in coll::Communicator, reachable via
+// group().
+//
+// Tag discipline: user tags must stay below core::kReservedTagBase — the
+// space above it carries the collective tag streams and the barrier token,
+// and a user message there would silently cross-match protocol traffic, so
+// both posting paths reject it.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <type_traits>
 #include <vector>
 
+#include "coll/communicator.hpp"
 #include "core/session.hpp"
 
 namespace nmad::api {
@@ -46,11 +56,43 @@ class MpiRequest {
   core::Tag tag_ = 0;
 };
 
-/// One endpoint of a two-party MPI-style communicator bound to a gate.
+/// One endpoint of an MPI-style communicator: two-party (bound to a single
+/// gate) or N-party (one gate per peer).
 class Communicator {
  public:
   Communicator(core::Session& session, core::GateId gate)
       : session_(&session), gate_(gate) {}
+
+  /// N-party: peer_gates[r] is this session's gate towards rank r (entry
+  /// [rank] is ignored). Point-to-point calls on this object address the
+  /// default peer — rank 0, or rank 1 when this endpoint is rank 0; use
+  /// to_peer(r) for an explicit destination. barrier() synchronizes all N
+  /// ranks via dissemination.
+  Communicator(core::Session& session, std::vector<core::GateId> peer_gates,
+               std::size_t rank)
+      : session_(&session),
+        group_(std::make_shared<coll::Communicator>(session, peer_gates, rank)) {
+    gate_ = peer_gates[rank == 0 ? (peer_gates.size() > 1 ? 1 : 0) : 0];
+  }
+
+  /// Group size: 2 for the two-party form.
+  [[nodiscard]] std::size_t size() const noexcept {
+    return group_ ? group_->size() : 2;
+  }
+  /// This endpoint's rank; the two-party form has no rank numbering.
+  [[nodiscard]] std::size_t rank() const noexcept {
+    return group_ ? group_->rank() : 0;
+  }
+  /// N-party only: a two-party view addressing rank r for point-to-point
+  /// traffic. Copies share this communicator's group state.
+  [[nodiscard]] Communicator to_peer(std::size_t r) const {
+    Communicator c(*this);
+    c.gate_ = group_ ? group_->gate_to(r) : gate_;
+    return c;
+  }
+  /// N-party only: the collectives-layer communicator behind barrier() —
+  /// broadcast/reduce/allreduce and non-blocking handles live there.
+  [[nodiscard]] coll::Communicator& group() noexcept { return *group_; }
 
   // --- byte-level primitives ----------------------------------------------
   MpiRequest isend_bytes(std::span<const std::byte> data, core::Tag tag);
@@ -85,18 +127,25 @@ class Communicator {
   RecvStatus sendrecv(std::span<const std::byte> send_data, core::Tag send_tag,
                       std::span<std::byte> recv_buffer, core::Tag recv_tag);
 
-  /// Two-party barrier: a zero-byte token each way on a reserved tag.
+  /// Barrier. Two-party: a zero-byte token each way on a reserved tag.
+  /// N-party: the collectives layer's dissemination barrier (all ranks
+  /// must be progressing concurrently — see coll::Communicator::wait).
   void barrier();
 
   [[nodiscard]] core::Session& session() noexcept { return *session_; }
   [[nodiscard]] core::GateId gate() const noexcept { return gate_; }
 
  private:
-  /// Tag space reserved for barrier tokens; user tags must stay below.
+  /// Tag of the two-party barrier token, at the very top of the reserved
+  /// space (above the collective tag windows).
   static constexpr core::Tag kBarrierTag = 0xffffffffu;
+  static_assert(kBarrierTag >= core::kReservedTagBase);
 
   core::Session* session_;
-  core::GateId gate_;
+  core::GateId gate_ = 0;
+  /// Set only for the N-party form (shared so copies stay cheap and agree
+  /// on collective instance counters).
+  std::shared_ptr<coll::Communicator> group_;
 };
 
 }  // namespace nmad::api

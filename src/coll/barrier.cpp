@@ -1,0 +1,43 @@
+#include "coll/barrier.hpp"
+
+#include <bit>
+
+namespace nmad::coll {
+
+BarrierOp::BarrierOp(Communicator& comm, core::Tag tag)
+    : CollOp(comm, Algo::kBarrier),
+      tag_(tag),
+      total_rounds_(comm.size() > 1 ? std::bit_width(comm.size() - 1) : 0) {
+  if (total_rounds_ == 0) {
+    finish(true);  // single rank: trivially synchronized
+    return;
+  }
+  post_round();
+}
+
+void BarrierOp::post_round() {
+  const std::size_t n = comm_->size();
+  const std::size_t dist = std::size_t{1} << round_;
+  const std::size_t to = (comm_->rank() + dist) % n;
+  const std::size_t from = (comm_->rank() + n - dist) % n;
+  comm_->metrics_.rounds.inc();
+  recv_ = post_recv(from, tag_, std::span<std::byte>(&token_, 0));
+  send_ = post_send(to, tag_, {});
+}
+
+bool BarrierOp::step() {
+  if (group_.any_failed()) {
+    finish(false);
+    return true;
+  }
+  if (!send_->done() || !recv_->done()) return false;
+  ++round_;
+  if (round_ == total_rounds_) {
+    finish(true);
+    return true;
+  }
+  post_round();
+  return true;
+}
+
+}  // namespace nmad::coll

@@ -1,0 +1,31 @@
+// Dissemination barrier: ceil(log2 N) rounds of zero-byte tokens. In round
+// k, rank r sends to (r + 2^k) mod N and receives from (r - 2^k) mod N;
+// after the last round every rank has (transitively) heard from every
+// other, so leaving the barrier proves all N ranks entered it. Unlike a
+// tree barrier there is no root and no fan-in hotspot — every round is one
+// send and one receive per rank.
+#pragma once
+
+#include <cstddef>
+
+#include "coll/communicator.hpp"
+
+namespace nmad::coll {
+
+class BarrierOp final : public CollOp {
+ public:
+  explicit BarrierOp(Communicator& comm, core::Tag tag);
+
+ private:
+  bool step() override;
+  void post_round();
+
+  core::Tag tag_;
+  std::size_t round_ = 0;
+  std::size_t total_rounds_;
+  core::SendHandle send_;
+  core::RecvHandle recv_;
+  std::byte token_{};
+};
+
+}  // namespace nmad::coll

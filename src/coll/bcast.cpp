@@ -1,0 +1,95 @@
+#include "coll/bcast.hpp"
+
+#include <bit>
+
+#include "util/panic.hpp"
+
+namespace nmad::coll {
+
+TreeShape binomial_tree(std::size_t rank, std::size_t root, std::size_t size) {
+  NMAD_ASSERT(size > 0 && rank < size && root < size, "bad tree parameters");
+  TreeShape shape;
+  shape.depth = size > 1 ? std::bit_width(size - 1) : 0;
+  const std::size_t vr = (rank + size - root) % size;
+  for (std::size_t mask = 1; mask < size; mask <<= 1) {
+    if (vr & mask) {
+      shape.parent = (vr - mask + root) % size;
+      break;
+    }
+    if (vr + mask < size) shape.children.push_back((vr + mask + root) % size);
+  }
+  return shape;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> segment_bounds(
+    std::size_t total, std::uint32_t segment_bytes, std::uint32_t elem_size) {
+  NMAD_ASSERT(elem_size > 0, "element size must be positive");
+  std::size_t seg = segment_bytes == 0 ? total : segment_bytes;
+  // Keep whole elements per segment: a combine must never see half an
+  // element. A segment carries at least one element.
+  seg = std::max<std::size_t>(seg - seg % elem_size, elem_size);
+  std::vector<std::pair<std::size_t, std::size_t>> bounds;
+  std::size_t off = 0;
+  do {
+    const std::size_t len = std::min(seg, total - off);
+    bounds.emplace_back(off, len);
+    off += len;
+  } while (off < total);
+  return bounds;
+}
+
+BcastOp::BcastOp(Communicator& comm, std::span<std::byte> buffer,
+                 std::size_t root, core::Tag tag, Algo algo)
+    : CollOp(comm, algo),
+      shape_(binomial_tree(comm.rank(), root, comm.size())),
+      tag_(tag) {
+  comm.metrics_.tree_depth.set(static_cast<std::int64_t>(shape_.depth));
+  for (auto [off, len] : segment_bounds(buffer.size(), comm.config().segment_bytes,
+                                        /*elem_size=*/1)) {
+    segs_.push_back(buffer.subspan(off, len));
+  }
+  // Tree edges this rank participates in (its "rounds" of the op).
+  comm.metrics_.rounds.inc(shape_.children.size() +
+                           (shape_.parent != TreeShape::kNoParent ? 1 : 0));
+  if (shape_.parent == TreeShape::kNoParent) {
+    // Root: every segment is ready — send them all, largest subtree first.
+    for (const auto& seg : segs_) {
+      for (auto child = shape_.children.rbegin(); child != shape_.children.rend();
+           ++child) {
+        (void)post_send(*child, tag_, seg);
+      }
+    }
+    next_forward_ = segs_.size();
+  } else {
+    // Interior/leaf: pre-post one receive per segment, in segment order.
+    for (const auto& seg : segs_) {
+      recvs_.push_back(post_recv(shape_.parent, tag_, seg));
+    }
+  }
+}
+
+bool BcastOp::step() {
+  if (group_.any_failed()) {
+    finish(false);
+    return true;
+  }
+  bool changed = false;
+  while (next_forward_ < segs_.size() && recvs_[next_forward_]->completed()) {
+    NMAD_ASSERT(recvs_[next_forward_]->received_len() ==
+                    segs_[next_forward_].size(),
+                "broadcast segment length mismatch");
+    for (auto child = shape_.children.rbegin(); child != shape_.children.rend();
+         ++child) {
+      (void)post_send(*child, tag_, segs_[next_forward_]);
+    }
+    ++next_forward_;
+    changed = true;
+  }
+  if (next_forward_ == segs_.size() && group_.all_settled()) {
+    finish(!group_.any_failed());
+    return true;
+  }
+  return changed;
+}
+
+}  // namespace nmad::coll

@@ -1,0 +1,67 @@
+// Binomial-tree broadcast (and the tree/segmentation vocabulary shared by
+// the tree-shaped collectives).
+//
+// The classic hypercube-style algorithm: rank `root` is the tree's rank 0
+// (ranks are rotated so any root works); a rank with virtual rank vr has
+// its parent at vr minus its lowest set bit, and its children at vr + 2^k
+// for each k below that bit. ceil(log2 N) levels, so the latency grows
+// logarithmically while every edge is an ordinary point-to-point message
+// that the installed strategy stripes across rails.
+//
+// Large payloads are segmented (CollConfig::segment_bytes): each segment is
+// an independent message, an interior rank forwards segment k to its
+// children as soon as it arrives — while segment k+1 is still in flight —
+// and segments must be forwarded in order because per-(gate, tag) matching
+// is ordinal.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "coll/communicator.hpp"
+
+namespace nmad::coll {
+
+/// This rank's place in the binomial tree rooted at `root`.
+struct TreeShape {
+  /// Actual rank of the parent; kNoParent at the root.
+  static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+  std::size_t parent = kNoParent;
+  /// Actual ranks of the children, in increasing-mask order (the
+  /// deterministic combine order of reductions; broadcast iterates it in
+  /// reverse so the largest subtree starts first).
+  std::vector<std::size_t> children;
+  /// Levels of the whole tree: ceil(log2(size)).
+  std::size_t depth = 0;
+};
+
+[[nodiscard]] TreeShape binomial_tree(std::size_t rank, std::size_t root,
+                                      std::size_t size);
+
+/// (offset, length) of each segment of a `total`-byte payload. Boundaries
+/// are multiples of elem_size; always at least one segment (possibly
+/// zero-length) so even empty messages synchronize the tree.
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> segment_bounds(
+    std::size_t total, std::uint32_t segment_bytes, std::uint32_t elem_size);
+
+class BcastOp final : public CollOp {
+ public:
+  BcastOp(Communicator& comm, std::span<std::byte> buffer, std::size_t root,
+          core::Tag tag, Algo algo);
+
+ private:
+  bool step() override;
+
+  TreeShape shape_;
+  core::Tag tag_;
+  std::vector<std::span<std::byte>> segs_;
+  /// Per-segment receive from the parent (empty at the root).
+  std::vector<core::RecvHandle> recvs_;
+  /// Next segment to forward to the children; segments must go out in
+  /// order (ordinal matching), so a straggler blocks later forwards.
+  std::size_t next_forward_ = 0;
+};
+
+}  // namespace nmad::coll

@@ -1,0 +1,133 @@
+#include "coll/reduce.hpp"
+
+#include <cstring>
+
+#include "util/panic.hpp"
+
+namespace nmad::coll {
+
+ReduceOp::ReduceOp(Communicator& comm, std::span<const std::byte> contrib,
+                   std::span<std::byte> result, std::size_t root,
+                   CombineFn combine, std::uint32_t elem_size, core::Tag tag,
+                   Algo algo)
+    : CollOp(comm, algo),
+      shape_(binomial_tree(comm.rank(), root, comm.size())),
+      tag_(tag),
+      combine_(combine) {
+  NMAD_ASSERT(combine_ != nullptr, "reduce needs a combine function");
+  NMAD_ASSERT(elem_size > 0 && contrib.size() % elem_size == 0,
+              "contribution is not a whole number of elements");
+  const bool is_root = shape_.parent == TreeShape::kNoParent;
+  NMAD_ASSERT(!is_root || result.size() == contrib.size(),
+              "root reduce needs a contribution-sized result buffer");
+  if (result.size() == contrib.size()) {
+    acc_ = result;  // caller-provided scratch (and the root's destination)
+  } else {
+    NMAD_ASSERT(result.empty(), "reduce result must be empty or full-sized");
+    acc_storage_.resize(contrib.size());
+    acc_ = acc_storage_;
+  }
+  if (!contrib.empty() && acc_.data() != contrib.data()) {
+    std::memcpy(acc_.data(), contrib.data(), contrib.size());
+  }
+
+  bounds_ = segment_bounds(contrib.size(), comm.config().segment_bytes, elem_size);
+  combined_.assign(bounds_.size(), 0);
+  comm.metrics_.tree_depth.set(static_cast<std::int64_t>(shape_.depth));
+  comm.metrics_.rounds.inc(shape_.children.size() + (is_root ? 0 : 1));
+
+  // One landing buffer per child, with every segment's receive pre-posted
+  // in segment order (ordinal matching).
+  child_buf_.resize(shape_.children.size());
+  child_recvs_.resize(shape_.children.size());
+  for (std::size_t c = 0; c < shape_.children.size(); ++c) {
+    child_buf_[c].resize(contrib.size());
+    std::span<std::byte> buf = child_buf_[c];
+    for (auto [off, len] : bounds_) {
+      child_recvs_[c].push_back(
+          post_recv(shape_.children[c], tag_, buf.subspan(off, len)));
+    }
+  }
+}
+
+bool ReduceOp::step() {
+  if (group_.any_failed()) {
+    finish(false);
+    return true;
+  }
+  bool changed = false;
+  // Fold in arrived child partials, always in child order per segment so
+  // the combine order is deterministic.
+  for (std::size_t s = 0; s < bounds_.size(); ++s) {
+    while (combined_[s] < shape_.children.size() &&
+           child_recvs_[combined_[s]][s]->completed()) {
+      const auto& recv = child_recvs_[combined_[s]][s];
+      NMAD_ASSERT(recv->received_len() == bounds_[s].second,
+                  "reduce segment length mismatch");
+      std::span<const std::byte> in(child_buf_[combined_[s]].data() +
+                                        bounds_[s].first,
+                                    bounds_[s].second);
+      combine_(in, acc_seg(s));
+      ++combined_[s];
+      changed = true;
+    }
+  }
+  // Forward fully-accumulated segments towards the root, in order.
+  while (next_up_ < bounds_.size() &&
+         combined_[next_up_] == shape_.children.size()) {
+    if (shape_.parent != TreeShape::kNoParent) {
+      (void)post_send(shape_.parent, tag_, acc_seg(next_up_));
+    }
+    ++next_up_;
+    changed = true;
+  }
+  if (next_up_ == bounds_.size() && group_.all_settled()) {
+    finish(!group_.any_failed());
+    return true;
+  }
+  return changed;
+}
+
+AllreduceOp::AllreduceOp(Communicator& comm, std::span<const std::byte> contrib,
+                         std::span<std::byte> result, CombineFn combine,
+                         std::uint32_t elem_size)
+    : CollOp(comm, Algo::kAllreduce), result_(result) {
+  NMAD_ASSERT(result.size() == contrib.size(),
+              "allreduce needs a contribution-sized result on every rank");
+  // Both phases draw their tags now, so every rank agrees on the streams
+  // no matter when its reduce phase finishes.
+  const core::Tag reduce_tag = comm.next_tag(Algo::kAllreduce, 0);
+  bcast_tag_ = comm.next_tag(Algo::kAllreduce, 1);
+  reduce_ = std::make_shared<ReduceOp>(comm, contrib, result, /*root=*/0,
+                                       combine, elem_size, reduce_tag,
+                                       Algo::kAllreduce);
+  reduce_->mark_subsidiary();
+}
+
+bool AllreduceOp::step() {
+  if (!bcast_) {
+    const bool changed = reduce_->try_advance();
+    if (!reduce_->done()) return changed;
+    if (reduce_->failed()) {
+      finish(false);
+      return true;
+    }
+    bcast_ = std::make_shared<BcastOp>(*comm_, result_, /*root=*/0, bcast_tag_,
+                                       Algo::kAllreduce);
+    bcast_->mark_subsidiary();
+    return true;
+  }
+  const bool changed = bcast_->try_advance();
+  if (bcast_->done()) {
+    finish(bcast_->completed());
+    return true;
+  }
+  return changed;
+}
+
+void AllreduceOp::on_abort() {
+  if (reduce_ && !reduce_->done()) reduce_->abort();
+  if (bcast_ && !bcast_->done()) bcast_->abort();
+}
+
+}  // namespace nmad::coll

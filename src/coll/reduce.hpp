@@ -1,0 +1,75 @@
+// Binomial-tree reduction and reduce+broadcast allreduce.
+//
+// Reduce inverts the broadcast tree: every rank seeds an accumulator with
+// its own contribution, combines each child's partial result as it arrives
+// (children in increasing-mask order — a fixed, documented combine order,
+// so results are deterministic for a given (size, root)), and forwards the
+// accumulated segment to its parent. Segmentation pipelines exactly like
+// broadcast, but upwards: segment k travels towards the root while the
+// children still compute segment k+1.
+//
+// Allreduce is the composition the paper's layering makes natural: a
+// reduction to rank 0 followed by a broadcast from rank 0, each phase on
+// its own per-instance tag stream. Every segment of both phases is a
+// normal point-to-point message, striped across rails by the strategy.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "coll/bcast.hpp"
+#include "coll/communicator.hpp"
+
+namespace nmad::coll {
+
+class ReduceOp final : public CollOp {
+ public:
+  ReduceOp(Communicator& comm, std::span<const std::byte> contrib,
+           std::span<std::byte> result, std::size_t root, CombineFn combine,
+           std::uint32_t elem_size, core::Tag tag, Algo algo);
+
+ private:
+  bool step() override;
+  [[nodiscard]] std::span<std::byte> acc_seg(std::size_t s) const {
+    return acc_.subspan(bounds_[s].first, bounds_[s].second);
+  }
+
+  TreeShape shape_;
+  core::Tag tag_;
+  CombineFn combine_;
+  /// Accumulator: the caller's result span when provided, else internal.
+  std::vector<std::byte> acc_storage_;
+  std::span<std::byte> acc_;
+  std::vector<std::pair<std::size_t, std::size_t>> bounds_;
+  /// Landing buffers for the children's partials, one full-size buffer per
+  /// child; child_recvs_[c][s] receives child c's segment s into it.
+  std::vector<std::vector<std::byte>> child_buf_;
+  std::vector<std::vector<core::RecvHandle>> child_recvs_;
+  /// Per segment: how many children have been combined in (in child
+  /// order — the deterministic combine order).
+  std::vector<std::size_t> combined_;
+  /// Next accumulated segment to send up (sends must be in order).
+  std::size_t next_up_ = 0;
+};
+
+class AllreduceOp final : public CollOp {
+ public:
+  AllreduceOp(Communicator& comm, std::span<const std::byte> contrib,
+              std::span<std::byte> result, CombineFn combine,
+              std::uint32_t elem_size);
+
+ private:
+  bool step() override;
+  void on_abort() override;
+
+  std::span<std::byte> result_;
+  core::Tag bcast_tag_;
+  std::shared_ptr<ReduceOp> reduce_;
+  /// Created when the reduce phase settles (rank 0 then owns the data).
+  std::shared_ptr<BcastOp> bcast_;
+};
+
+}  // namespace nmad::coll

@@ -91,4 +91,136 @@ PlatformConfig paper_platform(std::string strategy, strat::StrategyConfig cfg) {
   return config;
 }
 
+// --- MultiNodePlatform ------------------------------------------------------
+
+MultiNodePlatform::MultiNodePlatform(MultiNodeConfig config)
+    : config_(std::move(config)), world_(std::make_unique<drv::SimWorld>()) {
+  NMAD_ASSERT(config_.nodes >= 2, "multi-node platform needs >= 2 nodes");
+  if (config_.links.empty()) {
+    config_.links = {netmodel::myri10g(), netmodel::quadrics_qm500()};
+  }
+  const std::size_t n = config_.nodes;
+
+  std::vector<drv::NodeId> nodes;
+  nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) nodes.push_back(world_->add_node(config_.host));
+
+  std::uint64_t seed = config_.chaos_seed;
+  auto wrap = [&](drv::SimDriver* ep) -> drv::Driver* {
+    if (!config_.chaos) return ep;
+    wrappers_.push_back(
+        std::make_unique<drv::ChaosDriver>(*ep, seed++, *config_.chaos));
+    return wrappers_.back().get();
+  };
+
+  endpoint_.assign(n, std::vector<std::vector<drv::Driver*>>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      for (const auto& nic : config_.links) {
+        auto [ei, ej] = world_->add_link(nodes[i], nodes[j], nic);
+        endpoint_[i][j].push_back(wrap(ei));
+        endpoint_[j][i].push_back(wrap(ej));
+      }
+    }
+  }
+
+  drv::SimWorld* w = world_.get();
+  auto clock = [w] { return w->now(); };
+  auto defer = [w](std::function<void()> fn) {
+    w->engine().schedule(0, std::move(fn));
+  };
+  auto timer = [w](sim::TimeNs delay, std::function<void()> fn) {
+    w->engine().schedule(delay, std::move(fn));
+  };
+  // Serial progress: the chaos-aware drive loop. Session::wait's deadlock
+  // assertion fires if this returns with the predicate unmet.
+  auto progress = [this](const std::function<bool()>& pred) {
+    (void)run_until(pred);
+  };
+  sessions_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sessions_.push_back(std::make_unique<Session>("n" + std::to_string(i),
+                                                  clock, defer, progress, timer));
+  }
+
+  gate_.assign(n, std::vector<GateId>(n, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      gate_[i][j] = sessions_[i]->connect(endpoint_[i][j], config_.strategy,
+                                          config_.strat_cfg);
+    }
+  }
+
+  mode_ = resolve_progress_mode(config_.progress_mode);
+  if (mode_ == ProgressMode::kThreaded) {
+    const std::size_t threads = config_.progress_threads != 0
+                                    ? config_.progress_threads
+                                    : config_.links.size();
+    // The idle hook releases chaos-held frames from a progress thread
+    // (under the world mutex) whenever the engine drains, so a run can
+    // never stall below the scrambling window.
+    std::function<void()> idle;
+    if (config_.chaos) {
+      idle = [this] {
+        for (auto& wr : wrappers_) wr->flush();
+      };
+    }
+    for (auto& s : sessions_) {
+      s->start_threaded(w->progress_mutex(), &w->engine(), threads, idle);
+    }
+  }
+}
+
+MultiNodePlatform::~MultiNodePlatform() {
+  // Engine events cross sessions: every progress thread must stop before
+  // any session's scheduler is destroyed.
+  for (auto& s : sessions_) s->stop_threaded();
+  // Drain the chaos buffers while the sessions (the deliver upcall
+  // targets) are still alive; the wrappers' own destructor flush must
+  // find nothing left.
+  for (auto& wr : wrappers_) wr->flush();
+}
+
+bool MultiNodePlatform::run_until(const std::function<bool()>& pred) {
+  NMAD_ASSERT(mode_ == ProgressMode::kSerial,
+              "run_until drives the engine from the app thread (serial only)");
+  for (int round = 0; round < 1000; ++round) {
+    if (world_->engine().run_until(pred)) return true;
+    // Engine drained with the predicate unmet: frames may be parked below
+    // the chaos scrambling window. Release them and retry; if nothing was
+    // held and the engine is idle, the pattern is genuinely stuck.
+    if (!flush_chaos() && world_->engine().idle()) return false;
+  }
+  return false;
+}
+
+bool MultiNodePlatform::flush_chaos() {
+  bool any = false;
+  for (auto& wr : wrappers_) {
+    any |= wr->buffered() > 0;
+    wr->flush();
+  }
+  return any;
+}
+
+drv::ChaosDriver& MultiNodePlatform::chaos_endpoint(std::size_t node,
+                                                    std::size_t peer,
+                                                    std::size_t link) {
+  NMAD_ASSERT(config_.chaos.has_value(), "platform built without chaos");
+  // With chaos configured every endpoint was constructed as a wrapper.
+  return *static_cast<drv::ChaosDriver*>(endpoint_[node][peer][link]);
+}
+
+void MultiNodePlatform::kill_link(std::size_t i, std::size_t j, std::size_t link) {
+  chaos_endpoint(i, j, link).kill();
+  chaos_endpoint(j, i, link).kill();
+}
+
+void MultiNodePlatform::register_metrics(obs::MetricsRegistry& registry) {
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    sessions_[i]->register_metrics(registry, "n" + std::to_string(i) + ".");
+  }
+}
+
 }  // namespace nmad::core

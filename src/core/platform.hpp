@@ -2,16 +2,24 @@
 // two hosts, N heterogeneous NIC links between them, one Session per host,
 // and one gate per direction, all over one simulated world.
 //
-// This is the object benchmarks, tests and examples construct; it is
+// MultiNodePlatform generalizes it beyond the paper's testbed: N hosts in a
+// full mesh (one Session per host, one gate per peer, the same multi-rail
+// link set on every edge), optionally with every rail endpoint wrapped in a
+// ChaosDriver — the topology the collectives layer (src/coll/) runs on.
+//
+// These are the objects benchmarks, tests and examples construct; they are
 // equivalent to hand-assembling a SimWorld, drivers and Sessions.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/progress.hpp"
 #include "core/session.hpp"
+#include "drv/chaos_driver.hpp"
 #include "drv/sim_world.hpp"
 #include "netmodel/nic_profile.hpp"
 
@@ -88,6 +96,92 @@ class TwoNodePlatform {
 /// Opteron hosts, with the given strategy.
 PlatformConfig paper_platform(std::string strategy,
                               strat::StrategyConfig cfg = {});
+
+// --- N-node platform --------------------------------------------------------
+
+struct MultiNodeConfig {
+  /// Number of hosts; every pair is connected by `links`.
+  std::size_t nodes = 3;
+  netmodel::HostProfile host{};
+  /// NIC profiles of the rails on every edge. Empty = the paper's pair
+  /// (Myri-10G + Quadrics QM500).
+  std::vector<netmodel::NicProfile> links;
+  std::string strategy = "aggreg_greedy";
+  strat::StrategyConfig strat_cfg{};
+  /// See PlatformConfig::progress_mode.
+  ProgressMode progress_mode = ProgressMode::kDefault;
+  /// Progress threads per session in threaded mode; 0 = one per rail.
+  std::size_t progress_threads = 0;
+  /// When set, every rail endpoint is wrapped in a ChaosDriver with this
+  /// fault configuration (seeded from chaos_seed). The platform's progress
+  /// paths then flush the chaos windows on quiescence, exactly like the
+  /// two-party chaos tests.
+  std::optional<drv::ChaosConfig> chaos;
+  std::uint64_t chaos_seed = 1;
+};
+
+/// N sessions over one simulated world, fully meshed: session(i) owns one
+/// gate per peer, each bundling config.links rails on a dedicated physical
+/// link. Gate ids are exposed via gate(i, j); the flat per-peer vector
+/// gates_from(i) is the shape coll::Communicator consumes.
+class MultiNodePlatform {
+ public:
+  explicit MultiNodePlatform(MultiNodeConfig config);
+  ~MultiNodePlatform();
+  MultiNodePlatform(const MultiNodePlatform&) = delete;
+  MultiNodePlatform& operator=(const MultiNodePlatform&) = delete;
+
+  [[nodiscard]] std::size_t nodes() const noexcept { return config_.nodes; }
+  [[nodiscard]] Session& session(std::size_t i) noexcept { return *sessions_[i]; }
+  /// Node i's gate towards node j (i != j).
+  [[nodiscard]] GateId gate(std::size_t i, std::size_t j) const noexcept {
+    return gate_[i][j];
+  }
+  /// Peer-indexed gate vector for node i; entry [i] itself is unused.
+  [[nodiscard]] std::vector<GateId> gates_from(std::size_t i) const {
+    return gate_[i];
+  }
+
+  [[nodiscard]] drv::SimWorld& world() noexcept { return *world_; }
+  [[nodiscard]] sim::TimeNs now() const noexcept { return world_->now(); }
+  [[nodiscard]] const MultiNodeConfig& config() const noexcept { return config_; }
+  [[nodiscard]] ProgressMode progress_mode() const noexcept { return mode_; }
+
+  /// Serial mode only: drive the engine from the calling thread until
+  /// `pred` holds, flushing chaos windows whenever the engine drains.
+  /// Returns false on global quiescence with `pred` still unmet (the
+  /// communication pattern cannot complete — e.g. a peer's gate died).
+  bool run_until(const std::function<bool()>& pred);
+
+  /// Release every buffered chaos frame; returns true if any was held.
+  /// No-op (false) when chaos is not configured.
+  bool flush_chaos();
+
+  /// Chaos endpoint of node `node` on physical link `link` of edge
+  /// {node, peer}. Only valid when config().chaos is set.
+  [[nodiscard]] drv::ChaosDriver& chaos_endpoint(std::size_t node,
+                                                 std::size_t peer,
+                                                 std::size_t link);
+  /// Hard-kill both endpoints of one physical link of edge {i, j}.
+  void kill_link(std::size_t i, std::size_t j, std::size_t link);
+
+  /// Register every session's metrics under "n<i>." prefixes.
+  void register_metrics(obs::MetricsRegistry& registry);
+
+ private:
+  MultiNodeConfig config_;
+  ProgressMode mode_ = ProgressMode::kSerial;
+  std::unique_ptr<drv::SimWorld> world_;
+  /// Chaos wrappers (empty without chaos). Declared before sessions_ so
+  /// they outlive the schedulers their deliver upcalls target; the
+  /// destructor drains them while the sessions are still alive.
+  std::vector<std::unique_ptr<drv::ChaosDriver>> wrappers_;
+  /// endpoint_[i][j][link]: node i's driver on that link of edge {i, j}
+  /// (the chaos wrapper when chaos is configured).
+  std::vector<std::vector<std::vector<drv::Driver*>>> endpoint_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::vector<std::vector<GateId>> gate_;
+};
 
 /// `cfg` pinned to serial progression regardless of NMAD_PROGRESS_MODE.
 /// For tests and benches that assert serial determinism: exact aggregation

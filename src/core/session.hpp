@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "core/request_group.hpp"
 #include "core/scheduler.hpp"
 
 namespace nmad::sim {
@@ -139,6 +140,10 @@ class Session {
   void wait(const SendHandle& h);
   void wait(const RecvHandle& h);
   void wait_all(std::span<const SendHandle> sends, std::span<const RecvHandle> recvs);
+  /// Wait until every member of a (possibly multi-gate) group settles.
+  void wait_group(const RequestGroup& group) {
+    wait_all(group.sends(), group.recvs());
+  }
   [[nodiscard]] static bool test(const SendHandle& h) { return h->completed(); }
   [[nodiscard]] static bool test(const RecvHandle& h) { return h->completed(); }
 

@@ -30,6 +30,14 @@ struct ConstSegment {
   std::uint32_t msg_offset = 0;
 };
 
+/// First tag of the space reserved for library-internal protocols: the
+/// collectives layer (coll::Communicator) carves its per-instance tag
+/// streams out of [kReservedTagBase, 0xffffffff], and api::mpi_like's
+/// barrier token rides the very top of it. User-facing API layers must
+/// reject application tags at or above this value — a user message on a
+/// reserved tag would silently cross-match against protocol traffic.
+inline constexpr Tag kReservedTagBase = 0xffff0000u;
+
 /// Index of a rail within a gate.
 using RailIndex = std::uint32_t;
 

@@ -11,6 +11,12 @@
 // packet, and how a granted large message is split into chunks across
 // rails.
 //
+// Strategies are oblivious to where traffic comes from: the collectives
+// layer (src/coll/) deliberately emits every broadcast/reduce segment as an
+// ordinary point-to-point message, so collective traffic enters the same
+// backlog, is aggregated and rail-striped by the same policies, and needs
+// no special-casing here (tests/test_coll.cpp verifies this).
+//
 // Locking contract: strategies keep plain (non-atomic) state — backlogs,
 // windows, ratio samplers. The core scheduler consults them only with the
 // world progress mutex held (serial mode holds it implicitly by being

@@ -1,11 +1,15 @@
 // Tests of the MPI-flavored API layer.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "api/mpi_like.hpp"
 #include "core/platform.hpp"
+#include "util/panic.hpp"
 
 namespace {
 
@@ -98,6 +102,60 @@ TEST(MpiLike, NullRequestIsTriviallyComplete) {
   api::MpiRequest req;
   EXPECT_TRUE(req.test());
   req.wait();  // no-op, must not crash
+}
+
+TEST(MpiLike, RejectsTagsInReservedSpace) {
+  // Regression: user tags at or above kReservedTagBase would cross-match
+  // collective streams or the barrier token; both posting paths must
+  // reject them (and the largest user tag must still work).
+  CommFixture f;
+  std::vector<std::byte> buf(16);
+  util::set_panic_hook(+[](std::string_view msg) {
+    throw std::runtime_error(std::string(msg));
+  });
+  EXPECT_THROW((void)f.a.isend_bytes(buf, core::kReservedTagBase),
+               std::runtime_error);
+  EXPECT_THROW((void)f.b.irecv_bytes(buf, core::kReservedTagBase),
+               std::runtime_error);
+  EXPECT_THROW((void)f.a.isend_bytes(buf, 0xffffffffu), std::runtime_error);
+  util::set_panic_hook(nullptr);
+
+  auto recv = f.b.irecv_bytes(buf, core::kReservedTagBase - 1);
+  std::vector<std::byte> data(16, std::byte{0x5a});
+  f.a.send_bytes(data, core::kReservedTagBase - 1);
+  recv.wait();
+  EXPECT_EQ(buf, data);
+}
+
+TEST(MpiLike, NPartyBarrierSynchronizesAllRanks) {
+  // Four ranks, threaded progression, one app thread per rank blocking in
+  // barrier() — the generalized form of the two-party token exchange.
+  core::MultiNodeConfig cfg;
+  cfg.nodes = 4;
+  cfg.progress_mode = core::ProgressMode::kThreaded;
+  core::MultiNodePlatform platform(cfg);
+
+  std::vector<api::Communicator> comms;
+  comms.reserve(cfg.nodes);
+  for (std::size_t r = 0; r < cfg.nodes; ++r) {
+    comms.emplace_back(platform.session(r), platform.gates_from(r), r);
+    EXPECT_EQ(comms.back().size(), cfg.nodes);
+    EXPECT_EQ(comms.back().rank(), r);
+  }
+
+  for (int iteration = 0; iteration < 3; ++iteration) {
+    std::atomic<int> entered{0};
+    std::vector<std::thread> threads;
+    for (std::size_t r = 0; r < cfg.nodes; ++r) {
+      threads.emplace_back([&, r] {
+        entered.fetch_add(1);
+        comms[r].barrier();
+        // Nobody may leave before everybody entered.
+        EXPECT_EQ(entered.load(), static_cast<int>(cfg.nodes));
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
 }
 
 }  // namespace
