@@ -34,6 +34,8 @@ struct CheckRecord {
 };
 
 std::string g_report_name;
+std::string g_report_chaos = "none";
+long g_report_seed = 0;
 std::vector<ReportSeries> g_report_series;
 std::vector<CheckRecord> g_checks;
 
@@ -82,6 +84,15 @@ void write_report() {
   std::fprintf(f, "  \"metrics_enabled\": %s,\n",
                obs::kMetricsEnabled ? "true" : "false");
   std::fprintf(f, "  \"smoke\": %s,\n", smoke_mode() ? "true" : "false");
+  // The configuration stamp: which progress mode / chaos profile / seed
+  // produced this report. CI's trajectory comparison only diffs reports
+  // with matching meta blocks.
+  std::fprintf(f,
+               "  \"meta\": {\"progress_mode\": \"%s\", "
+               "\"chaos_profile\": \"%s\", \"seed\": %ld},\n",
+               core::to_string(
+                   core::resolve_progress_mode(core::ProgressMode::kDefault)),
+               json_escape(g_report_chaos).c_str(), g_report_seed);
   std::fprintf(f, "  \"series\": [");
   for (std::size_t i = 0; i < g_report_series.size(); ++i) {
     const ReportSeries& s = g_report_series[i];
@@ -128,6 +139,12 @@ bool smoke_mode() {
 }
 
 void set_report_name(std::string name) { g_report_name = std::move(name); }
+
+void set_report_chaos(std::string profile) {
+  g_report_chaos = std::move(profile);
+}
+
+void set_report_seed(long seed) { g_report_seed = seed; }
 
 void register_platform_metrics(obs::MetricsRegistry& registry,
                                core::TwoNodePlatform& p) {

@@ -85,6 +85,13 @@ bool check_less(const std::string& what, double measured, double bound);
 /// check verdict. CI's bench-smoke job gates on this file.
 void set_report_name(std::string name);
 
+/// Report configuration stamp, emitted as the JSON's top-level "meta" block
+/// (required by ci/check_bench_json.py): progress mode is stamped
+/// automatically from the resolved NMAD_PROGRESS_MODE; benches that run
+/// chaos profiles or seeded scenarios override the defaults ("none", 0).
+void set_report_chaos(std::string profile);
+void set_report_seed(long seed);
+
 /// Snapshot both sessions of `p` into the report as a values-free series
 /// (for benches that drive platforms by hand instead of via sweep_*).
 void record_metrics(const std::string& label, core::TwoNodePlatform& p);

@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "core/progress.hpp"
 #include "obs/metrics.hpp"
 #include "obs/registry.hpp"
 #include "proto/pool.hpp"
@@ -323,6 +324,13 @@ bool write_packet_path_report(const std::vector<PacketPathResult>& results) {
                obs::kMetricsEnabled ? "true" : "false");
   std::fprintf(f, "  \"smoke\": %s,\n",
                std::getenv("NMAD_BENCH_SMOKE") != nullptr ? "true" : "false");
+  // Configuration stamp required by ci/check_bench_json.py: this bench
+  // drives no platform, so chaos is always "none" and the seed fixed.
+  std::fprintf(f,
+               "  \"meta\": {\"progress_mode\": \"%s\", "
+               "\"chaos_profile\": \"none\", \"seed\": 0},\n",
+               core::to_string(
+                   core::resolve_progress_mode(core::ProgressMode::kDefault)));
   std::fprintf(f, "  \"packet_path\": [");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const PacketPathResult& r = results[i];

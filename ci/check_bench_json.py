@@ -7,6 +7,11 @@ which fails the build when:
 
   * the file is missing, unparsable, or was produced by a metrics-off
     build (metrics_enabled != true);
+  * the top-level "meta" block is missing or malformed: every report must
+    name the configuration that produced it — progress_mode (string),
+    chaos_profile (string, "none" when the bench injects no faults) and
+    seed (integer) — so trajectory comparisons never diff runs from
+    different configurations;
   * a series' per-rail metrics object lacks any of the required counters;
   * a rail copied more payload bytes than it sent (bytes_copied is charged
     only for the aggregation staging memcpy, which is always a subset of
@@ -85,6 +90,20 @@ def check_report(path):
         errors.append(f"{path}: metrics_enabled is not true "
                       "(bench built with NMAD_METRICS=OFF?)")
         return errors
+
+    meta = report.get("meta")
+    if not isinstance(meta, dict):
+        errors.append(f"{path}: missing top-level 'meta' block "
+                      "(progress_mode/chaos_profile/seed)")
+    else:
+        for key in ("progress_mode", "chaos_profile"):
+            value = meta.get(key)
+            if not isinstance(value, str) or not value:
+                errors.append(f"{path}: meta.{key}={value!r} must be a "
+                              "non-empty string")
+        seed = meta.get("seed")
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            errors.append(f"{path}: meta.seed={seed!r} must be an integer")
 
     total_rails = 0
     total_bytes = 0

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Diff bench JSON reports against committed baselines (bench trajectory).
+
+Every CI run emits BENCH_<name>.json reports (uploaded as artifacts); this
+script compares the gate-relevant value series of the current run against
+the baselines committed in bench/baselines/, and fails on regressions
+beyond tolerance. The simulator runs in virtual time with fixed seeds, so
+a series is reproducible across machines up to libm last-ulp noise — the
+tolerance absorbs that, and real regressions (a strategy suddenly striping
+worse, an estimator mis-converging) show up as deltas far beyond it.
+
+Rules:
+  * reports are matched to baselines by filename; a report with no
+    committed baseline is noted and passes (new benches land first, their
+    baseline follows in the next commit);
+  * a report whose meta block (progress_mode/chaos_profile/seed) or smoke
+    flag differs from the baseline's is skipped with a note — trajectories
+    are only meaningful between identical configurations;
+  * series are matched by label; metrics-only series (no values) are not
+    compared. A baseline series missing from the current report fails
+    (a silently dropped measurement is itself a regression);
+  * direction is inferred from the unit: MB/s-like units must not drop,
+    us-like units must not rise, anything else is compared two-sided;
+  * the worst per-point relative delta in the regressing direction is
+    compared against the tolerance (default 8%, --tolerance to override).
+
+A per-series delta table is printed to stdout and, when the
+GITHUB_STEP_SUMMARY environment variable is set, appended there as
+markdown for the job summary page.
+
+Usage: compare_bench_json.py [--baselines DIR] [--tolerance FRAC] \
+           BENCH_foo.json [BENCH_bar.json ...]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+HIGHER_IS_BETTER = ("mb/s", "gb/s", "packets/s", "msgs/s")
+LOWER_IS_BETTER = ("us", "µs", "ns", "ms", "s")
+
+
+def direction(unit):
+    """-1: value must not drop, +1: must not rise, 0: two-sided."""
+    u = unit.strip().lower()
+    if u in HIGHER_IS_BETTER:
+        return -1
+    if u in LOWER_IS_BETTER:
+        return +1
+    return 0
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def value_series(report):
+    """label -> (unit, values) for every compared (value-bearing) series."""
+    out = {}
+    for s in report.get("series", []):
+        values = s.get("values", [])
+        if values:
+            out[s.get("label", "<unlabeled>")] = (s.get("unit", ""), values)
+    return out
+
+
+def worst_delta(unit, base, cur):
+    """Worst per-point relative delta in the regressing direction.
+
+    Returns (worst, mean_signed): `worst` >= 0 grows only when a point
+    moved the wrong way; `mean_signed` is the average relative change for
+    the table (positive = current above baseline).
+    """
+    sense = direction(unit)
+    worst = 0.0
+    signed = []
+    for b, c in zip(base, cur):
+        if b == 0.0:
+            continue
+        rel = (c - b) / abs(b)
+        signed.append(rel)
+        if sense < 0:
+            worst = max(worst, -rel)  # drop in a higher-is-better series
+        elif sense > 0:
+            worst = max(worst, rel)  # rise in a lower-is-better series
+        else:
+            worst = max(worst, abs(rel))
+    mean = sum(signed) / len(signed) if signed else 0.0
+    return worst, mean
+
+
+def compare_report(path, baseline_dir, tolerance, rows):
+    name = os.path.basename(path)
+    base_path = os.path.join(baseline_dir, name)
+    try:
+        current = load(path)
+    except (OSError, ValueError) as exc:
+        return [f"{name}: cannot load current report: {exc}"]
+    if not os.path.exists(base_path):
+        rows.append((name, "-", "no baseline committed", "", "NOTE"))
+        return []
+    try:
+        baseline = load(base_path)
+    except (OSError, ValueError) as exc:
+        return [f"{name}: cannot load baseline: {exc}"]
+
+    if baseline.get("meta") != current.get("meta") or \
+            baseline.get("smoke") != current.get("smoke"):
+        rows.append((name, "-",
+                     f"config mismatch (baseline {baseline.get('meta')}, "
+                     f"current {current.get('meta')})", "", "SKIP"))
+        return []
+
+    errors = []
+    base_series = value_series(baseline)
+    cur_series = value_series(current)
+    for label, (unit, base_values) in sorted(base_series.items()):
+        if label not in cur_series:
+            errors.append(f"{name}: series '{label}' present in baseline "
+                          "but missing from the current report")
+            rows.append((name, label, "missing from current run", "", "FAIL"))
+            continue
+        cur_unit, cur_values = cur_series[label]
+        if len(cur_values) != len(base_values) or cur_unit != unit:
+            errors.append(
+                f"{name}: series '{label}' shape changed "
+                f"({len(base_values)} x {unit} -> {len(cur_values)} x "
+                f"{cur_unit}); refresh the baseline intentionally")
+            rows.append((name, label, "shape changed", "", "FAIL"))
+            continue
+        worst, mean = worst_delta(unit, base_values, cur_values)
+        status = "OK" if worst <= tolerance else "FAIL"
+        rows.append((name, label, f"{mean:+.2%} mean", f"{worst:.2%}", status))
+        if status == "FAIL":
+            errors.append(
+                f"{name}: series '{label}' regressed: worst per-point delta "
+                f"{worst:.2%} exceeds tolerance {tolerance:.0%} "
+                f"(unit {unit}, mean change {mean:+.2%})")
+    for label in sorted(set(cur_series) - set(base_series)):
+        rows.append((name, label, "new series (no baseline)", "", "NOTE"))
+    return errors
+
+
+def render_table(rows, markdown=False):
+    header = ("report", "series", "delta", "worst", "status")
+    if markdown:
+        lines = ["| " + " | ".join(header) + " |",
+                 "|" + "---|" * len(header)]
+        lines += ["| " + " | ".join(r) + " |" for r in rows]
+        return "\n".join(lines) + "\n"
+    widths = [max(len(str(r[i])) for r in rows + [header])
+              for i in range(len(header))]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+    lines += ["  ".join(str(c).ljust(w) for c, w in zip(r, widths))
+              for r in rows]
+    return "\n".join(lines) + "\n"
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="compare bench JSON reports against committed baselines")
+    parser.add_argument("--baselines", default="bench/baselines",
+                        help="directory of committed baseline reports")
+    parser.add_argument("--tolerance", type=float, default=0.08,
+                        help="worst per-point relative delta allowed")
+    parser.add_argument("reports", nargs="+")
+    args = parser.parse_args(argv[1:])
+
+    failures = []
+    rows = []
+    for path in args.reports:
+        failures.extend(compare_report(path, args.baselines, args.tolerance,
+                                       rows))
+
+    if rows:
+        print(render_table(rows), end="")
+        summary = os.environ.get("GITHUB_STEP_SUMMARY")
+        if summary:
+            with open(summary, "a", encoding="utf-8") as f:
+                f.write("## Bench trajectory vs committed baselines\n\n")
+                f.write(render_table(rows, markdown=True))
+                f.write("\n")
+    for msg in failures:
+        print(f"FAIL {msg}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -36,17 +36,25 @@ constexpr std::size_t kHeaderBlockCapacity = 2048;
 
 }  // namespace
 
+void Gate::AdaptiveMetrics::register_into(obs::MetricsRegistry& registry,
+                                          const std::string& prefix) const {
+  registry.add(prefix + "ratio_updates", &ratio_updates);
+  registry.add(prefix + "ratio_holds", &ratio_holds);
+}
+
 Gate::Gate(GateId id, std::vector<drv::Driver*> drivers,
            std::unique_ptr<strat::Strategy> strategy, strat::StrategyConfig config)
     : id_(id), strategy_(std::move(strategy)), config_(config),
       header_pool_(kHeaderBlockCapacity),
-      staging_pool_(config.aggregation_limit) {
+      staging_pool_(config.aggregation_limit),
+      estimator_(drivers.size(), config.adaptive) {
   NMAD_ASSERT(!drivers.empty(), "gate needs at least one rail");
   NMAD_ASSERT(strategy_ != nullptr, "gate needs a strategy");
   rails_.reserve(drivers.size());
   for (std::size_t i = 0; i < drivers.size(); ++i) {
     NMAD_ASSERT(drivers[i] != nullptr, "null driver in gate");
     rails_.emplace_back(*drivers[i], static_cast<RailIndex>(i));
+    rail_order_.push_back(static_cast<RailIndex>(i));
   }
 
   small_threshold_ = rails_[0].caps().max_small_packet;
@@ -92,6 +100,67 @@ void Gate::set_ratios(std::vector<double> weights) {
     w /= sum;
   }
   ratios_ = std::move(weights);
+  // These weights become the adaptive prior. Scale them into MB/s currency
+  // (against the summed nominal capability bandwidth) so they blend with
+  // the estimator's live MB/s figures; the overall scale cancels in the
+  // final normalization, only cross-rail proportions matter.
+  prior_ratios_ = ratios_;
+  double total_caps = 0.0;
+  for (const Rail& r : rails_) total_caps += r.caps().bandwidth_mbps;
+  prior_mbps_.resize(ratios_.size());
+  for (std::size_t i = 0; i < ratios_.size(); ++i) {
+    prior_mbps_[i] = prior_ratios_[i] * total_caps;
+    estimator_.publish_weight(static_cast<RailIndex>(i), ratios_[i]);
+  }
+}
+
+void Gate::maybe_refresh_ratios(sim::TimeNs now) {
+  const auto& cfg = config_.adaptive;
+  if (!cfg.enabled || failed_) return;
+  if (now - last_ratio_refresh_ < cfg.window_ns) return;
+  last_ratio_refresh_ = now;
+  auto derived = estimator_.derive_ratios(prior_mbps_, ratios_, now);
+  if (!derived.has_value()) {
+    adaptive_metrics.ratio_holds.inc();
+  } else {
+    ratios_ = std::move(*derived);
+    adaptive_metrics.ratio_updates.inc();
+    for (std::size_t i = 0; i < ratios_.size(); ++i) {
+      estimator_.publish_weight(static_cast<RailIndex>(i), ratios_[i]);
+    }
+  }
+  // Even on a hysteresis hold the *ordering* signals refresh: the pump's
+  // rail-offer order (greedy strategies drain fast rails first) and the
+  // fastest-rail pick for aggregated smalls follow the live estimates.
+  std::vector<double> rates(rails_.size());
+  for (std::size_t i = 0; i < rails_.size(); ++i) {
+    rates[i] =
+        estimator_.effective_rate(static_cast<RailIndex>(i), prior_mbps_[i], now);
+  }
+  std::stable_sort(rail_order_.begin(), rail_order_.end(),
+                   [&rates](RailIndex a, RailIndex b) {
+                     return rates[a] > rates[b];
+                   });
+
+  // Fastest rail (eager/aggregation target): blend the capability latency
+  // toward the measured rtt/2 by confidence. Without RTT samples (acks
+  // off) this degrades to the capability figure, exactly the static pick.
+  bool found = false;
+  double best = 0.0;
+  for (const Rail& r : rails_) {
+    if (!r.alive()) continue;
+    const double est_lat = estimator_.latency_us(r.index());
+    double lat = r.caps().latency_us;
+    if (est_lat > 0.0) {
+      const double c = estimator_.confidence(r.index(), now);
+      lat = (1.0 - c) * lat + c * est_lat;
+    }
+    if (!found || lat < best) {
+      best = lat;
+      fastest_rail_ = r.index();
+      found = true;
+    }
+  }
 }
 
 double Gate::ratio(RailIndex i) const {

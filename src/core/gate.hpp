@@ -20,6 +20,7 @@
 #include "obs/metrics.hpp"
 #include "proto/pool.hpp"
 #include "proto/reassembly.hpp"
+#include "strat/rate_estimator.hpp"
 #include "strat/strategy.hpp"
 
 namespace nmad::obs {
@@ -143,12 +144,40 @@ class Gate {
 
   // --- split ratios ---------------------------------------------------------
   /// Install per-rail bulk-bandwidth weights (from boot-time sampling).
-  /// Weights are normalized internally; they need not sum to 1.
+  /// Weights are normalized internally; they need not sum to 1. Under
+  /// adaptive striping these become the *prior* the live estimates blend
+  /// against, not the final word.
   void set_ratios(std::vector<double> weights);
   /// Normalized weight of rail `i` (defaults to driver capability
-  /// bandwidths when sampling has not run).
+  /// bandwidths when sampling has not run; re-derived online when
+  /// config().adaptive.enabled).
   [[nodiscard]] double ratio(RailIndex i) const;
   [[nodiscard]] const std::vector<double>& ratios() const noexcept { return ratios_; }
+
+  // --- adaptive striping ----------------------------------------------------
+  /// Live per-rail rate estimates (strat/rate_estimator.hpp). Always fed;
+  /// only consulted for ratios when config().adaptive.enabled.
+  [[nodiscard]] strat::RateEstimator& estimator() noexcept { return estimator_; }
+  /// Re-derive split ratios (and the pump's rail order) from the live
+  /// estimates if the optimization window elapsed. Called from the
+  /// scheduler's pump under the progress lock; no-op unless adaptive
+  /// striping is enabled.
+  void maybe_refresh_ratios(sim::TimeNs now);
+  /// Rails in pump-offer order: descending effective rate under adaptive
+  /// striping (greedy strategies drain the fast rails first), index order
+  /// otherwise.
+  [[nodiscard]] const std::vector<RailIndex>& rail_order() const noexcept {
+    return rail_order_;
+  }
+
+  /// Adaptive ratio-refresh outcomes (obs layer).
+  struct AdaptiveMetrics {
+    obs::Counter ratio_updates;  ///< re-derived ratios installed
+    obs::Counter ratio_holds;    ///< re-derivations skipped by hysteresis
+    void register_into(obs::MetricsRegistry& registry,
+                       const std::string& prefix) const;
+  };
+  AdaptiveMetrics adaptive_metrics;
 
  private:
   friend class Scheduler;
@@ -176,6 +205,13 @@ class Gate {
   std::uint32_t small_threshold_ = 0;
   RailIndex fastest_rail_ = 0;
   std::vector<double> ratios_;
+  /// Boot-time prior: the last set_ratios() weights, normalized, plus the
+  /// same vector scaled to MB/s currency for blending with live estimates.
+  std::vector<double> prior_ratios_;
+  std::vector<double> prior_mbps_;
+  std::vector<RailIndex> rail_order_;
+  strat::RateEstimator estimator_;
+  sim::TimeNs last_ratio_refresh_ = 0;
 
   // Send side.
   std::map<Tag, MsgSeq> next_send_seq_;

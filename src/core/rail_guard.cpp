@@ -6,6 +6,7 @@
 
 #include "obs/registry.hpp"
 #include "proto/wire.hpp"
+#include "strat/rate_estimator.hpp"
 #include "util/log.hpp"
 #include "util/panic.hpp"
 
@@ -77,9 +78,18 @@ void RailGuard::post(drv::SendDesc desc, std::vector<strat::Contribution> contri
 
   if (!cfg_.ack_enabled) {
     // Legacy semantics: contributions credit on local send completion and
-    // nothing is retained — the wire is trusted to be reliable.
+    // nothing is retained — the wire is trusted to be reliable. The local
+    // DMA completion doubles as a delivered-bytes sample for the rate
+    // estimator (PIO completions measure the host copy and are skipped).
+    const sim::TimeNs t0 = hooks_.now();
+    const std::uint64_t wire = desc.wire_size();
+    const drv::Track tr = desc.track;
     driver_->post_send(
-        std::move(desc), [this, contribs = std::move(contribs)] {
+        std::move(desc), [this, t0, wire, tr, contribs = std::move(contribs)] {
+          if (estimator_ != nullptr && tr == drv::Track::kLarge) {
+            const sim::TimeNs t1 = hooks_.now();
+            estimator_->note_transfer(index_, wire, t1 - t0, t1);
+          }
           hooks_.credit(contribs);
           hooks_.kick();
         });
@@ -91,7 +101,8 @@ void RailGuard::post(drv::SendDesc desc, std::vector<strat::Contribution> contri
   entry.track = desc.track;
   entry.desc = std::move(desc);
   entry.contribs = std::move(contribs);
-  entry.deadline = hooks_.now() + next_rto(0);
+  entry.posted_at = hooks_.now();
+  entry.deadline = entry.posted_at + next_rto(0);
   entry.in_flight = true;
   tx_.push_back(std::move(entry));
 
@@ -101,6 +112,13 @@ void RailGuard::post(drv::SendDesc desc, std::vector<strat::Contribution> contri
       if (it->seq != seq || it->track != track) continue;
       it->in_flight = false;
       it->locally_done = true;
+      if (estimator_ != nullptr && track == drv::Track::kLarge &&
+          it->retries == 0) {
+        // First-transmission DMA completion: a clean bandwidth sample.
+        const sim::TimeNs now = hooks_.now();
+        estimator_->note_transfer(index_, it->desc.wire_size(),
+                                  now - it->posted_at, now);
+      }
       if (it->acked) {
         const auto done = std::move(it->contribs);
         tx_.erase(it);
@@ -158,6 +176,7 @@ void RailGuard::handle_deadlines() {
   for (std::size_t i = 0; i < tx_.size(); ++i) {
     if (tx_[i].acked || tx_[i].deadline > now) continue;
     metrics.timeouts.inc();
+    if (estimator_ != nullptr) estimator_->note_timeout(index_, now);
     consecutive_timeouts_ += 1;
     tx_[i].retries += 1;
     if (tx_[i].retries > cfg_.max_retries) {
@@ -292,6 +311,12 @@ bool RailGuard::apply_ack(drv::Track track, std::uint32_t upto) {
     if (it->track == track && !it->acked && it->seq <= upto) {
       advanced = true;
       it->acked = true;
+      if (estimator_ != nullptr && it->retries == 0) {
+        // Karn's rule: only never-retransmitted frames yield an RTT — a
+        // retried frame's ack is ambiguous about which copy it answers.
+        const sim::TimeNs now = hooks_.now();
+        estimator_->note_rtt(index_, now - it->posted_at, now);
+      }
       if (it->locally_done) {
         const auto contribs = std::move(it->contribs);
         it = tx_.erase(it);
@@ -350,6 +375,7 @@ void RailGuard::transition(RailState next) {
   state_.store(next, std::memory_order_relaxed);
   metrics.state_transitions.inc();
   metrics.state.set(static_cast<std::int64_t>(next));
+  if (estimator_ != nullptr) estimator_->note_state(index_, next, hooks_.now());
   if (hooks_.on_state_change) hooks_.on_state_change(next);
 }
 

@@ -36,6 +36,10 @@ namespace nmad::obs {
 class MetricsRegistry;
 }  // namespace nmad::obs
 
+namespace nmad::strat {
+class RateEstimator;
+}  // namespace nmad::strat
+
 namespace nmad::core {
 
 /// Reliability counters for one rail. `state` mirrors the functional
@@ -102,6 +106,15 @@ class RailGuard {
   void init(drv::Driver& driver, RailIndex index, ReliabilityConfig cfg,
             Hooks hooks);
 
+  /// Feed the gate's rate estimator from this guard's observations:
+  /// DMA-frame (bytes, duration) on local completion, ack RTTs (skipping
+  /// retransmitted frames, Karn's rule), retransmit timeouts, and state
+  /// transitions. Installed by the scheduler right after init; null (the
+  /// default) disables the feed.
+  void set_estimator(strat::RateEstimator* estimator) noexcept {
+    estimator_ = estimator;
+  }
+
   /// Seal `desc` (sequence + piggybacked acks + CRC) and post it. The
   /// caller must have checked the driver's track idle. With acks enabled
   /// the original descriptor is retained for retransmission and a
@@ -148,6 +161,7 @@ class RailGuard {
     drv::Track track = drv::Track::kSmall;
     drv::SendDesc desc;  ///< original, owning descriptor
     std::vector<strat::Contribution> contribs;
+    sim::TimeNs posted_at = 0;  ///< first post time (RTT / bandwidth samples)
     sim::TimeNs deadline = 0;
     std::uint32_t retries = 0;
     bool locally_done = false;  ///< driver reported local completion
@@ -182,6 +196,7 @@ class RailGuard {
   RailIndex index_ = 0;
   ReliabilityConfig cfg_;
   Hooks hooks_;
+  strat::RateEstimator* estimator_ = nullptr;
   util::Xoshiro256 jitter_{0};
 
   /// Atomic so any thread may ask alive()/healthy() (the state gauge used

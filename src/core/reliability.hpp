@@ -63,4 +63,39 @@ struct ReliabilityConfig {
   std::uint64_t jitter_seed = 0x9e3779b9;
 };
 
+/// Online adaptive-striping knobs (consumed by strat/rate_estimator and the
+/// gate's ratio-refresh logic). Kept in this leaf header next to
+/// ReliabilityConfig so StrategyConfig can embed both without cycles.
+///
+/// With `enabled = false` (the default) the estimator still ingests samples
+/// — a handful of relaxed atomic stores per completion — but split ratios
+/// stay frozen at their boot-time values, preserving the paper's v3
+/// behavior exactly.
+struct AdaptiveConfig {
+  bool enabled = false;
+  /// EWMA smoothing factor applied per sample (0 < alpha <= 1).
+  double ewma_alpha = 0.25;
+  /// Estimate confidence halves for every such period without a sample.
+  sim::TimeNs confidence_halflife_ns = 20'000'000;
+  /// Minimum spacing between two ratio re-derivations (the adaptive
+  /// optimization window).
+  sim::TimeNs window_ns = 500'000;
+  /// Skip installing re-derived ratios unless some rail's normalized
+  /// weight moved by more than this — hysteresis against ratio thrash.
+  double hysteresis = 0.03;
+  /// Weight multiplier for a rail the guard holds in `suspect`: its
+  /// recovery probes keep flowing but new stripes mostly avoid it.
+  double suspect_penalty = 0.25;
+  /// A recovered rail ramps linearly from suspect_penalty back to full
+  /// weight over this long, instead of snapping back.
+  sim::TimeNs recovery_ramp_ns = 5'000'000;
+  /// Floor on any live rail's normalized weight, so slow rails keep
+  /// carrying probe traffic and the estimator never starves of samples.
+  double min_weight = 0.05;
+  /// Each retransmit timeout multiplies the rail's confidence and EWMA
+  /// bandwidth by this: a silent rail sheds weight *before* the guard's
+  /// state machine declares it suspect or dead.
+  double timeout_penalty = 0.5;
+};
+
 }  // namespace nmad::core

@@ -84,6 +84,7 @@ GateId Scheduler::add_gate(std::vector<drv::Driver*> rails,
       }
     };
     rail.guard.init(rail.driver(), idx, config.reliability, std::move(hooks));
+    rail.guard.set_estimator(&g.estimator());
     rail.driver().set_deliver(
         [this, id, idx](drv::Track track, std::span<const std::byte> frame) {
           gate(id).rail(idx).guard.on_frame(track, frame);
@@ -109,6 +110,7 @@ void Scheduler::register_metrics(obs::MetricsRegistry& registry,
         prefix + "gate" + std::to_string(g.id()) + ".";
     registry.label(gate_prefix + "strategy", std::string(g.strategy().name()));
     g.strategy().metrics().register_into(registry, gate_prefix + "strat.");
+    g.adaptive_metrics.register_into(registry, gate_prefix + "adaptive.");
     g.header_pool().register_into(registry, gate_prefix + "pool.header_");
     g.staging_pool().register_into(registry, gate_prefix + "pool.staging_");
     for (Rail& rail : g.rails()) {
@@ -117,6 +119,8 @@ void Scheduler::register_metrics(obs::MetricsRegistry& registry,
       registry.label(rail_prefix + "nic", rail.caps().name);
       rail.metrics.register_into(registry, rail_prefix);
       rail.guard.metrics.register_into(registry, rail_prefix);
+      g.estimator().register_rail_into(registry, rail.index(),
+                                       rail_prefix + "est.");
       rail.driver().register_metrics(registry, rail_prefix + "drv.");
     }
   }
@@ -296,6 +300,10 @@ bool Scheduler::pump_once(Gate& gate) {
   if (gate.failed_) return false;
   bool progress = false;
 
+  // Adaptive striping: re-derive split ratios / rail order from the live
+  // estimates once per optimization window (no-op unless enabled).
+  gate.maybe_refresh_ratios(now_());
+
   // Reliability upkeep first: due retransmissions and owed standalone acks
   // (the guards post directly and account through the note_post hook).
   for (Rail& rail : gate.rails()) {
@@ -326,7 +334,11 @@ bool Scheduler::pump_once(Gate& gate) {
 
   // Just-in-time strategy packing: offer every healthy idle track to the
   // strategy (suspect rails keep retransmitting but take no new work).
-  for (Rail& rail : gate.rails()) {
+  // Offer order follows gate.rail_order(): index order normally, live
+  // estimated-rate order under adaptive striping — the greedy strategies'
+  // kAnyRail backlog drains onto the fastest rail first.
+  for (RailIndex ri : gate.rail_order()) {
+    Rail& rail = gate.rail(ri);
     if (!rail.healthy()) continue;
     for (drv::Track track : {drv::Track::kSmall, drv::Track::kLarge}) {
       while (rail.healthy() && rail.idle(track)) {

@@ -43,6 +43,10 @@ class SimDriver final : public Driver {
   [[nodiscard]] const netmodel::NicProfile& profile() const noexcept { return profile_; }
   [[nodiscard]] NodeId node() const noexcept { return node_; }
   [[nodiscard]] SimDriver* peer() const noexcept { return peer_; }
+  /// The FairShareNet constraint this endpoint's outgoing DMA flows cross
+  /// (its direction of the NIC link). Exposed so scenario players
+  /// (sim/net_scenario.hpp) can shape or congest a specific rail.
+  [[nodiscard]] sim::ConstraintId tx_link() const noexcept { return tx_link_; }
 
   // --- statistics (reported by benches, asserted by tests) ---------------
   struct Stats {

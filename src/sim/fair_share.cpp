@@ -26,6 +26,14 @@ double FairShareNet::capacity(ConstraintId id) const {
   return capacities_[id.value];
 }
 
+void FairShareNet::set_capacity(ConstraintId id, double capacity_mbps) {
+  NMAD_ASSERT(id.value < capacities_.size(), "bad constraint id");
+  NMAD_ASSERT(capacity_mbps > 0.0, "constraint capacity must be positive");
+  advance_to_now();
+  capacities_[id.value] = capacity_mbps;
+  recompute();
+}
+
 FlowId FairShareNet::start_flow(std::uint64_t bytes,
                                 const std::vector<ConstraintId>& constraints,
                                 Engine::Callback on_done) {

@@ -47,6 +47,12 @@ class FairShareNet {
   /// Capacity lookup (for reporting / tests).
   [[nodiscard]] double capacity(ConstraintId id) const;
 
+  /// Change a constraint's capacity at the current virtual time (the
+  /// time-varying network profiles of sim/net_scenario.hpp). Flow progress
+  /// is settled at the old rates first, then every rate is re-derived —
+  /// in-flight transfers simply speed up or slow down from now on.
+  void set_capacity(ConstraintId id, double capacity_mbps);
+
   /// Start a fluid flow of `bytes` across `constraints`. `on_done` fires on
   /// the engine when the last byte has moved. Every active flow always gets
   /// a positive rate (max-min fairness never starves a flow).

@@ -1,0 +1,92 @@
+#include "sim/net_scenario.hpp"
+
+#include <algorithm>
+
+#include "util/panic.hpp"
+
+namespace nmad::sim {
+
+std::vector<CapacityPhase> profile_static() { return {}; }
+
+std::vector<CapacityPhase> profile_step(TimeNs at, double scale) {
+  return {{at, scale}};
+}
+
+std::vector<CapacityPhase> profile_drift(TimeNs start, TimeNs end, double from,
+                                         double to, int steps) {
+  NMAD_ASSERT(steps > 0, "drift needs at least one step");
+  NMAD_ASSERT(end > start, "drift interval must be forward in time");
+  std::vector<CapacityPhase> phases;
+  phases.reserve(static_cast<std::size_t>(steps));
+  for (int i = 1; i <= steps; ++i) {
+    const double frac = static_cast<double>(i) / static_cast<double>(steps);
+    CapacityPhase phase;
+    phase.at = start + static_cast<TimeNs>(
+                           static_cast<double>(end - start) * frac);
+    phase.scale = from + (to - from) * frac;
+    phases.push_back(phase);
+  }
+  return phases;
+}
+
+std::vector<CapacityPhase> profile_degrade_recover(TimeNs degrade_at,
+                                                   TimeNs recover_at,
+                                                   double scale) {
+  NMAD_ASSERT(recover_at > degrade_at, "recovery must follow degradation");
+  return {{degrade_at, scale}, {recover_at, 1.0}};
+}
+
+void NetScenario::shape_link(ConstraintId link, double nominal_mbps,
+                             const std::vector<CapacityPhase>& phases) {
+  NMAD_ASSERT(nominal_mbps > 0.0, "nominal capacity must be positive");
+  for (const CapacityPhase& phase : phases) {
+    NMAD_ASSERT(phase.scale > 0.0,
+                "zero-capacity phases are not representable (see header)");
+    const double capacity = nominal_mbps * phase.scale;
+    engine_.schedule_at(std::max(phase.at, engine_.now()),
+                        [this, link, capacity] {
+                          net_.set_capacity(link, capacity);
+                        });
+  }
+}
+
+void NetScenario::add_cross_traffic(ConstraintId constraint,
+                                    double offered_mbps,
+                                    std::uint64_t chunk_bytes, TimeNs start,
+                                    TimeNs stop, std::uint64_t seed) {
+  NMAD_ASSERT(offered_mbps > 0.0, "offered load must be positive");
+  NMAD_ASSERT(chunk_bytes > 0, "cross-traffic chunks must carry bytes");
+  NMAD_ASSERT(stop > start, "cross-traffic window must be forward in time");
+  CrossTraffic ct;
+  ct.constraint = constraint;
+  ct.chunk_bytes = chunk_bytes;
+  // One chunk every chunk_bytes / offered_mbps: bytes * 1000 / mbps => ns.
+  ct.period = std::max<TimeNs>(
+      static_cast<TimeNs>(static_cast<double>(chunk_bytes) * 1000.0 /
+                          offered_mbps),
+      1);
+  ct.stop = stop;
+  const std::size_t idx = cross_.size();
+  cross_.push_back(ct);
+  // Stagger the first injection by a seed-derived phase so different runs
+  // shift relative to the foreground traffic (deterministic per seed).
+  // Small consecutive seeds are spread across the whole period by the
+  // golden-ratio multiplier (Fibonacci hashing).
+  const std::uint64_t mixed = seed * 0x9e3779b97f4a7c15ull;
+  const TimeNs first =
+      start + static_cast<TimeNs>(mixed % static_cast<std::uint64_t>(ct.period));
+  engine_.schedule_at(std::max(first, engine_.now()),
+                      [this, idx] { inject_cross(idx); });
+}
+
+void NetScenario::inject_cross(std::size_t idx) {
+  const CrossTraffic& ct = cross_[idx];
+  // Fire-and-forget background flow: nobody waits on its completion.
+  net_.start_flow(ct.chunk_bytes, {ct.constraint}, Engine::Callback{});
+  const TimeNs next = engine_.now() + ct.period;
+  if (next < ct.stop) {
+    engine_.schedule_at(next, [this, idx] { inject_cross(idx); });
+  }
+}
+
+}  // namespace nmad::sim

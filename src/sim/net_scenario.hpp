@@ -1,0 +1,84 @@
+// NetScenario: time-varying network conditions for the adaptive-striping
+// scenario family — shaped link capacities (piecewise-constant multipliers
+// of a nominal capacity) and periodic background cross-traffic, all driven
+// by engine events so serial runs stay bit-reproducible.
+//
+// The profile factories cover the four shapes the adaptive-striping bench
+// sweeps: a clean baseline (static), an abrupt loss of capacity (step), a
+// gradual decline (drift, modeled as many small steps), and a transient
+// outage that heals (degrade_recover). Asymmetric degradation is simply a
+// step/drift applied to one rail's link while the others stay shaped flat.
+//
+// Lifetime: scheduled callbacks capture `this`; the scenario must outlive
+// every engine run it has armed events for (benches keep it on the stack
+// next to the platform, destroyed before it in reverse declaration order —
+// which is safe because nothing runs the engine after the measurement).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/fair_share.hpp"
+
+namespace nmad::sim {
+
+/// One point of a piecewise-constant capacity profile: at virtual time
+/// `at`, the shaped constraint's capacity becomes `scale` x nominal.
+struct CapacityPhase {
+  TimeNs at = 0;
+  double scale = 1.0;
+};
+
+/// No change: the shaped link stays at nominal capacity.
+std::vector<CapacityPhase> profile_static();
+/// Abrupt step to `scale` x nominal at time `at`.
+std::vector<CapacityPhase> profile_step(TimeNs at, double scale);
+/// Linear drift from `from` to `to` x nominal between `start` and `end`,
+/// discretized into `steps` equal steps.
+std::vector<CapacityPhase> profile_drift(TimeNs start, TimeNs end, double from,
+                                         double to, int steps = 16);
+/// Step down to `scale` at `degrade_at`, back to nominal at `recover_at`.
+std::vector<CapacityPhase> profile_degrade_recover(TimeNs degrade_at,
+                                                   TimeNs recover_at,
+                                                   double scale);
+
+class NetScenario {
+ public:
+  NetScenario(Engine& engine, FairShareNet& net) : engine_(engine), net_(net) {}
+  NetScenario(const NetScenario&) = delete;
+  NetScenario& operator=(const NetScenario&) = delete;
+
+  /// Capacity of `link` follows `phases` as multiples of `nominal_mbps`
+  /// (phases must have positive scales; zero-capacity constraints are not
+  /// representable in the fluid model — model an outage as a deep step
+  /// plus the reliability layer's timeouts).
+  void shape_link(ConstraintId link, double nominal_mbps,
+                  const std::vector<CapacityPhase>& phases);
+
+  /// Offered background load crossing `constraint`: one `chunk_bytes` flow
+  /// injected every chunk_bytes/offered_mbps, from `start` until `stop`.
+  /// `seed` staggers the injection phase so independent runs (the nightly
+  /// bench's seeds) shift relative to the foreground traffic.
+  void add_cross_traffic(ConstraintId constraint, double offered_mbps,
+                         std::uint64_t chunk_bytes, TimeNs start, TimeNs stop,
+                         std::uint64_t seed = 0);
+
+ private:
+  struct CrossTraffic {
+    ConstraintId constraint;
+    std::uint64_t chunk_bytes = 0;
+    TimeNs period = 0;
+    TimeNs stop = 0;
+  };
+
+  void inject_cross(std::size_t idx);
+
+  Engine& engine_;
+  FairShareNet& net_;
+  /// deque: inject_cross captures indices; entries must not relocate.
+  std::deque<CrossTraffic> cross_;
+};
+
+}  // namespace nmad::sim

@@ -70,7 +70,11 @@ class StrategySplitBalance final : public StrategySplitBase {
  protected:
   [[nodiscard]] double rail_weight(core::Gate& gate,
                                    core::RailIndex rail) const override {
-    return gate.ratio(rail);  // sampling-derived (or capability default)
+    // Boot-time sampling (or capability default) — re-derived online from
+    // the gate's live rate estimates when adaptive striping is enabled
+    // (gate.maybe_refresh_ratios). Read under the world progress lock,
+    // per the strategy locking contract.
+    return gate.ratio(rail);
   }
 };
 

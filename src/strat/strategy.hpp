@@ -165,6 +165,10 @@ struct StrategyConfig {
   /// Per-rail reliability layer (sequencing, ack/retransmit, failover) —
   /// see core/reliability.hpp. Acks are off by default.
   core::ReliabilityConfig reliability;
+  /// Online adaptive striping (core/reliability.hpp): re-derive the gate's
+  /// split ratios each optimization window from live rail-rate estimates.
+  /// Off by default — boot-time ratios stay frozen, the paper's v3.
+  core::AdaptiveConfig adaptive;
 };
 
 /// Instantiate a built-in strategy by name. Known names:
