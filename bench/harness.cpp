@@ -36,6 +36,7 @@ struct CheckRecord {
 std::string g_report_name;
 std::string g_report_chaos = "none";
 long g_report_seed = 0;
+double g_report_compare_tolerance = -1.0;  // < 0: not set, omit the block
 std::vector<ReportSeries> g_report_series;
 std::vector<CheckRecord> g_checks;
 
@@ -93,6 +94,10 @@ void write_report() {
                core::to_string(
                    core::resolve_progress_mode(core::ProgressMode::kDefault)),
                json_escape(g_report_chaos).c_str(), g_report_seed);
+  if (g_report_compare_tolerance >= 0.0) {
+    std::fprintf(f, "  \"compare\": {\"tolerance\": %.6g},\n",
+                 g_report_compare_tolerance);
+  }
   std::fprintf(f, "  \"series\": [");
   for (std::size_t i = 0; i < g_report_series.size(); ++i) {
     const ReportSeries& s = g_report_series[i];
@@ -145,6 +150,10 @@ void set_report_chaos(std::string profile) {
 }
 
 void set_report_seed(long seed) { g_report_seed = seed; }
+
+void set_report_compare_tolerance(double tolerance) {
+  g_report_compare_tolerance = tolerance;
+}
 
 void register_platform_metrics(obs::MetricsRegistry& registry,
                                core::TwoNodePlatform& p) {

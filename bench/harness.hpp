@@ -92,6 +92,15 @@ void set_report_name(std::string name);
 void set_report_chaos(std::string profile);
 void set_report_seed(long seed);
 
+/// Per-report trajectory tolerance, emitted as the JSON's top-level
+/// "compare" block. ci/compare_bench_json.py reads it from the *committed
+/// baseline* and uses it instead of its --tolerance default for this
+/// report. Benches that measure real (wall-clock) time — where rates are
+/// machine-dependent — set a loose value so the trajectory gate only
+/// catches collapses, not host-to-host variance; virtual-time benches
+/// should not call this and inherit the tight default.
+void set_report_compare_tolerance(double tolerance);
+
 /// Snapshot both sessions of `p` into the report as a values-free series
 /// (for benches that drive platforms by hand instead of via sweep_*).
 void record_metrics(const std::string& label, core::TwoNodePlatform& p);

@@ -22,7 +22,12 @@ Rules:
   * direction is inferred from the unit: MB/s-like units must not drop,
     us-like units must not rise, anything else is compared two-sided;
   * the worst per-point relative delta in the regressing direction is
-    compared against the tolerance (default 8%, --tolerance to override).
+    compared against the tolerance (default 8%, --tolerance to override);
+  * a baseline carrying a top-level {"compare": {"tolerance": X}} block
+    overrides the tolerance for that report only — real-time benches
+    (mt_message_rate) stamp a loose value so their machine-dependent rate
+    series only gate on collapses; their exact-count invariants live in
+    the bench's own "gate:" checks, which check_bench_json.py enforces.
 
 A per-series delta table is printed to stdout and, when the
 GITHUB_STEP_SUMMARY environment variable is set, appended there as
@@ -112,6 +117,15 @@ def compare_report(path, baseline_dir, tolerance, rows):
                      f"config mismatch (baseline {baseline.get('meta')}, "
                      f"current {current.get('meta')})", "", "SKIP"))
         return []
+
+    # Per-report override: the *baseline* (the committed, reviewed file)
+    # owns the tolerance, so a regressing run cannot loosen its own gate.
+    compare = baseline.get("compare")
+    if isinstance(compare, dict):
+        override = compare.get("tolerance")
+        if isinstance(override, (int, float)) and not isinstance(override, bool) \
+                and override >= 0:
+            tolerance = float(override)
 
     errors = []
     base_series = value_series(baseline)

@@ -71,8 +71,12 @@ TwoNodePlatform::TwoNodePlatform(PlatformConfig config)
     const std::size_t threads = config_.progress_threads != 0
                                     ? config_.progress_threads
                                     : config_.links.size();
-    session_a_->start_threaded(w->progress_mutex(), &w->engine(), threads);
-    session_b_->start_threaded(w->progress_mutex(), &w->engine(), threads);
+    session_a_->start_threaded(w->progress_mutex(), &w->engine(), threads,
+                               nullptr, nullptr, config_.submit_ring_capacity,
+                               config_.completion_ring_capacity);
+    session_b_->start_threaded(w->progress_mutex(), &w->engine(), threads,
+                               nullptr, nullptr, config_.submit_ring_capacity,
+                               config_.completion_ring_capacity);
   }
 }
 
@@ -167,7 +171,9 @@ MultiNodePlatform::MultiNodePlatform(MultiNodeConfig config)
       };
     }
     for (auto& s : sessions_) {
-      s->start_threaded(w->progress_mutex(), &w->engine(), threads, idle);
+      s->start_threaded(w->progress_mutex(), &w->engine(), threads, idle,
+                        nullptr, config_.submit_ring_capacity,
+                        config_.completion_ring_capacity);
     }
   }
 }

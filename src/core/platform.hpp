@@ -50,6 +50,12 @@ struct PlatformConfig {
   ProgressMode progress_mode = ProgressMode::kDefault;
   /// Progress threads per session in threaded mode; 0 = one per rail.
   std::size_t progress_threads = 0;
+  /// Per-thread submission/completion ring capacities in threaded mode;
+  /// 0 = NMAD_SUBMIT_RING_CAP / NMAD_COMPLETION_RING_CAP, else the engine
+  /// defaults. Benches that inject bursts larger than the default ring
+  /// size raise these instead of spinning on backpressure.
+  std::size_t submit_ring_capacity = 0;
+  std::size_t completion_ring_capacity = 0;
 };
 
 class TwoNodePlatform {
@@ -112,6 +118,9 @@ struct MultiNodeConfig {
   ProgressMode progress_mode = ProgressMode::kDefault;
   /// Progress threads per session in threaded mode; 0 = one per rail.
   std::size_t progress_threads = 0;
+  /// See PlatformConfig::submit_ring_capacity / completion_ring_capacity.
+  std::size_t submit_ring_capacity = 0;
+  std::size_t completion_ring_capacity = 0;
   /// When set, every rail endpoint is wrapped in a ChaosDriver with this
   /// fault configuration (seeded from chaos_seed). The platform's progress
   /// paths then flush the chaos windows on quiescence, exactly like the

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/registry.hpp"
 #include "sim/engine.hpp"
 #include "util/log.hpp"
 #include "util/panic.hpp"
@@ -13,17 +14,34 @@ namespace nmad::core {
 
 namespace {
 
-/// Escalating backoff for spin loops: stay hot for a few rounds, then
-/// yield, then sleep — progress latency matters less than not burning a
-/// core once the world has gone quiet.
-void backoff(std::uint32_t round) {
-  if (round < 16) return;
-  if (round < 64) {
-    std::this_thread::yield();
-    return;
-  }
-  std::this_thread::sleep_for(std::chrono::microseconds(50));
+/// Monotonic engine identity — never reused, so a thread-local cache entry
+/// for a destroyed engine can never alias a live one (even if the new
+/// engine reuses the old one's heap address).
+std::atomic<std::uint64_t> g_engine_ids{1};
+
+/// Process-wide submitting-thread identity (std::thread::id is not usable
+/// as a cheap map key across implementations).
+std::atomic<std::uint64_t> g_thread_ids{1};
+
+std::uint64_t this_thread_id() {
+  thread_local std::uint64_t id = 0;
+  if (id == 0) id = g_thread_ids.fetch_add(1, std::memory_order_relaxed);
+  return id;
 }
+
+/// Thread-local memo of this thread's lane slot per engine: the fast path
+/// of submit()/pop_completion() resolves the lane without touching the
+/// engine's registration mutex. Misses (cold thread, evicted entry) fall
+/// back to the authoritative map, which always returns the SAME slot for
+/// the same thread — an eviction can never split one thread's stream
+/// across two lanes.
+struct LaneCacheEntry {
+  std::uint64_t engine_id = 0;  ///< 0 = empty
+  std::uint32_t slot = 0;
+};
+constexpr std::size_t kLaneCacheSize = 8;
+thread_local std::array<LaneCacheEntry, kLaneCacheSize> tls_lane_cache{};
+thread_local std::uint32_t tls_lane_cache_clock = 0;
 
 }  // namespace
 
@@ -42,6 +60,19 @@ ProgressMode resolve_progress_mode(ProgressMode requested) {
   return env == ProgressMode::kDefault ? ProgressMode::kSerial : env;
 }
 
+std::size_t ring_capacity_from_env(const char* var, std::size_t fallback) {
+  const char* v = std::getenv(var);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0' || parsed == 0) {
+    NMAD_LOG_WARN("core", "%s=%s not a positive integer, using %zu", var, v,
+                  fallback);
+    return fallback;
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
 const char* to_string(ProgressMode mode) {
   switch (mode) {
     case ProgressMode::kDefault:
@@ -58,18 +89,13 @@ ProgressEngine::ProgressEngine(Scheduler& scheduler, Config config, Hooks hooks)
     : scheduler_(scheduler),
       cfg_(config),
       hooks_(std::move(hooks)),
-      submission_(cfg_.submission_capacity),
-      completion_(cfg_.completion_capacity) {
+      engine_id_(g_engine_ids.fetch_add(1, std::memory_order_relaxed)) {
   NMAD_ASSERT(hooks_.lock != nullptr, "ProgressEngine needs a progress mutex");
   NMAD_ASSERT(cfg_.threads >= 1, "ProgressEngine needs at least one thread");
-  // Fired on a progress thread under the world lock; the push is the
-  // SPSC producer side, serialized across threads by that same lock.
-  scheduler_.set_completion_hook([this](const CompletionEvent& ev) {
-    CompletionEvent copy = ev;
-    if (!completion_.try_push(std::move(copy))) {
-      completions_dropped_.fetch_add(1, std::memory_order_relaxed);
-    }
-  });
+  // Fired on a progress thread under the world lock; that lock serializes
+  // the progress threads into one logical producer per completion ring.
+  scheduler_.set_completion_hook(
+      [this](const CompletionEvent& ev) { deliver_completion(ev); });
   threads_.reserve(cfg_.threads);
   for (std::size_t i = 0; i < cfg_.threads; ++i) {
     threads_.emplace_back([this, i] { thread_main(i); });
@@ -89,43 +115,194 @@ void ProgressEngine::stop() {
   threads_.clear();
 }
 
-void ProgressEngine::push_submission(SubmitOp op) {
+std::uint32_t ProgressEngine::caller_slot() {
+  for (const LaneCacheEntry& e : tls_lane_cache) {
+    if (e.engine_id == engine_id_) return e.slot;
+  }
+  const std::uint64_t tid = this_thread_id();
+  std::uint32_t slot;
+  {
+    std::lock_guard<std::mutex> lock(lanes_mu_);
+    auto it = slot_by_thread_.find(tid);
+    if (it != slot_by_thread_.end()) {
+      slot = it->second;
+    } else {
+      slot = lane_count_.load(std::memory_order_relaxed);
+      NMAD_ASSERT(slot < kMaxSubmitLanes,
+                  "too many submitting threads for one progress engine "
+                  "(kMaxSubmitLanes)");
+      lanes_[slot] = std::make_unique<ThreadLane>(cfg_.submission_capacity,
+                                                  cfg_.completion_capacity);
+      slot_by_thread_.emplace(tid, slot);
+      // Release-publish the lane AFTER its construction so progress
+      // threads that acquire lane_count_ see a fully built ThreadLane.
+      lane_count_.store(slot + 1, std::memory_order_release);
+    }
+  }
+  // Memoize: prefer an empty cache entry, else evict round-robin.
+  for (LaneCacheEntry& e : tls_lane_cache) {
+    if (e.engine_id == 0) {
+      e = LaneCacheEntry{engine_id_, slot};
+      return slot;
+    }
+  }
+  tls_lane_cache[tls_lane_cache_clock++ % kLaneCacheSize] =
+      LaneCacheEntry{engine_id_, slot};
+  return slot;
+}
+
+void ProgressEngine::push_submission(ThreadLane& lane, SubmitOp op) {
   // Backpressure: the ring is bounded, so a submission burst faster than
   // the progression can drain simply slows the application thread down to
-  // the drain rate. try_push does not consume `op` on failure.
-  std::uint32_t round = 0;
-  while (!submission_.try_push(std::move(op))) {
-    if (round == 0) {
-      submission_backpressure_.fetch_add(1, std::memory_order_relaxed);
-    }
-    backoff(++round);
-  }
+  // the drain rate. Lossless — spins forever rather than dropping.
+  const bool pushed = spsc_push_backoff(
+      lane.submission, std::move(op), ~std::uint64_t{0}, [this] {
+        submission_stalls_.fetch_add(1, std::memory_order_relaxed);
+      });
+  NMAD_ASSERT(pushed, "unbounded submission push returned");
 }
 
 void ProgressEngine::submit(SendHandle h) {
+  const std::uint32_t slot = caller_slot();
+  h->note_submit_lane(slot);
   SubmitOp op;
   op.send = std::move(h);
-  push_submission(std::move(op));
+  push_submission(*lanes_[slot], std::move(op));
 }
 
 void ProgressEngine::submit(RecvHandle h) {
+  const std::uint32_t slot = caller_slot();
+  h->note_submit_lane(slot);
   SubmitOp op;
   op.recv = std::move(h);
-  push_submission(std::move(op));
+  push_submission(*lanes_[slot], std::move(op));
 }
 
 bool ProgressEngine::drain_submissions() {
-  SubmitOp op;
   bool any = false;
-  while (submission_.try_pop(op)) {
-    if (op.send != nullptr) {
-      scheduler_.submit_send(std::move(op.send));
-    } else if (op.recv != nullptr) {
-      scheduler_.submit_recv(std::move(op.recv));
+  const std::uint32_t n = lane_count_.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ThreadLane& lane = *lanes_[i];
+    SubmitOp op;
+    for (std::size_t k = 0; k < cfg_.drain_chunk; ++k) {
+      // Account the op as in flight BEFORE popping: between the pop (ring
+      // now empty) and submit (engine now busy) the wait() watchdog would
+      // otherwise sample the world as quiet — and a drain thread starved
+      // right here for stall_timeout_ms would turn that into a spurious
+      // deadlock panic. The increment is sequenced before the pop's head
+      // release-store, so a waiter that observes the empty ring also
+      // observes the in-flight count.
+      inflight_submissions_.fetch_add(1, std::memory_order_relaxed);
+      if (!lane.submission.try_pop(op)) {
+        inflight_submissions_.fetch_sub(1, std::memory_order_release);
+        break;
+      }
+      if (op.send != nullptr) {
+        scheduler_.submit_send(std::move(op.send));
+      } else if (op.recv != nullptr) {
+        scheduler_.submit_recv(std::move(op.recv));
+      }
+      inflight_submissions_.fetch_sub(1, std::memory_order_release);
+      any = true;
     }
-    any = true;
   }
   return any;
+}
+
+void ProgressEngine::flush_submissions() {
+  std::lock_guard<std::mutex> lock(*hooks_.lock);
+  // Loop until one full round-robin pass over all lanes moves nothing:
+  // everything pushed before the call is then in the scheduler. Requests
+  // racing in concurrently may land in a later pass or stay queued.
+  while (drain_submissions()) {
+  }
+}
+
+void ProgressEngine::deliver_completion(const CompletionEvent& ev) {
+  completions_enqueued_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint32_t lanes = lane_count_.load(std::memory_order_acquire);
+  if (ev.lane == kNoSubmitLane || ev.lane >= lanes) {
+    std::lock_guard<std::mutex> lock(fallback_mu_);
+    fallback_.push_back(ev);
+    fallback_nonempty_.store(true, std::memory_order_release);
+    return;
+  }
+  ThreadLane& lane = *lanes_[ev.lane];
+  {
+    // While the overflow is non-empty, the ring must not be fed — the
+    // consumer drains ring-before-overflow, so a ring push here would
+    // deliver this event ahead of older spilled ones.
+    std::lock_guard<std::mutex> lock(lane.overflow_mu);
+    if (!lane.overflow.empty()) {
+      completion_overflows_.fetch_add(1, std::memory_order_relaxed);
+      lane.overflow.push_back(ev);
+      return;
+    }
+  }
+  CompletionEvent copy = ev;
+  const bool pushed = spsc_push_backoff(
+      lane.completion, std::move(copy), cfg_.completion_spin_rounds, [this] {
+        completion_stalls_.fetch_add(1, std::memory_order_relaxed);
+      });
+  if (pushed) return;
+  // Bounded spin exhausted: the submitting thread is not draining its
+  // ring. Spill losslessly — the producer holds the world mutex and must
+  // never block indefinitely on the application.
+  completion_overflows_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(lane.overflow_mu);
+  lane.overflow.push_back(std::move(copy));
+  lane.overflow_nonempty.store(true, std::memory_order_release);
+}
+
+bool ProgressEngine::pop_completion(CompletionEvent& out) {
+  const std::uint32_t slot = caller_slot();
+  ThreadLane& lane = *lanes_[slot];
+  // Ring before overflow: ring entries are always older (the producer
+  // stops feeding the ring once the lane has spilled).
+  if (lane.completion.try_pop(out)) return true;
+  if (lane.overflow_nonempty.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(lane.overflow_mu);
+    if (!lane.overflow.empty()) {
+      out = std::move(lane.overflow.front());
+      lane.overflow.pop_front();
+      if (lane.overflow.empty()) {
+        lane.overflow_nonempty.store(false, std::memory_order_release);
+      }
+      return true;
+    }
+  }
+  if (fallback_nonempty_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(fallback_mu_);
+    if (!fallback_.empty()) {
+      out = std::move(fallback_.front());
+      fallback_.pop_front();
+      if (fallback_.empty()) {
+        fallback_nonempty_.store(false, std::memory_order_release);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ProgressEngine::submissions_idle() const {
+  const std::uint32_t n = lane_count_.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (!lanes_[i]->submission.empty()) return false;
+  }
+  // Checked after the rings: an op popped but not yet in the scheduler is
+  // still pending work (see drain_submissions). The acquire pairs with the
+  // drain's release decrement, so count==0 implies the submit's engine
+  // events are visible to a subsequent engine->idle() sample.
+  return inflight_submissions_.load(std::memory_order_acquire) == 0;
+}
+
+void ProgressEngine::register_metrics(obs::MetricsRegistry& registry,
+                                      const std::string& prefix) {
+  registry.add(prefix + "submit.stalls", &submission_stalls_);
+  registry.add(prefix + "ring.stalls", &completion_stalls_);
+  registry.add(prefix + "ring.overflows", &completion_overflows_);
+  registry.add(prefix + "completions", &completions_enqueued_);
 }
 
 void ProgressEngine::thread_main(std::size_t rail) {
@@ -147,7 +324,7 @@ void ProgressEngine::thread_main(std::size_t rail) {
     if (progressed) {
       idle_rounds = 0;
     } else {
-      backoff(++idle_rounds);
+      ring_backoff(++idle_rounds);
     }
   }
 }
@@ -158,14 +335,14 @@ void ProgressEngine::wait(const std::function<bool()>& pred) {
   bool quiet = false;
   std::uint32_t round = 0;
   while (!pred()) {
-    backoff(++round);
+    ring_backoff(++round);
     if (cfg_.stall_timeout_ms == 0) continue;
     // Deadlock watchdog: "quiet" must hold CONTINUOUSLY for the timeout —
-    // a progress thread can be mid-callback with the queue momentarily
+    // a progress thread can be mid-callback with the queues momentarily
     // empty, so one quiet sample proves nothing.
     const bool is_quiet =
         (hooks_.engine == nullptr || hooks_.engine->idle()) &&
-        submission_.empty();
+        submissions_idle();
     if (!is_quiet) {
       quiet = false;
       continue;

@@ -440,14 +440,14 @@ void Scheduler::notify_send_settled(const SendRequest& req, sim::TimeNs t) {
   if (!completion_hook_) return;
   completion_hook_(CompletionEvent{CompletionEvent::Kind::kSend, req.gate(),
                                    req.tag(), req.seq(), req.total_len(), t,
-                                   req.failed()});
+                                   req.failed(), req.submit_lane()});
 }
 
 void Scheduler::notify_recv_settled(const RecvRequest& req, sim::TimeNs t) {
   if (!completion_hook_) return;
   completion_hook_(CompletionEvent{CompletionEvent::Kind::kRecv, req.gate(),
                                    req.tag(), req.seq(), req.received_len(), t,
-                                   req.failed()});
+                                   req.failed(), req.submit_lane()});
 }
 
 void Scheduler::credit_contribs(Gate& /*gate*/,

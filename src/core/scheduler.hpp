@@ -56,14 +56,18 @@ struct RequestMetrics {
 
 /// A request settled (completed or failed). Fired by the scheduler on the
 /// progression engine, immediately after the request's state store, in
-/// settlement order. The threaded progression engine forwards these into
-/// its completion ring so the application can observe cross-request
-/// ordering without locks. Ordering contract: *matching* within one
-/// (gate, tag) stream always follows seq order (the k-th recv gets the
-/// k-th message), but *settlement* reorders whenever transfers genuinely
-/// finish out of order — a small eager message overtakes an earlier
-/// rendezvous transfer, or multi-rail chunks land at different times.
-/// Only single-rail traffic on one track settles strictly in seq order.
+/// settlement order. The threaded progression engine routes these into the
+/// submitting thread's completion ring so the application can observe
+/// cross-request ordering without locks. Ordering contract: *matching*
+/// within one (gate, tag) stream always follows seq order (the k-th recv
+/// gets the k-th message), but *settlement* reorders whenever transfers
+/// genuinely finish out of order — a small eager message overtakes an
+/// earlier rendezvous transfer, or multi-rail chunks land at different
+/// times. Only single-rail traffic on one track settles strictly in seq
+/// order. In the many-thread path each thread observes the events for ITS
+/// OWN requests in settlement order (its lane ring is FIFO); no order is
+/// defined between events delivered to different threads — see
+/// docs/ARCHITECTURE.md "Many-thread submission".
 struct CompletionEvent {
   enum class Kind : std::uint8_t { kSend, kRecv };
   Kind kind = Kind::kSend;
@@ -73,6 +77,9 @@ struct CompletionEvent {
   std::uint32_t bytes = 0;  ///< message payload length
   sim::TimeNs time = 0;     ///< settlement timestamp (clock fn)
   bool failed = false;      ///< settled by failure, not completion
+  /// Submitting thread's engine lane (kNoSubmitLane for requests submitted
+  /// outside the threaded engine) — the completion routing key.
+  SubmitLane lane = kNoSubmitLane;
 };
 
 class Scheduler {

@@ -45,10 +45,21 @@ Session::~Session() = default;
 
 void Session::start_threaded(std::mutex& world_mutex, sim::Engine* engine,
                              std::size_t threads, std::function<void()> idle,
-                             std::function<bool(std::size_t)> poll) {
+                             std::function<bool(std::size_t)> poll,
+                             std::size_t submit_ring_capacity,
+                             std::size_t completion_ring_capacity) {
   NMAD_ASSERT(progress_engine_ == nullptr, "session already threaded");
   ProgressEngine::Config cfg;
   cfg.threads = threads == 0 ? 1 : threads;
+  cfg.submission_capacity = submit_ring_capacity != 0
+                                ? submit_ring_capacity
+                                : ring_capacity_from_env("NMAD_SUBMIT_RING_CAP",
+                                                         cfg.submission_capacity);
+  cfg.completion_capacity =
+      completion_ring_capacity != 0
+          ? completion_ring_capacity
+          : ring_capacity_from_env("NMAD_COMPLETION_RING_CAP",
+                                   cfg.completion_capacity);
   ProgressEngine::Hooks hooks;
   hooks.lock = &world_mutex;
   hooks.engine = engine;
@@ -72,6 +83,9 @@ void Session::flush_submissions() {
 void Session::register_metrics(obs::MetricsRegistry& registry, std::string prefix) {
   if (prefix.empty()) prefix = name_ + ".";
   scheduler_.register_metrics(registry, prefix);
+  if (progress_engine_ != nullptr) {
+    progress_engine_->register_metrics(registry, prefix + "progress.");
+  }
 }
 
 GateId Session::connect(std::vector<drv::Driver*> rails,

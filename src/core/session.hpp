@@ -83,36 +83,56 @@ class Session {
   [[nodiscard]] Scheduler& scheduler() noexcept { return scheduler_; }
 
   // --- threaded progression (core/progress.hpp) ---------------------------
-  /// Switch this session to threaded progression: isend/irecv route through
-  /// a lock-free submission ring and `threads` progress threads (one per
-  /// rail) drive the scheduler under `world_mutex`. Call after every
-  /// connect(); all sessions sharing `engine` must be stop_threaded()'d
-  /// before any of them is destroyed (engine events cross sessions).
-  /// `engine` may be null for real drivers — then `poll` does the work.
-  /// `idle` runs under the lock when a progress round moves nothing.
+  /// Switch this session to threaded progression: each submitting app
+  /// thread gets its own lock-free submission/completion ring pair and
+  /// `threads` progress threads (one per rail) drive the scheduler under
+  /// `world_mutex`. Call after every connect(); all sessions sharing
+  /// `engine` must be stop_threaded()'d before any of them is destroyed
+  /// (engine events cross sessions). `engine` may be null for real
+  /// drivers — then `poll` does the work. `idle` runs under the lock when
+  /// a progress round moves nothing. `submit_ring_capacity` /
+  /// `completion_ring_capacity` size each per-thread ring; 0 follows
+  /// NMAD_SUBMIT_RING_CAP / NMAD_COMPLETION_RING_CAP, else the engine
+  /// defaults (1024 / 4096).
   void start_threaded(std::mutex& world_mutex, sim::Engine* engine,
                       std::size_t threads,
                       std::function<void()> idle = nullptr,
-                      std::function<bool(std::size_t)> poll = nullptr);
+                      std::function<bool(std::size_t)> poll = nullptr,
+                      std::size_t submit_ring_capacity = 0,
+                      std::size_t completion_ring_capacity = 0);
   /// Join the progress threads and fall back to serial entry points.
   void stop_threaded();
   [[nodiscard]] bool threaded() const noexcept {
     return progress_engine_ != nullptr;
   }
-  /// The live engine in threaded mode (completion ring, drop counters);
-  /// null in serial mode.
+  /// The live engine in threaded mode (per-thread completion rings,
+  /// backpressure counters); null in serial mode.
   [[nodiscard]] ProgressEngine* progress_engine() noexcept {
     return progress_engine_.get();
   }
   /// Burst scope: in threaded mode, blocks the progress threads while the
   /// returned lock is held so a series of isend/irecv calls lands in one
   /// strategy optimization window (the serial semantics). Returns an empty
-  /// (lock-free) guard in serial mode. Never wait() while holding it.
+  /// (lock-free) guard in serial mode.
+  ///
+  /// The lock is the WORLD progress mutex, shared by every session of the
+  /// world: a burst taken on session A also freezes session B's drain (and
+  /// the whole sim engine), and two app threads taking "bursts on
+  /// different sessions" simply serialize — the second blocks until the
+  /// first releases; their windows never overlap and never deadlock
+  /// (single lock). OTHER threads may keep submitting on any session while
+  /// a burst is held: pushes are lock-free and land in the frozen window,
+  /// bounded per thread by the per-lane ring capacity (beyond it the
+  /// submitter spins until the burst ends). Never wait() while holding a
+  /// burst — the engine cannot run.
   [[nodiscard]] std::unique_lock<std::mutex> submission_burst();
-  /// Threaded mode: block until every isend/irecv issued before this call
-  /// has been drained into the scheduler (e.g. so receives are matchable
-  /// before a peer's sends are released). No-op in serial mode, where
-  /// submission is synchronous.
+  /// Threaded mode: block until every isend/irecv issued — by any thread,
+  /// on this session — before this call has been drained into the
+  /// scheduler (e.g. so receives are matchable before a peer's sends are
+  /// released). Takes the world mutex, so it blocks while any burst is
+  /// held (do not call it from a thread holding one). Submissions racing
+  /// in concurrently with the call may or may not be included. No-op in
+  /// serial mode, where submission is synchronous.
   void flush_submissions();
 
   /// Create a gate towards a peer over the given rails, with a strategy

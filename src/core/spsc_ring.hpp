@@ -22,8 +22,10 @@
 
 #include <atomic>
 #include <bit>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -33,6 +35,19 @@ namespace nmad::core {
 /// constant varies with -mtune (gcc warns about ABI instability) and 64 is
 /// right for every target we build on.
 inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Escalating backoff for ring spin loops: stay hot for a few rounds, then
+/// yield, then sleep — latency matters less than not burning a core once
+/// the peer side has gone quiet. Shared by every full-ring / idle spin in
+/// the threaded progression engine so backpressure behaves uniformly.
+inline void ring_backoff(std::uint32_t round) {
+  if (round < 16) return;
+  if (round < 64) {
+    std::this_thread::yield();
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(50));
+}
 
 template <typename T>
 class SpscRing {
@@ -94,5 +109,25 @@ class SpscRing {
   alignas(kCacheLineSize) std::atomic<std::uint64_t> tail_{0};
   std::uint64_t cached_head_ = 0;
 };
+
+/// Bounded-blocking push: spin with ring_backoff() until the ring accepts
+/// `value` or `max_rounds` backoff rounds elapse. `on_first_stall` runs
+/// exactly once, on the first failed fast-path attempt — the hook the
+/// progression engine uses to count backpressure events. Returns false
+/// (with `value` intact, try_push does not consume on failure) only after
+/// the round budget is exhausted; pass a huge budget for an effectively
+/// unbounded, lossless push.
+template <typename T, typename OnStall>
+bool spsc_push_backoff(SpscRing<T>& ring, T&& value, std::uint64_t max_rounds,
+                       OnStall&& on_first_stall) {
+  if (ring.try_push(std::move(value))) return true;
+  on_first_stall();
+  for (std::uint64_t round = 1; round <= max_rounds; ++round) {
+    ring_backoff(static_cast<std::uint32_t>(
+        round > 0xffffffffu ? 0xffffffffu : round));
+    if (ring.try_push(std::move(value))) return true;
+  }
+  return false;
+}
 
 }  // namespace nmad::core

@@ -146,6 +146,7 @@ std::string dump_json(const Snapshot& snapshot, int indent) {
 
 void MetricsRegistry::check_fresh(const std::string& name) const {
   const bool taken = counters_.contains(name) || raw_counters_.contains(name) ||
+                     atomic_counters_.contains(name) ||
                      gauges_.contains(name) || histograms_.contains(name) ||
                      labels_.contains(name);
   NMAD_ASSERT(!taken, "duplicate metric name registered");
@@ -175,6 +176,13 @@ void MetricsRegistry::add_raw(std::string name, const std::uint64_t* cell) {
   raw_counters_.emplace(std::move(name), cell);
 }
 
+void MetricsRegistry::add(std::string name,
+                          const std::atomic<std::uint64_t>* cell) {
+  NMAD_ASSERT(cell != nullptr, "null atomic counter registered");
+  check_fresh(name);
+  atomic_counters_.emplace(std::move(name), cell);
+}
+
 void MetricsRegistry::label(std::string name, std::string value) {
   check_fresh(name);
   labels_.emplace(std::move(name), std::move(value));
@@ -184,6 +192,9 @@ Snapshot MetricsRegistry::snapshot() const {
   Snapshot s;
   for (const auto& [name, c] : counters_) s.counters[name] = c->value();
   for (const auto& [name, cell] : raw_counters_) s.counters[name] = *cell;
+  for (const auto& [name, cell] : atomic_counters_) {
+    s.counters[name] = cell->load(std::memory_order_relaxed);
+  }
   for (const auto& [name, g] : gauges_) {
     s.gauges[name] = GaugeData{g->value(), g->high_water()};
   }
@@ -203,8 +214,8 @@ std::string MetricsRegistry::dump_json(int indent) const {
 }
 
 std::size_t MetricsRegistry::size() const noexcept {
-  return counters_.size() + raw_counters_.size() + gauges_.size() +
-         histograms_.size() + labels_.size();
+  return counters_.size() + raw_counters_.size() + atomic_counters_.size() +
+         gauges_.size() + histograms_.size() + labels_.size();
 }
 
 }  // namespace nmad::obs

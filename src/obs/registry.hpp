@@ -14,6 +14,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -68,6 +69,10 @@ class MetricsRegistry {
   void add(std::string name, const Histogram* histogram);
   /// Register a plain uint64 cell (pre-obs driver stats) as a counter.
   void add_raw(std::string name, const std::uint64_t* cell);
+  /// Register a ground-truth atomic counter (progression-engine
+  /// backpressure cells, which must stay live — and registrable — even
+  /// when obs::Counter is compiled out with NMAD_METRICS=OFF).
+  void add(std::string name, const std::atomic<std::uint64_t>* cell);
   /// Attach a string annotation (copied immediately, no lifetime coupling).
   void label(std::string name, std::string value);
 
@@ -80,6 +85,7 @@ class MetricsRegistry {
 
   std::map<std::string, const Counter*> counters_;
   std::map<std::string, const std::uint64_t*> raw_counters_;
+  std::map<std::string, const std::atomic<std::uint64_t>*> atomic_counters_;
   std::map<std::string, const Gauge*> gauges_;
   std::map<std::string, const Histogram*> histograms_;
   std::map<std::string, std::string> labels_;
