@@ -119,6 +119,79 @@ double run_profile(const Profile& profile, bool adaptive, int waves,
   return mbps;
 }
 
+/// Flapping-link recovery: after a calibration window, the Myri a->b link
+/// flaps between nominal and a deep trough four times, then recovers for
+/// good. The fluid model cannot represent zero capacity (an outage proper
+/// is the reliability layer's job, tests/test_chaos.cpp), so a flap here
+/// is a 10x capacity collapse — enough to invert the boot-time ratios
+/// during every down window. The gate: once the link has recovered and the
+/// estimator re-converged, striped bandwidth must be back within 10% of
+/// the pre-flap baseline — a recovered rail rejoins the stripe set at full
+/// weight, with no residual down-weighting left over from the flaps.
+void run_flap_recovery(int waves, std::uint64_t seed) {
+  strat::StrategyConfig scfg;
+  scfg.adaptive.enabled = true;
+  core::TwoNodePlatform p(
+      core::pin_serial(core::paper_platform("split_balance", scfg)));
+  const sim::TimeNs unit = sim::us_to_ns(1000.0) * waves / 24;
+  const sim::ConstraintId myri_ab = p.rails_a()[0]->tx_link();
+  const double nominal = p.world().net().capacity(myri_ab);
+
+  std::vector<std::byte> payload(kMsgBytes, std::byte{0x5a});
+  std::vector<std::vector<std::byte>> sinks(
+      kMsgsPerWave, std::vector<std::byte>(kMsgBytes));
+  const auto run_waves = [&](int n) {
+    const sim::TimeNs begin = p.now();
+    std::uint64_t bytes = 0;
+    for (int wave = 0; wave < n; ++wave) {
+      std::vector<core::RecvHandle> recvs;
+      std::vector<core::SendHandle> sends;
+      for (int i = 0; i < kMsgsPerWave; ++i) {
+        recvs.push_back(p.b().irecv(p.gate_ba(), 0, sinks[i]));
+      }
+      for (int i = 0; i < kMsgsPerWave; ++i) {
+        sends.push_back(p.a().isend(p.gate_ab(), 0, payload));
+        bytes += kMsgBytes;
+      }
+      p.b().wait_all(sends, recvs);
+    }
+    return static_cast<double>(bytes) * 1000.0 /
+           static_cast<double>(p.now() - begin);
+  };
+
+  // Pre-flap baseline on the unperturbed platform.
+  const int measure_waves = waves / 3;
+  const double pre = run_waves(measure_waves);
+
+  // Four down/up flap cycles anchored at "now", then permanent recovery.
+  const sim::TimeNs t1 = p.now();
+  std::vector<sim::CapacityPhase> phases;
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    phases.push_back({t1 + (2 * cycle + 0) * 3 * unit, 0.1});
+    phases.push_back({t1 + (2 * cycle + 1) * 3 * unit, 1.0});
+  }
+  const sim::TimeNs flap_end = t1 + 8 * 3 * unit;
+  sim::NetScenario scenario(p.world().engine(), p.world().net());
+  scenario.shape_link(myri_ab, nominal, phases);
+  (void)seed;  // the flap schedule is deterministic; seed only stamps meta
+
+  // Keep traffic flowing through every flap window so the estimator sees
+  // each collapse and each recovery.
+  while (p.now() < flap_end) run_waves(1);
+
+  // Two waves of settling (EWMA re-convergence), then the gated window.
+  run_waves(2);
+  const double post = run_waves(measure_waves);
+
+  std::printf("%-20s  %12.1f  %12.1f  %8.3f   (pre-flap vs post-recovery)\n",
+              "flap_recovery", pre, post, post / pre);
+  Series flap{"flap_recovery", {pre, post}, {}};
+  record_series("MB/s", {0, 1}, flap);
+  record_metrics("flap_recovery/adaptive", p);
+  check("gate: flap post-recovery vs pre-flap striped bandwidth", post, pre,
+        0.10);
+}
+
 }  // namespace
 
 int main() {
@@ -150,6 +223,9 @@ int main() {
     ordinals.push_back(i);
     std::printf("%-20s  %12.1f  %12.1f  %8.3f\n", profile.name, f, a, a / f);
   }
+  std::printf("\n");
+
+  run_flap_recovery(waves, seed);
   std::printf("\n");
 
   record_series("MB/s", ordinals, frozen);

@@ -131,7 +131,9 @@ class Gate {
   /// Re-pick fastest_rail() among the rails still alive (after a death).
   void recompute_fastest();
 
-  /// True once every rail died and the gate's requests were failed.
+  /// True while every rail is down and the gate fails submissions fast.
+  /// Set when the last rail dies (pending requests are failed then);
+  /// cleared when a rail completes a reconnect handshake.
   [[nodiscard]] bool failed() const noexcept { return failed_; }
 
   // --- packet buffer arenas -------------------------------------------------

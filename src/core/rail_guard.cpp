@@ -24,7 +24,11 @@ void RailGuardMetrics::register_into(obs::MetricsRegistry& registry,
   registry.add(prefix + "state_transitions", &state_transitions);
   registry.add(prefix + "requeued_packets", &requeued_packets);
   registry.add(prefix + "requeued_bytes", &requeued_bytes);
+  registry.add(prefix + "probes_sent", &probes_sent);
+  registry.add(prefix + "stale_frames_dropped", &stale_frames_dropped);
+  registry.add(prefix + "reconnects", &reconnects);
   registry.add(prefix + "state", &state);
+  registry.add(prefix + "epoch", &epoch);
 }
 
 void RailGuard::init(drv::Driver& driver, RailIndex index,
@@ -39,7 +43,14 @@ void RailGuard::init(drv::Driver& driver, RailIndex index,
               "RailGuard hooks incomplete");
   NMAD_ASSERT(!cfg_.ack_enabled || hooks_.timer != nullptr,
               "ack/retransmit requires a timer hook");
+  NMAD_ASSERT(!(cfg_.keepalive_enabled || cfg_.reconnect_enabled) ||
+                  cfg_.ack_enabled,
+              "keepalive/reconnect require ack_enabled");
   metrics.state.set(static_cast<std::int64_t>(state()));
+  metrics.epoch.set(static_cast<std::int64_t>(epoch_));
+  last_rx_ = hooks_.now();
+  reconnect_delay_ = cfg_.reconnect_backoff_ns;
+  arm_keepalive_timer();
 }
 
 // --------------------------------------------------------------------------
@@ -47,10 +58,13 @@ void RailGuard::init(drv::Driver& driver, RailIndex index,
 // --------------------------------------------------------------------------
 
 void RailGuard::seal(drv::SendDesc& desc, std::uint8_t flags,
-                     std::uint32_t seq) {
+                     std::uint32_t seq, std::uint32_t epoch) {
   proto::FrameEnvelope env;
   env.flags = flags;
   env.seq = seq;
+  // The incarnation stamp: receivers fence frames whose epoch does not
+  // match their live one (reconnect handshakes carry the *proposed* epoch).
+  env.epoch = epoch;
   // Every outgoing frame piggybacks our cumulative receive state; the
   // fields double as the standalone-ack payload.
   env.ack_small = rx_[0].contiguous;
@@ -71,10 +85,10 @@ drv::SendDesc RailGuard::make_alias(const TxEntry& entry) const {
 
 void RailGuard::post(drv::SendDesc desc, std::vector<strat::Contribution> contribs) {
   NMAD_ASSERT(driver_ != nullptr, "RailGuard used before init");
-  NMAD_ASSERT(state() != RailState::kDead, "post on dead rail");
+  NMAD_ASSERT(alive(), "post on a dead or probing rail");
   const auto track_idx = static_cast<std::size_t>(desc.track);
   const std::uint32_t seq = ++next_seq_[track_idx];
-  seal(desc, 0, seq);
+  seal(desc, 0, seq, epoch_);
 
   if (!cfg_.ack_enabled) {
     // Legacy semantics: contributions credit on local send completion and
@@ -142,7 +156,7 @@ sim::TimeNs RailGuard::next_rto(std::uint32_t retries) {
 }
 
 void RailGuard::arm_retransmit_timer() {
-  if (!cfg_.ack_enabled || state() == RailState::kDead) return;
+  if (!cfg_.ack_enabled || !alive()) return;
   sim::TimeNs earliest = 0;
   bool found = false;
   for (const TxEntry& e : tx_) {
@@ -163,7 +177,7 @@ void RailGuard::arm_retransmit_timer() {
 
 void RailGuard::on_retransmit_timer() {
   rto_timer_armed_ = false;
-  if (state() == RailState::kDead) return;
+  if (!alive()) return;
   handle_deadlines();
 }
 
@@ -220,7 +234,7 @@ void RailGuard::handle_deadlines() {
 }
 
 bool RailGuard::flush() {
-  if (state() == RailState::kDead || !cfg_.ack_enabled) return false;
+  if (!alive() || !cfg_.ack_enabled) return false;
   bool posted = false;
   // Due retransmissions first (they also re-arm the timer) ...
   const sim::TimeNs now = hooks_.now();
@@ -245,19 +259,45 @@ bool RailGuard::flush() {
 // --------------------------------------------------------------------------
 
 void RailGuard::on_frame(drv::Track track, std::span<const std::byte> frame) {
-  if (state() == RailState::kDead) return;  // quiesced: drop silently
+  const bool quiesced = !alive();  // dead or probing
   auto env = proto::decode_frame_envelope(frame);
   if (!env) {
-    metrics.malformed_drops.inc();
+    if (!quiesced) metrics.malformed_drops.inc();
     return;
   }
   if (!proto::verify_frame_checksum(frame)) {
     // Corrupt bytes are never trusted — and never acked, so the sender's
     // retransmission heals the loss.
-    metrics.crc_drops.inc();
+    if (!quiesced) metrics.crc_drops.inc();
     return;
   }
+  // Reconnect handshake frames are processed in ANY state — that is how
+  // resurrection reaches a dead rail — and carry their own epoch logic.
+  if ((env->flags & (proto::kFrameReconnect | proto::kFrameReconnectAck)) != 0) {
+    if (cfg_.ack_enabled) handle_handshake(*env);
+    return;
+  }
+  if (quiesced) return;  // drop silently: the rail carries no traffic
+  // Epoch fence: a frame sealed under another incarnation is never
+  // trusted — its sequence numbers and acks belong to fenced state.
+  // Epoch 0 is unfenced (legacy peers, raw-driver paths, ack-off tests).
+  if (env->epoch != 0 && env->epoch != epoch_) {
+    metrics.stale_frames_dropped.inc();
+    return;
+  }
+  note_rx_alive();
   process_acks(*env);
+  if ((env->flags & proto::kFrameProbe) != 0) {
+    // Answer immediately when the eager track is free; otherwise owe a
+    // standalone ack — it doubles as the probe answer.
+    if (!try_send_control(proto::kFrameAckOnly | proto::kFrameProbeReply,
+                          epoch_) &&
+        cfg_.ack_enabled) {
+      ack_due_ = true;
+      hooks_.kick();
+    }
+    return;
+  }
   if ((env->flags & proto::kFrameAckOnly) != 0) return;
 
   if (env->seq != 0 && !rx_accept(track, env->seq)) {
@@ -343,21 +383,28 @@ void RailGuard::note_ack_needed() {
   ack_timer_armed_ = true;
   hooks_.timer(cfg_.ack_delay_ns, [this] {
     ack_timer_armed_ = false;
-    if (state() == RailState::kDead || !owes_ack()) return;
+    if (!alive() || !owes_ack()) return;
     ack_due_ = true;
     if (!try_send_standalone_ack()) hooks_.kick();
   });
 }
 
 bool RailGuard::try_send_standalone_ack() {
+  if (!try_send_control(proto::kFrameAckOnly, epoch_)) return false;
+  metrics.acks_sent.inc();
+  return true;
+}
+
+bool RailGuard::try_send_control(std::uint8_t flags, std::uint32_t epoch) {
   if (!driver_->send_idle(drv::Track::kSmall)) return false;
   drv::SendDesc desc;
   desc.track = drv::Track::kSmall;
-  seal(desc, proto::kFrameAckOnly, 0);
+  seal(desc, flags, 0, epoch);
+  // Any envelope-only frame carries our cumulative acks: it settles every
+  // owed re-ack exactly like a standalone ack would.
   rx_[0].force_ack = false;
   rx_[1].force_ack = false;
   ack_due_ = false;
-  metrics.acks_sent.inc();
   if (hooks_.note_post) hooks_.note_post(desc);
   driver_->post_send(std::move(desc), [this] { hooks_.kick(); });
   return true;
@@ -369,7 +416,9 @@ bool RailGuard::try_send_standalone_ack() {
 
 void RailGuard::transition(RailState next) {
   if (state() == next) return;
-  NMAD_ASSERT(state() != RailState::kDead, "no transitions out of dead");
+  // Legal exits from dead: probing (our reconnect timer fired) and healthy
+  // (we passively adopted the peer's new epoch). Everything else funnels
+  // through the documented lattice in core/reliability.hpp.
   NMAD_LOG_INFO("rail", "rail%u: %s -> %s", index_, rail_state_name(state()),
                 rail_state_name(next));
   state_.store(next, std::memory_order_relaxed);
@@ -383,6 +432,14 @@ void RailGuard::die(const char* reason) {
   if (state() == RailState::kDead) return;
   NMAD_LOG_WARN("rail", "rail%u declared dead: %s", index_, reason);
   transition(RailState::kDead);
+  // The on_state_change hook has requeued our retained frames by now.
+  // Start the resurrection cycle from a clean slate (if configured).
+  probe_sent_at_ = 0;
+  probe_misses_ = 0;
+  pending_epoch_ = 0;
+  reconnect_attempts_ = 0;
+  reconnect_delay_ = cfg_.reconnect_backoff_ns;
+  arm_reconnect_timer();
 }
 
 void RailGuard::on_driver_error(const drv::RailError& err) {
@@ -394,6 +451,10 @@ void RailGuard::on_driver_error(const drv::RailError& err) {
 
 std::vector<RailGuard::PendingFrame> RailGuard::take_unacked() {
   NMAD_ASSERT(state() == RailState::kDead, "take_unacked on a live rail");
+  return surrender_tx();
+}
+
+std::vector<RailGuard::PendingFrame> RailGuard::surrender_tx() {
   std::vector<PendingFrame> out;
   out.reserve(tx_.size());
   for (TxEntry& e : tx_) {
@@ -409,6 +470,181 @@ std::vector<RailGuard::PendingFrame> RailGuard::take_unacked() {
   }
   tx_.clear();
   return out;
+}
+
+// --------------------------------------------------------------------------
+// Keepalive probing
+// --------------------------------------------------------------------------
+
+void RailGuard::note_rx_alive() {
+  last_rx_ = hooks_.now();
+  probe_sent_at_ = 0;
+  if (probe_misses_ != 0) {
+    probe_misses_ = 0;
+    // A keepalive-induced suspect (no retransmit timeouts pending) heals
+    // on any valid receive; an RTO-induced one heals on ack advance.
+    if (state() == RailState::kSuspect && consecutive_timeouts_ == 0) {
+      transition(RailState::kHealthy);
+    }
+  }
+}
+
+void RailGuard::arm_keepalive_timer() {
+  if (!cfg_.ack_enabled || !cfg_.keepalive_enabled || hooks_.timer == nullptr) {
+    return;
+  }
+  if (keepalive_timer_armed_ || !alive()) return;
+  keepalive_timer_armed_ = true;
+  // While a probe is outstanding the next decision point is its timeout;
+  // otherwise it is the idle threshold.
+  const sim::TimeNs delay =
+      probe_sent_at_ != 0 ? cfg_.probe_timeout_ns : cfg_.keepalive_idle_ns;
+  hooks_.timer(delay, [this] { on_keepalive_timer(); });
+}
+
+void RailGuard::on_keepalive_timer() {
+  keepalive_timer_armed_ = false;
+  if (!alive()) return;  // the reconnect machinery owns dead/probing rails
+  const sim::TimeNs now = hooks_.now();
+  if (probe_sent_at_ != 0 && now - probe_sent_at_ >= cfg_.probe_timeout_ns) {
+    probe_misses_ += 1;
+    if (probe_misses_ >= cfg_.probe_max_misses) {
+      die("keepalive probes unanswered");
+      return;
+    }
+    if (state() == RailState::kHealthy &&
+        probe_misses_ >= cfg_.suspect_after) {
+      transition(RailState::kSuspect);
+    }
+    // Re-probe. A busy (or wedged) track still charges the next window —
+    // a silent rail converges to dead either way.
+    if (try_send_control(proto::kFrameAckOnly | proto::kFrameProbe, epoch_)) {
+      metrics.probes_sent.inc();
+    }
+    probe_sent_at_ = now;
+  } else if (probe_sent_at_ == 0 && now - last_rx_ >= cfg_.keepalive_idle_ns) {
+    if (try_send_control(proto::kFrameAckOnly | proto::kFrameProbe, epoch_)) {
+      metrics.probes_sent.inc();
+    }
+    // Charge the probe window even when the track refused the frame: an
+    // idle rail whose track won't take an envelope-only probe is as
+    // suspicious as one that swallows it (a dead port typically reports
+    // itself busy). Either way, sustained silence converges to dead.
+    probe_sent_at_ = now;
+  }
+  arm_keepalive_timer();
+}
+
+// --------------------------------------------------------------------------
+// Reconnection (epoch-fenced resurrection)
+// --------------------------------------------------------------------------
+
+void RailGuard::arm_reconnect_timer() {
+  if (!cfg_.ack_enabled || !cfg_.reconnect_enabled || hooks_.timer == nullptr) {
+    return;
+  }
+  if (reconnect_timer_armed_) return;
+  reconnect_timer_armed_ = true;
+  if (reconnect_delay_ <= 0) reconnect_delay_ = cfg_.reconnect_backoff_ns;
+  const sim::TimeNs delay = reconnect_delay_;
+  // Capped exponential backoff for the attempt after this one.
+  const double next = static_cast<double>(reconnect_delay_) *
+                      cfg_.reconnect_backoff_factor;
+  reconnect_delay_ = static_cast<sim::TimeNs>(
+      std::min(next, static_cast<double>(cfg_.reconnect_backoff_max_ns)));
+  hooks_.timer(delay, [this] { on_reconnect_timer(); });
+}
+
+void RailGuard::on_reconnect_timer() {
+  reconnect_timer_armed_ = false;
+  if (alive()) return;  // resurrected (or passively adopted) meanwhile
+  if (state() == RailState::kDead) {
+    transition(RailState::kProbing);
+    pending_epoch_ = epoch_ + 1;
+  }
+  reconnect_attempts_ += 1;
+  if (cfg_.reconnect_max_attempts != 0 &&
+      reconnect_attempts_ > cfg_.reconnect_max_attempts) {
+    NMAD_LOG_WARN("rail", "rail%u: giving up reconnecting after %u attempts",
+                  index_, reconnect_attempts_ - 1);
+    transition(RailState::kDead);
+    return;
+  }
+  // Re-establish the endpoint, then propose the new incarnation. A failed
+  // revive (or a busy track) just waits for the next backoff tick.
+  if (driver_->revive()) {
+    (void)try_send_control(proto::kFrameAckOnly | proto::kFrameReconnect,
+                           pending_epoch_);
+  }
+  arm_reconnect_timer();
+}
+
+void RailGuard::handle_handshake(const proto::FrameEnvelope& env) {
+  const std::uint32_t e = env.epoch;
+  if ((env.flags & proto::kFrameReconnect) != 0) {
+    if (e < epoch_) {
+      metrics.stale_frames_dropped.inc();
+      return;
+    }
+    if (e == epoch_) {
+      // Our ReconnectAck was lost: re-ack the already-adopted epoch
+      // without touching state (the adoption must stay idempotent).
+      (void)try_send_control(proto::kFrameAckOnly | proto::kFrameReconnectAck,
+                             epoch_);
+      return;
+    }
+    // e > epoch_: the peer proposes a new incarnation. A dead endpoint
+    // must come back first; a live one has nothing to re-establish.
+    if (!driver_->revive()) return;
+    adopt_epoch(e, /*initiated=*/false);
+    (void)try_send_control(proto::kFrameAckOnly | proto::kFrameReconnectAck,
+                           epoch_);
+    return;
+  }
+  // kFrameReconnectAck: completes our own handshake.
+  if (state() == RailState::kProbing && e == pending_epoch_) {
+    adopt_epoch(e, /*initiated=*/true);
+    return;
+  }
+  if (e < epoch_) metrics.stale_frames_dropped.inc();
+  // e == epoch_ while healthy: duplicate ack of a completed handshake.
+}
+
+void RailGuard::adopt_epoch(std::uint32_t e, bool initiated) {
+  const bool was_down = !alive();
+  if (!tx_.empty()) {
+    // Retained frames belong to the fenced incarnation: their sequence
+    // numbers mean nothing under the new epoch. Hand them back for repost.
+    std::vector<PendingFrame> frames = surrender_tx();
+    if (hooks_.requeue) hooks_.requeue(std::move(frames));
+  }
+  reset_link_state();
+  epoch_ = e;
+  pending_epoch_ = 0;
+  metrics.epoch.set(static_cast<std::int64_t>(epoch_));
+  NMAD_LOG_INFO("rail", "rail%u: adopted epoch %u (%s)", index_, e,
+                initiated ? "handshake completed" : "peer-initiated");
+  if (state() != RailState::kHealthy) transition(RailState::kHealthy);
+  if (was_down) {
+    metrics.reconnects.inc();
+    if (hooks_.on_revived) hooks_.on_revived();
+  }
+  arm_keepalive_timer();
+}
+
+void RailGuard::reset_link_state() {
+  NMAD_ASSERT(tx_.empty(), "epoch reset with retained frames");
+  next_seq_[0] = 0;
+  next_seq_[1] = 0;
+  rx_[0] = RxTrack{};
+  rx_[1] = RxTrack{};
+  consecutive_timeouts_ = 0;
+  probe_sent_at_ = 0;
+  probe_misses_ = 0;
+  ack_due_ = false;
+  last_rx_ = hooks_.now();
+  reconnect_attempts_ = 0;
+  reconnect_delay_ = cfg_.reconnect_backoff_ns;
 }
 
 }  // namespace nmad::core

@@ -12,6 +12,21 @@
 // core/reliability.hpp). A dead rail's retained frames are surrendered via
 // take_unacked() for the scheduler to requeue on the survivors.
 //
+// Two opt-in extensions close the lifecycle:
+//
+//  - Keepalive probing (`keepalive_enabled`): a rail with no receive
+//    activity for `keepalive_idle_ns` gets envelope-only probe frames;
+//    unanswered probes count as misses and declare the rail dead after
+//    `probe_max_misses` — so a killed link is detected even with zero
+//    application traffic.
+//  - Reconnection (`reconnect_enabled`): a dead rail moves to `probing`
+//    and runs an epoch-bumping handshake with capped exponential backoff.
+//    Every sealed frame carries the rail's current epoch; after a
+//    completed handshake both peers reset their sequence/ack state under
+//    the new epoch and frames from the previous incarnation are fenced by
+//    epoch comparison and dropped (`stale_frames_dropped`). The scheduler
+//    re-arms the rail through the `on_revived` hook.
+//
 // With acks disabled (the default) the guard is a thin sealing/validating
 // shim with the exact legacy completion semantics: contributions are
 // credited on local send completion and nothing is retained.
@@ -43,9 +58,10 @@ class RateEstimator;
 namespace nmad::core {
 
 /// Reliability counters for one rail. `state` mirrors the functional
-/// RailState enum (0 healthy / 1 suspect / 2 dead) so the metrics tree —
-/// and the CI bench gate — can see rail health; the enum itself stays a
-/// plain member so the state machine works with NMAD_METRICS=OFF.
+/// RailState enum (0 healthy / 1 suspect / 2 dead / 3 probing) so the
+/// metrics tree — and the CI bench gate — can see rail health; the enum
+/// itself stays a plain member so the state machine works with
+/// NMAD_METRICS=OFF.
 struct RailGuardMetrics {
   obs::Counter retransmits;
   obs::Counter timeouts;
@@ -57,7 +73,11 @@ struct RailGuardMetrics {
   obs::Counter state_transitions;
   obs::Counter requeued_packets;  ///< un-acked frames surrendered at death
   obs::Counter requeued_bytes;
+  obs::Counter probes_sent;           ///< keepalive probe frames emitted
+  obs::Counter stale_frames_dropped;  ///< frames fenced by epoch mismatch
+  obs::Counter reconnects;            ///< completed reconnect handshakes
   obs::Gauge state;
+  obs::Gauge epoch;  ///< current incarnation number (starts at 1)
 
   void register_into(obs::MetricsRegistry& registry,
                      const std::string& prefix) const;
@@ -65,6 +85,13 @@ struct RailGuardMetrics {
 
 class RailGuard {
  public:
+  /// A retained frame surrendered by a dead (or epoch-reset) rail, ready
+  /// to repost.
+  struct PendingFrame {
+    drv::SendDesc desc;
+    std::vector<strat::Contribution> contribs;
+  };
+
   /// Everything the guard needs from the scheduling layer. All hooks are
   /// installed once (init) and outlive the guard's driver interactions;
   /// the scheduler wraps them with its liveness token.
@@ -85,12 +112,17 @@ class RailGuard {
     std::function<void()> kick;
     /// State machine transition (new state). kDead triggers failover.
     std::function<void(RailState)> on_state_change;
-  };
-
-  /// A retained frame surrendered by a dead rail, ready to repost.
-  struct PendingFrame {
-    drv::SendDesc desc;
-    std::vector<strat::Contribution> contribs;
+    /// The rail completed a reconnect handshake and is healthy again under
+    /// a new epoch: the scheduler un-fails the gate, lets the strategy
+    /// re-include the rail and reschedules the pump. Fired *after* the
+    /// kHealthy on_state_change. May be null (unit harnesses).
+    std::function<void()> on_revived;
+    /// Surrender retained frames outside the death path: a live rail that
+    /// passively adopts a peer's new epoch must requeue its un-acked
+    /// frames (their sequence numbers belong to the fenced incarnation).
+    /// May be null — the frames are then dropped, acceptable only in unit
+    /// harnesses that never reuse them.
+    std::function<void(std::vector<PendingFrame>)> requeue;
   };
 
   RailGuard() = default;
@@ -143,12 +175,18 @@ class RailGuard {
   [[nodiscard]] RailState state() const noexcept {
     return state_.load(std::memory_order_relaxed);
   }
+  /// A probing rail counts as dead for failover purposes: it carries no
+  /// traffic and does not keep a gate alive.
   [[nodiscard]] bool alive() const noexcept {
-    return state() != RailState::kDead;
+    const RailState s = state();
+    return s == RailState::kHealthy || s == RailState::kSuspect;
   }
   [[nodiscard]] bool healthy() const noexcept {
     return state() == RailState::kHealthy;
   }
+  /// Current incarnation number. Starts at 1; each completed reconnect
+  /// handshake bumps it. Frames sealed under an older epoch are fenced.
+  [[nodiscard]] std::uint32_t epoch() const noexcept { return epoch_; }
   [[nodiscard]] std::size_t unacked_count() const noexcept { return tx_.size(); }
   [[nodiscard]] const ReliabilityConfig& config() const noexcept { return cfg_; }
 
@@ -177,7 +215,8 @@ class RailGuard {
     bool force_ack = false;        ///< re-ack even without advance (dup seen)
   };
 
-  void seal(drv::SendDesc& desc, std::uint8_t flags, std::uint32_t seq);
+  void seal(drv::SendDesc& desc, std::uint8_t flags, std::uint32_t seq,
+            std::uint32_t epoch);
   [[nodiscard]] drv::SendDesc make_alias(const TxEntry& entry) const;
   void process_acks(const proto::FrameEnvelope& env);
   bool apply_ack(drv::Track track, std::uint32_t upto);
@@ -191,6 +230,26 @@ class RailGuard {
   void handle_deadlines();
   void transition(RailState next);
   void die(const char* reason);
+  /// Send an envelope-only control frame (probe / probe reply / handshake)
+  /// if the eager track is idle. Returns true when posted.
+  bool try_send_control(std::uint8_t flags, std::uint32_t epoch);
+  void arm_keepalive_timer();
+  void on_keepalive_timer();
+  /// A valid current-epoch frame arrived: reset probe bookkeeping (and
+  /// heal a keepalive-induced suspect).
+  void note_rx_alive();
+  void arm_reconnect_timer();
+  void on_reconnect_timer();
+  /// Handshake frame processing (kFrameReconnect / kFrameReconnectAck).
+  void handle_handshake(const proto::FrameEnvelope& env);
+  /// Adopt epoch `e` as the live incarnation: surrender or credit every
+  /// retained frame, reset sequence/ack state and go healthy.
+  void adopt_epoch(std::uint32_t e, bool initiated);
+  /// Reset per-incarnation sequencing state (tx_ must already be empty).
+  void reset_link_state();
+  /// take_unacked() body without the dead-state assert: credit acked
+  /// entries, surrender the rest, clear tx_.
+  [[nodiscard]] std::vector<PendingFrame> surrender_tx();
 
   drv::Driver* driver_ = nullptr;
   RailIndex index_ = 0;
@@ -218,6 +277,24 @@ class RailGuard {
   /// Re-entrancy latch: handle_deadlines can indirectly re-enter itself
   /// (transition -> pump -> flush) while iterating the retention queue.
   bool in_deadlines_ = false;
+
+  // --- epoch fencing ---------------------------------------------------
+  /// Current incarnation; sealed into every outgoing frame. Epoch 0 on a
+  /// received frame means "unfenced" (legacy peers, raw-driver tests).
+  std::uint32_t epoch_ = 1;
+  /// Epoch proposed by our in-flight reconnect handshake (probing only).
+  std::uint32_t pending_epoch_ = 0;
+
+  // --- keepalive probing -----------------------------------------------
+  sim::TimeNs last_rx_ = 0;       ///< last valid current-epoch receive
+  sim::TimeNs probe_sent_at_ = 0; ///< 0 = no probe outstanding
+  std::uint32_t probe_misses_ = 0;
+  bool keepalive_timer_armed_ = false;
+
+  // --- reconnection ----------------------------------------------------
+  std::uint32_t reconnect_attempts_ = 0;
+  sim::TimeNs reconnect_delay_ = 0;  ///< next backoff interval
+  bool reconnect_timer_armed_ = false;
 };
 
 }  // namespace nmad::core

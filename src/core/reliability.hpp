@@ -13,18 +13,28 @@ namespace nmad::core {
 /// Health of one rail, driven by the RailGuard:
 ///
 ///   healthy --consecutive timeouts--> suspect --retries exhausted--> dead
-///      ^                                 |                            ^
-///      +---------- ack advance ----------+       driver RailError ----+
+///      ^                                 |                            ^ |
+///      +---------- ack advance ----------+       driver RailError ----+ |
+///      ^                                                               |
+///      +------ reconnect handshake ------ probing <---reconnect timer--+
 ///
 /// `suspect` rails receive no *new* traffic from the pump but keep
 /// retransmitting — the retransmissions double as recovery probes, and one
-/// acknowledged probe returns the rail to `healthy`. `dead` is terminal:
-/// the scheduler quiesces the rail, requeues its un-acked frames and lets
-/// the strategies re-split remaining work across the survivors.
+/// acknowledged probe returns the rail to `healthy`. A `dead` rail is
+/// quiesced: the scheduler requeues its un-acked frames and the strategies
+/// re-split remaining work across the survivors. With
+/// `reconnect_enabled` the guard then keeps trying to resurrect the rail:
+/// it moves to `probing` and sends epoch-bumping reconnect handshakes with
+/// capped exponential backoff; a completed handshake resets all sequencing
+/// state, fences every frame of the previous incarnation by epoch, and
+/// returns the rail to `healthy` through the adaptive striper's recovery
+/// ramp. A probing rail counts as dead for failover purposes (it carries
+/// no traffic and does not keep a gate alive).
 enum class RailState : std::uint8_t {
   kHealthy = 0,
   kSuspect = 1,
   kDead = 2,
+  kProbing = 3,
 };
 
 [[nodiscard]] constexpr const char* rail_state_name(RailState s) noexcept {
@@ -32,6 +42,7 @@ enum class RailState : std::uint8_t {
     case RailState::kHealthy: return "healthy";
     case RailState::kSuspect: return "suspect";
     case RailState::kDead: return "dead";
+    case RailState::kProbing: return "probing";
   }
   return "unknown";
 }
@@ -61,6 +72,33 @@ struct ReliabilityConfig {
   /// retransmissions of parallel rails do not synchronize).
   double rto_jitter = 0.1;
   std::uint64_t jitter_seed = 0x9e3779b9;
+
+  // --- keepalive probing (requires ack_enabled) ---------------------------
+  /// Emit heartbeat probes on rails with no recent receive activity, so a
+  /// dead link is detected even with zero application traffic. Off by
+  /// default: clean benches and legacy configurations arm no extra timers.
+  bool keepalive_enabled = false;
+  /// A rail idle (nothing received) for this long gets a probe frame.
+  sim::TimeNs keepalive_idle_ns = 5'000'000;
+  /// An unanswered probe counts as a miss after this long.
+  sim::TimeNs probe_timeout_ns = 2'000'000;
+  /// Consecutive probe misses before the rail is declared dead
+  /// (suspect_after misses already turn it suspect).
+  std::uint32_t probe_max_misses = 3;
+
+  // --- reconnection (requires ack_enabled) --------------------------------
+  /// Attempt to resurrect dead rails: revive the driver and run the
+  /// epoch-bumping reconnect handshake. Off by default — dead stays
+  /// terminal, the pre-resurrection semantics.
+  bool reconnect_enabled = false;
+  /// First reconnect attempt fires this long after death.
+  sim::TimeNs reconnect_backoff_ns = 1'000'000;
+  /// Exponential backoff factor between attempts, capped at the max.
+  double reconnect_backoff_factor = 2.0;
+  sim::TimeNs reconnect_backoff_max_ns = 100'000'000;
+  /// Give up after this many attempts; 0 = keep trying forever. Tests use
+  /// a finite cap so simulated engines can drain.
+  std::uint32_t reconnect_max_attempts = 0;
 };
 
 /// Online adaptive-striping knobs (consumed by strat/rate_estimator and the

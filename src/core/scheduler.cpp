@@ -83,6 +83,14 @@ GateId Scheduler::add_gate(std::vector<drv::Driver*> rails,
         schedule_pump(target);
       }
     };
+    hooks.on_revived = [this, id, idx] { on_rail_revived(gate(id), idx); };
+    hooks.requeue = [this, id](std::vector<RailGuard::PendingFrame> frames) {
+      Gate& target = gate(id);
+      for (RailGuard::PendingFrame& pf : frames) {
+        target.resend_.push_back(std::move(pf));
+      }
+      schedule_pump(target);
+    };
     rail.guard.init(rail.driver(), idx, config.reliability, std::move(hooks));
     rail.guard.set_estimator(&g.estimator());
     rail.driver().set_deliver(
@@ -483,6 +491,20 @@ void Scheduler::on_rail_dead(Gate& gate, RailIndex idx) {
     fail_gate(gate);
     return;
   }
+  schedule_pump(gate);
+}
+
+void Scheduler::on_rail_revived(Gate& gate, RailIndex idx) {
+  if (gate.failed_) {
+    // Total-outage recovery: requests failed while every rail was down
+    // stay settled as failed (no zombie resurrection); the gate itself
+    // comes back for new submissions.
+    NMAD_LOG_INFO("core", "gate%u: rail%u resurrected, gate accepting traffic",
+                  gate.id(), idx);
+    gate.failed_ = false;
+  }
+  gate.strategy().on_rail_revived(gate, idx);
+  gate.recompute_fastest();
   schedule_pump(gate);
 }
 

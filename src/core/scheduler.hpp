@@ -187,6 +187,10 @@ class Scheduler {
   /// Rail `idx` of `gate` was declared dead: requeue its un-acked frames,
   /// let the strategy retarget, and fail the gate if no rail survives.
   void on_rail_dead(Gate& gate, RailIndex idx);
+  /// Rail `idx` completed a reconnect handshake: un-fail the gate (requests
+  /// failed during a total outage stay failed — only *new* submissions use
+  /// the resurrected rail), let the strategy re-include it and repump.
+  void on_rail_revived(Gate& gate, RailIndex idx);
   /// Every rail died: fail the gate's pending requests and drop its queues.
   void fail_gate(Gate& gate);
   /// `wire` is the driver's non-owning view of the received frame; every

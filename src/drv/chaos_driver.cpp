@@ -9,8 +9,16 @@
 namespace nmad::drv {
 
 ChaosDriver::ChaosDriver(Driver& inner, std::uint64_t seed, ChaosConfig cfg)
-    : inner_(&inner), rng_(seed), cfg_(cfg) {
+    : inner_(&inner),
+      rng_(seed),
+      flap_rng_(seed ^ 0x9e3779b97f4a7c15ULL),
+      cfg_(std::move(cfg)) {
   NMAD_ASSERT(cfg_.window >= 1, "chaos window must be >= 1");
+  NMAD_ASSERT(!cfg_.flap.enabled || cfg_.clock != nullptr,
+              "flap windows need a chaos clock");
+  NMAD_ASSERT(!cfg_.flap.enabled ||
+                  (cfg_.flap.up_ns > 0 && cfg_.flap.down_ns > 0),
+              "flap windows must have positive lengths");
 }
 
 ChaosDriver::ChaosDriver(Driver& inner, std::uint64_t seed, std::size_t window)
@@ -48,6 +56,13 @@ void ChaosDriver::on_inner_deliver(Track track, std::span<const std::byte> wire)
   stats_.frames_seen += 1;
   if (killed_) {
     stats_.discarded_recvs += 1;
+    return;
+  }
+  if (flap_down_now()) {
+    // Receive-side blackout: the frame vanishes on the wire. Sends keep
+    // completing locally so the tracks never wedge — the peers only see
+    // silence, which is what the keepalive/retransmit machinery probes.
+    stats_.flap_drops += 1;
     return;
   }
   const FaultProfile& p = cfg_.track[static_cast<std::size_t>(track)];
@@ -101,6 +116,44 @@ void ChaosDriver::kill() {
   pending_.clear();
 }
 
+bool ChaosDriver::revive() {
+  if (!revivable_) return false;
+  if (killed_) {
+    killed_ = false;
+    stats_.revives += 1;
+  }
+  return inner_->revive();
+}
+
+bool ChaosDriver::flap_down_now() {
+  if (!cfg_.flap.enabled) return false;
+  const sim::TimeNs now = cfg_.clock();
+  if (now < cfg_.flap.start_ns) return false;
+  if (cfg_.flap.stop_ns != 0 && now >= cfg_.flap.stop_ns) return false;
+  const auto draw_window = [this](sim::TimeNs mean) {
+    const double scaled =
+        static_cast<double>(mean) *
+        (1.0 + cfg_.flap.jitter * (flap_rng_.next_double() - 0.5));
+    return std::max<sim::TimeNs>(1, static_cast<sim::TimeNs>(scaled));
+  };
+  if (!flap_initialized_) {
+    // The schedule starts in an up window at start_ns.
+    flap_initialized_ = true;
+    flap_down_ = false;
+    flap_next_edge_ = cfg_.flap.start_ns + draw_window(cfg_.flap.up_ns);
+  }
+  // Advance the alternating up/down schedule to `now`. Each window length
+  // is its mean ± jitter/2, drawn from the dedicated flap stream — the
+  // boundaries depend only on the seed, never on traffic timing.
+  while (now >= flap_next_edge_) {
+    flap_down_ = !flap_down_;
+    if (flap_down_) stats_.flap_downs += 1;
+    flap_next_edge_ +=
+        draw_window(flap_down_ ? cfg_.flap.down_ns : cfg_.flap.up_ns);
+  }
+  return flap_down_;
+}
+
 void ChaosDriver::flush() {
   while (!pending_.empty()) release_all(false);
 }
@@ -115,6 +168,9 @@ void ChaosDriver::register_metrics(obs::MetricsRegistry& registry,
   registry.add_raw(prefix + "chaos.delays", &stats_.delays);
   registry.add_raw(prefix + "chaos.swallowed_sends", &stats_.swallowed_sends);
   registry.add_raw(prefix + "chaos.discarded_recvs", &stats_.discarded_recvs);
+  registry.add_raw(prefix + "chaos.revives", &stats_.revives);
+  registry.add_raw(prefix + "chaos.flap_downs", &stats_.flap_downs);
+  registry.add_raw(prefix + "chaos.flap_drops", &stats_.flap_drops);
 }
 
 }  // namespace nmad::drv

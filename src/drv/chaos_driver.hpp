@@ -26,10 +26,12 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "drv/driver.hpp"
+#include "sim/time.hpp"
 #include "util/rng.hpp"
 
 namespace nmad::drv {
@@ -43,11 +45,35 @@ struct FaultProfile {
   double delay = 0.0;      ///< hold the frame across one extra release round
 };
 
+/// A seeded schedule of link-down windows. While a window is down, every
+/// frame the inner driver delivers is discarded (receive-side blackout;
+/// sends still complete locally so the NIC tracks never wedge) — the
+/// reliability layer sees unanswered frames and unanswered keepalive
+/// probes, exactly like a flapping cable. Flapping one wrapper of a link
+/// models an asymmetric partition; flapping both models a symmetric one.
+struct FlapSpec {
+  bool enabled = false;
+  /// Mean lengths of the alternating up/down windows.
+  sim::TimeNs up_ns = 10'000'000;
+  sim::TimeNs down_ns = 3'000'000;
+  /// Per-window uniform jitter (fraction of the mean, +/- jitter/2), drawn
+  /// from a dedicated RNG stream so the schedule is a pure function of the
+  /// chaos seed regardless of traffic.
+  double jitter = 0.5;
+  /// Flapping is active in [start_ns, stop_ns); stop_ns = 0 never stops.
+  sim::TimeNs start_ns = 0;
+  sim::TimeNs stop_ns = 0;
+};
+
 struct ChaosConfig {
   /// Deliveries are buffered until this many frames are pending, then
   /// released in a seeded-random order (window = 1 disables scrambling).
   std::size_t window = 4;
   std::array<FaultProfile, kTrackCount> track{};
+  /// Seeded partition/flap windows. Requires `clock` when enabled.
+  FlapSpec flap;
+  /// Time source for the flap schedule (virtual time over the simulator).
+  std::function<sim::TimeNs()> clock;
 
   /// Same fault probabilities on both tracks.
   [[nodiscard]] static ChaosConfig uniform(FaultProfile profile,
@@ -87,9 +113,21 @@ class ChaosDriver final : public Driver {
   /// Hard-kill the rail: every future send is swallowed (its completion
   /// never fires) and every future receive is discarded, in both cases
   /// silently — exactly what a dead NIC port looks like to the peers. The
-  /// reliability layer must detect this via retransmission timeouts.
+  /// reliability layer must detect this via retransmission timeouts (or
+  /// keepalive probe misses when the rail is idle).
   void kill();
   [[nodiscard]] bool killed() const noexcept { return killed_; }
+
+  /// Clear the kill switch (and forward to the inner driver): the port is
+  /// ready to carry frames again. Called by the reliability layer's
+  /// reconnect machinery before it proposes a new epoch.
+  bool revive() override;
+
+  /// Gate for revive(): while false, revive attempts fail and the kill
+  /// switch stays set, so a test can hold an outage open for as long as it
+  /// needs (the reconnect machinery keeps backing off and retrying) and
+  /// then release recovery at a deterministic point.
+  void set_revivable(bool revivable) noexcept { revivable_ = revivable; }
 
   /// Release every buffered frame (in scrambled order, delays ignored).
   void flush();
@@ -104,8 +142,15 @@ class ChaosDriver final : public Driver {
     std::uint64_t delays = 0;
     std::uint64_t swallowed_sends = 0;   ///< posts discarded after kill()
     std::uint64_t discarded_recvs = 0;   ///< deliveries discarded after kill()
+    std::uint64_t revives = 0;           ///< kill switches cleared
+    std::uint64_t flap_downs = 0;        ///< down windows entered
+    std::uint64_t flap_drops = 0;        ///< deliveries lost to down windows
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// True while the seeded flap schedule holds the link down at the
+  /// current clock() time (always false without flap.enabled).
+  [[nodiscard]] bool flap_down_now();
 
  private:
   void on_inner_deliver(Track track, std::span<const std::byte> wire);
@@ -113,9 +158,16 @@ class ChaosDriver final : public Driver {
 
   Driver* inner_;
   util::Xoshiro256 rng_;
+  /// Dedicated stream for flap-window lengths: drawing them must not
+  /// perturb the legacy fault/shuffle sequence of a given seed.
+  util::Xoshiro256 flap_rng_;
   ChaosConfig cfg_;
   DeliverFn deliver_;
   bool killed_ = false;
+  bool revivable_ = true;
+  bool flap_down_ = false;
+  bool flap_initialized_ = false;
+  sim::TimeNs flap_next_edge_ = 0;
   /// Deferred deliveries must own their bytes: the inner driver's span is
   /// only valid during its upcall, and these are released later.
   struct Held {

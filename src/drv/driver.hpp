@@ -168,6 +168,14 @@ class Driver {
   /// by the event engine and return false.
   virtual bool progress() { return false; }
 
+  /// Attempt to re-establish a failed endpoint so the reliability layer can
+  /// run its reconnect handshake: un-park failed tracks, re-open sockets,
+  /// clear kill switches. Returns true when the endpoint is ready to carry
+  /// frames again (the handshake still decides whether the *rail* is
+  /// usable). Default: nothing to re-establish, revival trivially succeeds
+  /// — right for simulated drivers whose faults live in a chaos wrapper.
+  virtual bool revive() { return true; }
+
   /// Register this driver's own counters (NIC-level transfer and polling
   /// stats) under `prefix` — the scheduling layer calls this for each rail
   /// so driver internals appear in the same metrics tree as the rail

@@ -7,7 +7,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -50,6 +52,34 @@ std::uint32_t read_frame_len(const std::vector<std::byte>& in, std::size_t off) 
         std::to_integer<std::uint32_t>(in[off + static_cast<std::size_t>(i)]);
   }
   return v;
+}
+
+/// Dial both track sockets to `addr`, retrying each connect up to
+/// `attempts` times (10 ms apart). Returns {-1, -1} on failure with
+/// nothing leaked.
+std::pair<int, int> dial_pair(const sockaddr_in& addr, int attempts) {
+  int fds[2] = {-1, -1};
+  for (int& fd : fds) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) break;
+    int rc = -1;
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+      if (rc == 0) break;
+      if (attempt + 1 < attempts) ::usleep(10 * 1000);
+    }
+    if (rc != 0) {
+      ::close(fd);
+      fd = -1;
+      break;
+    }
+  }
+  if (fds[0] < 0 || fds[1] < 0) {
+    if (fds[0] >= 0) ::close(fds[0]);
+    return {-1, -1};
+  }
+  return {fds[0], fds[1]};
 }
 
 }  // namespace
@@ -120,25 +150,57 @@ util::Expected<std::unique_ptr<TcpDriver>> TcpDriver::connect_to(
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     return util::make_error(util::sformat("bad address '%s'", host.c_str()));
   }
-  int fds[2];
-  for (int& fd : fds) {
-    fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) return util::make_error("socket() failed");
-    // Retry briefly: the listener may still be coming up.
-    int rc = -1;
-    for (int attempt = 0; attempt < 200; ++attempt) {
-      rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
-      if (rc == 0) break;
-      ::usleep(10 * 1000);
-    }
-    if (rc != 0) {
-      ::close(fd);
-      return util::make_error(util::sformat("connect(%s:%u) failed: %s",
-                                            host.c_str(), port,
-                                            std::strerror(errno)));
-    }
+  // Retry briefly: the listener may still be coming up.
+  const auto [fd_small, fd_large] = dial_pair(addr, 200);
+  if (fd_small < 0) {
+    return util::make_error(util::sformat("connect(%s:%u) failed: %s",
+                                          host.c_str(), port,
+                                          std::strerror(errno)));
   }
-  return std::unique_ptr<TcpDriver>(new TcpDriver(fds[0], fds[1]));
+  auto drv = std::unique_ptr<TcpDriver>(new TcpDriver(fd_small, fd_large));
+  // The dialing side can always re-establish: one quick re-dial per revive
+  // attempt (the reliability layer's reconnect backoff paces the calls).
+  drv->set_reconnector([addr] { return dial_pair(addr, 1); });
+  return drv;
+}
+
+bool TcpDriver::revive() {
+  if (!tracks_[0].failed && !tracks_[1].failed) return true;
+  if (!reconnector_) return false;
+  const auto now = std::chrono::steady_clock::now();
+  if (now < next_reconnect_attempt_) return false;
+  const auto [fd_small, fd_large] = reconnector_();
+  if (fd_small < 0 || fd_large < 0) {
+    if (fd_small >= 0) ::close(fd_small);
+    if (fd_large >= 0) ::close(fd_large);
+    next_reconnect_attempt_ = now + reconnect_backoff_;
+    reconnect_backoff_ =
+        std::min(reconnect_backoff_ * 2, std::chrono::milliseconds(2000));
+    return false;
+  }
+  const int fresh[kTrackCount] = {fd_small, fd_large};
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    TrackState& ts = tracks_[i];
+    if (ts.fd >= 0) ::close(ts.fd);
+    ts.fd = fresh[i];
+    set_nonblocking(ts.fd);
+    set_nodelay(ts.fd);
+    // Both directions restart from nothing: the in-flight frame died with
+    // the old socket (the guard requeued its retained copy) and stale
+    // inbound bytes belong to the fenced epoch anyway.
+    ts.busy = false;
+    ts.out = SendDesc{};
+    ts.out_off = 0;
+    ts.out_total = 0;
+    ts.on_sent = nullptr;
+    ts.in.clear();
+    ts.in_off = 0;
+    ts.failed = false;
+  }
+  reconnect_backoff_ = std::chrono::milliseconds(50);
+  next_reconnect_attempt_ = {};
+  stats_.reconnects += 1;
+  return true;
 }
 
 bool TcpDriver::send_idle(Track track) const noexcept {
@@ -330,6 +392,7 @@ void TcpDriver::register_metrics(obs::MetricsRegistry& registry,
   registry.add_raw(prefix + "bytes_received", &stats_.bytes_received);
   registry.add_raw(prefix + "polls", &stats_.progress_polls);
   registry.add_raw(prefix + "rail_errors", &stats_.rail_errors);
+  registry.add_raw(prefix + "reconnects", &stats_.reconnects);
 }
 
 }  // namespace nmad::drv

@@ -28,9 +28,12 @@
 #include <sys/uio.h>
 
 #include <array>
+#include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "drv/driver.hpp"
@@ -61,10 +64,26 @@ class TcpDriver final : public Driver {
   bool progress() override;
 
   /// True once `track` hit a hard I/O failure (send error, recv error or
-  /// peer close) and was parked. A failed track never becomes idle again.
+  /// peer close) and was parked. A failed track stays parked until a
+  /// successful revive() swaps in fresh sockets.
   [[nodiscard]] bool failed(Track track) const noexcept {
     return tracks_[static_cast<std::size_t>(track)].failed;
   }
+
+  /// Produces a fresh connected socket pair (fd_small, fd_large) for this
+  /// endpoint, or {-1, -1} on failure. Installed automatically by
+  /// connect_to() (re-dials the saved host:port); tests and listen-side
+  /// harnesses install their own. Without one, revive() cannot recover a
+  /// failed endpoint.
+  using Reconnector = std::function<std::pair<int, int>()>;
+  void set_reconnector(Reconnector fn) { reconnector_ = std::move(fn); }
+
+  /// Re-establish failed tracks through the reconnector, with capped
+  /// exponential backoff on wall-clock time (a revive call inside the
+  /// backoff window fails fast instead of re-dialing). On success both
+  /// tracks get fresh sockets and cleared buffers; the reliability layer's
+  /// epoch handshake then decides when the rail carries traffic again.
+  bool revive() override;
 
   struct Stats {
     std::uint64_t packets_sent = 0;
@@ -75,6 +94,8 @@ class TcpDriver final : public Driver {
     std::uint64_t progress_polls = 0;
     /// Hard I/O failures surfaced as RailError events (one per track max).
     std::uint64_t rail_errors = 0;
+    /// Successful socket re-establishments (both tracks swapped).
+    std::uint64_t reconnects = 0;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -117,6 +138,11 @@ class TcpDriver final : public Driver {
   std::array<TrackState, kTrackCount> tracks_;
   DeliverFn deliver_;
   ErrorFn on_error_;
+  Reconnector reconnector_;
+  /// Wall-clock backoff between re-dial attempts (doubles per failure up
+  /// to the cap; resets on success).
+  std::chrono::milliseconds reconnect_backoff_{50};
+  std::chrono::steady_clock::time_point next_reconnect_attempt_{};
   Stats stats_;
 };
 

@@ -298,12 +298,13 @@ void seal_frame_envelope(std::span<std::byte> out, const FrameEnvelope& env,
   store_u32(p + 4, env.seq);
   store_u32(p + 8, env.ack_small);
   store_u32(p + 12, env.ack_large);
+  store_u32(p + 16, env.epoch);
   // Checksum the envelope with the crc field absent, then the packet bytes
   // span by span — the streamed fold that keeps the gather path zero-copy.
-  std::uint32_t crc = crc32c_update(kCrc32cInit, std::span<const std::byte>(p, 16));
+  std::uint32_t crc = crc32c_update(kCrc32cInit, std::span<const std::byte>(p, 20));
   crc = crc32c_update(crc, head);
   for (const auto& s : payloads) crc = crc32c_update(crc, s);
-  store_u32(p + 16, crc32c_finish(crc));
+  store_u32(p + 20, crc32c_finish(crc));
 }
 
 util::Expected<FrameEnvelope> decode_frame_envelope(std::span<const std::byte> frame) {
@@ -323,21 +324,27 @@ util::Expected<FrameEnvelope> decode_frame_envelope(std::span<const std::byte> f
   env.seq = get_u32(frame, 4);
   env.ack_small = get_u32(frame, 8);
   env.ack_large = get_u32(frame, 12);
-  env.checksum = get_u32(frame, 16);
+  env.epoch = get_u32(frame, 16);
+  env.checksum = get_u32(frame, 20);
   if ((env.flags & kFrameAckOnly) != 0 && frame.size() != kFrameEnvelopeBytes) {
     return util::make_error("ack-only frame carries payload bytes");
   }
   if ((env.flags & kFrameAckOnly) == 0 && frame.size() == kFrameEnvelopeBytes) {
     return util::make_error("data frame carries no packet");
   }
+  constexpr std::uint8_t kControlFlags =
+      kFrameProbe | kFrameProbeReply | kFrameReconnect | kFrameReconnectAck;
+  if ((env.flags & kControlFlags) != 0 && (env.flags & kFrameAckOnly) == 0) {
+    return util::make_error("probe/handshake frame must be envelope-only");
+  }
   return env;
 }
 
 bool verify_frame_checksum(std::span<const std::byte> frame) noexcept {
   if (frame.size() < kFrameEnvelopeBytes) return false;
-  std::uint32_t crc = crc32c_update(kCrc32cInit, frame.first(16));
+  std::uint32_t crc = crc32c_update(kCrc32cInit, frame.first(20));
   crc = crc32c_update(crc, frame.subspan(kFrameEnvelopeBytes));
-  return crc32c_finish(crc) == get_u32(frame, 16);
+  return crc32c_finish(crc) == get_u32(frame, 20);
 }
 
 util::Expected<DecodedPacket> decode_packet(std::span<const std::byte> wire) {

@@ -57,10 +57,11 @@ inline constexpr std::uint8_t kVersion = 1;
 // --------------------------------------------------------------------------
 //
 // Every frame a driver puts on a wire is the encoded packet prefixed by a
-// fixed 20-byte *envelope* — the per-rail reliability header added by the
+// fixed 24-byte *envelope* — the per-rail reliability header added by the
 // fault-tolerance subsystem (core/rail_guard.hpp):
 //
-//   magic(2) version(1) flags(1) seq(4) ack_small(4) ack_large(4) crc32c(4)
+//   magic(2) version(1) flags(1) seq(4) ack_small(4) ack_large(4)
+//   epoch(4) crc32c(4)
 //
 //  - `seq` is a per-(rail, track) sequence number starting at 1; 0 marks an
 //    unsequenced frame (raw driver tests). The receiver suppresses
@@ -69,6 +70,11 @@ inline constexpr std::uint8_t kVersion = 1;
 //    this rail: cumulative highest-contiguous sequence received per track.
 //    An envelope with flags bit kFrameAckOnly set carries no packet at all
 //    (standalone ack on an otherwise idle rail).
+//  - `epoch` names the rail's incarnation: a reconnect handshake bumps it,
+//    fencing every frame (and every sequence number) of the previous life
+//    of the link. 0 marks an unfenced frame (raw driver tests, acks-off
+//    configurations). Probe and reconnect handshake frames are
+//    envelope-only frames carrying the flags below.
 //  - `crc32c` covers the envelope (with the crc field zeroed) plus the
 //    packet bytes, folded span-by-span at the gather boundary so the
 //    zero-copy packet path never flattens a frame to checksum it.
@@ -77,12 +83,20 @@ inline constexpr std::uint8_t kVersion = 1;
 // at delivery; corrupt or malformed frames are counted and dropped (the
 // ack/retransmit protocol recovers the data), never trusted.
 
-inline constexpr std::size_t kFrameEnvelopeBytes = 20;
+inline constexpr std::size_t kFrameEnvelopeBytes = 24;
 inline constexpr std::uint16_t kFrameMagic = 0x464e;  // "NF"
-inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::uint8_t kFrameVersion = 2;
 
 enum FrameFlags : std::uint8_t {
   kFrameAckOnly = 1u << 0,  ///< envelope-only frame: acks, no packet
+  /// Keepalive probe (envelope-only; always combined with kFrameAckOnly).
+  kFrameProbe = 1u << 1,
+  /// Immediate reply to a keepalive probe (envelope-only).
+  kFrameProbeReply = 1u << 2,
+  /// Reconnect handshake: "adopt my epoch, reset sequencing state".
+  kFrameReconnect = 1u << 3,
+  /// Reconnect acknowledgment: "epoch adopted, state reset".
+  kFrameReconnectAck = 1u << 4,
 };
 
 struct FrameEnvelope {
@@ -90,6 +104,7 @@ struct FrameEnvelope {
   std::uint32_t seq = 0;        ///< per-(rail, track) sequence; 0 = unsequenced
   std::uint32_t ack_small = 0;  ///< cumulative ack of peer seqs, small track
   std::uint32_t ack_large = 0;  ///< cumulative ack of peer seqs, large track
+  std::uint32_t epoch = 0;      ///< rail incarnation; 0 = unfenced
   std::uint32_t checksum = 0;   ///< CRC32C over envelope (crc zeroed) + packet
 };
 

@@ -38,7 +38,16 @@ void BacklogBase::on_submit_large(core::Gate& /*gate*/, LargeEntry entry) {
 
 void BacklogBase::on_rdv_granted(core::Gate& gate, core::MsgKey key) {
   auto it = parked_.find(key);
-  NMAD_ASSERT(it != parked_.end(), "rendezvous grant for unknown message");
+  if (it == parked_.end()) {
+    // A grant for a message we no longer hold. With failover and rail
+    // resurrection in play this is legal noise, not a protocol error: a
+    // dead rail's retained control frames are replayed on a survivor, so
+    // the duplicate of a grant that already landed — or a grant for a
+    // request that failed during a total outage — can arrive here. Grants
+    // are idempotent; only the first one moves chunks.
+    metrics_.stale_grants.inc();
+    return;
+  }
   std::vector<LargeEntry> entries = std::move(it->second);
   parked_.erase(it);
   parked_count_ -= entries.size();

@@ -108,8 +108,10 @@ void RateEstimator::note_state(core::RailIndex rail, core::RailState state,
   const auto prev = static_cast<core::RailState>(
       r.state.exchange(static_cast<std::uint8_t>(state),
                        std::memory_order_relaxed));
-  if (prev == core::RailState::kSuspect && state == core::RailState::kHealthy) {
-    // Recovery: start the ramp clock — weight climbs back gradually.
+  if (prev != core::RailState::kHealthy && state == core::RailState::kHealthy) {
+    // Recovery — from suspect, or straight from dead/probing after a
+    // reconnect handshake: start the ramp clock so the rail's weight
+    // climbs back gradually instead of snapping to full.
     r.recovered_at.store(now, std::memory_order_relaxed);
   }
 }
@@ -137,6 +139,7 @@ std::uint64_t RateEstimator::samples(core::RailIndex rail) const {
 double RateEstimator::health_factor(const RailEst& r, sim::TimeNs now) const {
   switch (static_cast<core::RailState>(r.state.load(std::memory_order_relaxed))) {
     case core::RailState::kDead:
+    case core::RailState::kProbing:  // carries no traffic until the handshake
       return 0.0;
     case core::RailState::kSuspect:
       return cfg_.suspect_penalty;
@@ -187,7 +190,8 @@ std::optional<std::vector<double>> RateEstimator::derive_ratios(
   for (std::size_t i = 0; i < rails_.size(); ++i) {
     const auto state = static_cast<core::RailState>(
         rails_[i].state.load(std::memory_order_relaxed));
-    if (state != core::RailState::kDead && next[i] < cfg_.min_weight) {
+    if (state != core::RailState::kDead && state != core::RailState::kProbing &&
+        next[i] < cfg_.min_weight) {
       next[i] = cfg_.min_weight;
       floored = true;
     }

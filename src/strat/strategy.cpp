@@ -13,6 +13,7 @@ void StrategyMetrics::register_into(obs::MetricsRegistry& registry,
   registry.add(prefix + "small_submitted", &small_submitted);
   registry.add(prefix + "large_submitted", &large_submitted);
   registry.add(prefix + "rdv_grants", &rdv_grants);
+  registry.add(prefix + "stale_grants", &stale_grants);
   registry.add(prefix + "aggregation_hits", &aggregation_hits);
   registry.add(prefix + "aggregation_misses", &aggregation_misses);
   registry.add(prefix + "segments_split", &segments_split);

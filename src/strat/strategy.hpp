@@ -87,6 +87,10 @@ struct StrategyMetrics {
   obs::Counter large_submitted;
   /// Rendezvous grants received from the peer.
   obs::Counter rdv_grants;
+  /// Grants for messages no longer parked: failover reposts whose original
+  /// landed, or grants for requests that failed during an outage. Dropped —
+  /// grants are idempotent, not trusted to resurrect anything.
+  obs::Counter stale_grants;
   /// Eager packets that coalesced >= 2 segments / went out alone.
   obs::Counter aggregation_hits;
   obs::Counter aggregation_misses;
@@ -132,6 +136,15 @@ class Strategy {
   /// it. Default: no-op (single-rail strategies with a live rail, stateless
   /// policies).
   virtual void on_rail_dead(core::Gate& gate, core::RailIndex rail) {
+    (void)gate;
+    (void)rail;
+  }
+
+  /// Rail `rail` completed a reconnect handshake and is healthy again
+  /// under a new epoch. Strategies that dropped it from their rail sets
+  /// re-include it here; the adaptive rate estimator ramps its weight back
+  /// in on its own. Default: no-op (rail-oblivious policies).
+  virtual void on_rail_revived(core::Gate& gate, core::RailIndex rail) {
     (void)gate;
     (void)rail;
   }

@@ -5,9 +5,9 @@ Emits a handful of structurally interesting frames into tests/fuzz/corpus/:
 valid sealed frames (the fuzzer mutates from deep states instead of
 rediscovering the magic/CRC by chance), plus rejected-shape seeds. Mirrors
 the C++ wire format (proto/wire.hpp): all integers little-endian, frame =
-20-byte envelope + encoded packet, CRC32C (Castagnoli) over the first 16
-envelope bytes (the crc field itself is excluded) followed by the packet
-bytes.
+24-byte version-2 envelope (magic, version, flags, seq, ack_small,
+ack_large, epoch, crc32c) + encoded packet, CRC32C (Castagnoli) over the
+envelope with the crc field zeroed followed by the packet bytes.
 """
 
 import os
@@ -26,8 +26,9 @@ def crc32c(data: bytes) -> int:
 
 
 def envelope(flags: int, seq: int, ack_small: int, ack_large: int,
-             packet: bytes) -> bytes:
-    head = struct.pack("<HBBIII", 0x464E, 1, flags, seq, ack_small, ack_large)
+             packet: bytes, epoch: int = 0) -> bytes:
+    head = struct.pack("<HBBIIII", 0x464E, 2, flags, seq, ack_small,
+                       ack_large, epoch)
     crc = crc32c(head + packet)
     return head + struct.pack("<I", crc) + packet
 
@@ -43,6 +44,14 @@ def packet(kind: int, segments) -> bytes:
     return out
 
 
+# Envelope flag bits (proto/wire.hpp FrameFlags).
+ACK_ONLY = 1 << 0
+PROBE = 1 << 1
+PROBE_REPLY = 1 << 2
+RECONNECT = 1 << 3
+RECONNECT_ACK = 1 << 4
+
+
 def main():
     corpus = os.path.join(os.path.dirname(os.path.abspath(__file__)), "corpus")
     os.makedirs(corpus, exist_ok=True)
@@ -50,7 +59,7 @@ def main():
     # (tag, msg_seq, offset, len, total_len)
     seeds = {
         # Standalone ack: envelope-only, both cumulative acks set.
-        "ack_only": envelope(1, 0, 7, 3, b""),
+        "ack_only": envelope(ACK_ONLY, 0, 7, 3, b""),
         # Sequenced single-segment data frame (the common case).
         "data_1seg": envelope(0, 1, 0, 0, packet(
             1, [((9, 2, 0, 24, 24), bytes(range(24)))])),
@@ -63,11 +72,30 @@ def main():
         # Unsequenced frame (seq 0): the raw-driver-test shape.
         "unsequenced": envelope(0, 0, 0, 0, packet(
             1, [((0, 0, 0, 4, 4), b"\x01\x02\x03\x04")])),
+        # Epoch-fenced data frame: a resurrected rail's second life.
+        "data_epoch2": envelope(0, 1, 0, 0, packet(
+            1, [((3, 1, 0, 8, 8), b"E" * 8)]), epoch=2),
+        # Keepalive probe and its reply (envelope-only, epoch-stamped).
+        "probe": envelope(ACK_ONLY | PROBE, 0, 4, 2, b"", epoch=1),
+        "probe_reply": envelope(ACK_ONLY | PROBE_REPLY, 0, 4, 2, b"", epoch=1),
+        # Reconnect handshake pair: the initiator proposes epoch+1, the
+        # receiver adopts and acks it.
+        "reconnect": envelope(ACK_ONLY | RECONNECT, 0, 0, 0, b"", epoch=3),
+        "reconnect_ack": envelope(ACK_ONLY | RECONNECT_ACK, 0, 0, 0, b"",
+                                  epoch=3),
     }
     # Rejected shapes keep the fuzzer exploring the failure paths too.
     seeds["bad_crc"] = bytearray(seeds["data_1seg"])
-    seeds["bad_crc"][25] ^= 0x40
+    seeds["bad_crc"][29] ^= 0x40
     seeds["truncated_envelope"] = seeds["data_1seg"][:13]
+    # Control flags without kFrameAckOnly are malformed (decode rejects
+    # handshake/probe bits on frames that claim to carry a packet).
+    seeds["probe_without_ackonly"] = envelope(PROBE, 0, 0, 0, b"", epoch=1)
+    # Handshake frames must be envelope-only: a reconnect dragging a
+    # payload behind it is rejected.
+    seeds["reconnect_with_payload"] = envelope(
+        ACK_ONLY | RECONNECT, 0, 0, 0, packet(
+            1, [((1, 1, 0, 4, 4), b"\xde\xad\xbe\xef")]), epoch=2)
 
     for name, data in seeds.items():
         with open(os.path.join(corpus, name + ".bin"), "wb") as f:

@@ -13,6 +13,7 @@
 #include <chrono>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "core/platform.hpp"
@@ -47,6 +48,12 @@ struct ChaosFixture {
     netmodel::HostProfile host;
     const auto na = world.add_node(host);
     const auto nb = world.add_node(host);
+
+    // Flap schedules run on virtual time; bind the world clock unless the
+    // test supplied its own time source.
+    if (cfg.flap.enabled && cfg.clock == nullptr) {
+      cfg.clock = [this] { return world.now(); };
+    }
 
     std::vector<drv::Driver*> rails_a, rails_b;
     for (const auto& nic : {netmodel::myri10g(), netmodel::quadrics_qm500()}) {
@@ -475,6 +482,371 @@ TEST(ChaosFailover, AllRailsDeadFailsRequestsInsteadOfHanging) {
   auto late_recv = f.a->irecv(f.gate_ab, 1, sink);
   EXPECT_TRUE(late_recv->failed());
 }
+
+// --------------------------------------------------------------------------
+// Rail resurrection: keepalive probing detects a dead *idle* rail (zero
+// application traffic), the reconnect machinery revives the endpoint, and
+// the epoch handshake fences every frame of the previous incarnation. The
+// end-to-end contract: the rail re-enters the stripe set and carries
+// byte-identical traffic under the new epoch.
+// --------------------------------------------------------------------------
+
+strat::StrategyConfig resurrection_scfg() {
+  strat::StrategyConfig scfg;
+  scfg.reliability.ack_enabled = true;
+  scfg.reliability.keepalive_enabled = true;
+  scfg.reliability.reconnect_enabled = true;
+  return scfg;
+}
+
+TEST(ChaosResurrection, IdleRailKilledIsDetectedRevivedAndRejoinsTheStripe) {
+  ChaosFixture f(51, "split_balance",
+                 drv::ChaosConfig::uniform(drv::FaultProfile{}, 1),
+                 resurrection_scfg());
+
+  // Warm-up: a striped transfer proves both rails carry traffic.
+  const auto warm = random_bytes(1 << 20, 1);
+  std::vector<std::byte> sink(warm.size());
+  auto recv = f.b->irecv(f.gate_ba, 0, sink);
+  auto send = f.a->isend(f.gate_ab, 0, warm);
+  f.a->wait_all(std::span(&send, 1), std::span(&recv, 1));
+  ASSERT_EQ(sink, warm);
+
+  auto& gate_a = f.a->scheduler().gate(f.gate_ab);
+  auto& gate_b = f.b->scheduler().gate(f.gate_ba);
+  // Drain every trailing ack: the kill must land on a *fully idle* rail so
+  // that only the keepalive machinery — no retransmit timer — can notice.
+  const bool drained = f.world.engine().run_until([&] {
+    for (auto* g : {&gate_a, &gate_b}) {
+      for (auto& r : g->rails()) {
+        if (r.guard.unacked_count() != 0) return false;
+      }
+    }
+    return true;
+  });
+  ASSERT_TRUE(drained);
+  ASSERT_TRUE(gate_a.rail(0).guard.healthy());
+  ASSERT_EQ(gate_a.rail(0).guard.epoch(), 1u);
+
+  // Asymmetric cut: B's endpoint of link 0 goes dark (discards every
+  // receive, refuses every send). A's probes go unanswered; B's guard
+  // cannot even emit a probe — both converge to dead on keepalive alone.
+  f.side_b(0).kill();
+  const bool resurrected = f.world.engine().run_until([&] {
+    return gate_a.rail(0).guard.epoch() >= 2 &&
+           gate_b.rail(0).guard.epoch() >= 2 &&
+           gate_a.rail(0).guard.healthy() && gate_b.rail(0).guard.healthy();
+  });
+  ASSERT_TRUE(resurrected) << "idle rail never came back";
+  EXPECT_EQ(gate_a.rail(0).guard.epoch(), gate_b.rail(0).guard.epoch());
+  EXPECT_GE(f.side_b(0).stats().revives, 1u);  // the kill switch was cleared
+  if (obs::kMetricsEnabled) {
+    // A actually probed the silent rail, and both ends count a reconnect.
+    EXPECT_GE(gate_a.rail(0).guard.metrics.probes_sent.value(), 1u);
+    EXPECT_GE(gate_a.rail(0).guard.metrics.reconnects.value(), 1u);
+    EXPECT_GE(gate_b.rail(0).guard.metrics.reconnects.value(), 1u);
+  }
+  EXPECT_FALSE(gate_a.failed());
+
+  // The resurrected rail re-enters the stripe set: a second bulk transfer
+  // puts chunks in flight on rail 0 again and delivers byte-identical.
+  const auto after = random_bytes(1 << 20, 2);
+  std::vector<std::byte> sink2(after.size());
+  auto recv2 = f.b->irecv(f.gate_ba, 1, sink2);
+  auto send2 = f.a->isend(f.gate_ab, 1, after);
+  const bool striped = f.world.engine().run_until(
+      [&] { return gate_a.rail(0).guard.unacked_count() > 0; });
+  EXPECT_TRUE(striped) << "revived rail carried no data";
+  f.a->wait_all(std::span(&send2, 1), std::span(&recv2, 1));
+  ASSERT_TRUE(send2->completed());
+  ASSERT_TRUE(recv2->completed());
+  EXPECT_EQ(sink2, after);
+  EXPECT_TRUE(gate_a.rail(0).guard.healthy());
+  EXPECT_TRUE(gate_b.rail(0).guard.healthy());
+  if (obs::kMetricsEnabled) {
+    // Stale frames of epoch 1 may have been *fenced* (dropped), but byte-
+    // identical delivery plus zero CRC/malformed damage means none was
+    // ever accepted into the new incarnation.
+    EXPECT_EQ(gate_b.rail(0).guard.metrics.crc_drops.value(), 0u);
+    EXPECT_EQ(gate_b.rail(0).guard.metrics.malformed_drops.value(), 0u);
+  }
+}
+
+TEST(ChaosResurrection, IdleRailResurrectionUnderProgressThreads) {
+  ChaosFixture f(52, "split_balance",
+                 drv::ChaosConfig::uniform(drv::FaultProfile{}, 1),
+                 resurrection_scfg());
+  f.start_threaded();
+
+  // Poll a predicate under the world mutex while the progress threads run
+  // the engine (the threaded stand-in for run_until).
+  auto poll_until = [&](const std::function<bool()>& pred) {
+    for (int i = 0; i < 20000; ++i) {
+      {
+        std::lock_guard<std::mutex> lock(f.world.progress_mutex());
+        if (pred()) return true;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    return false;
+  };
+
+  const auto warm = random_bytes(1 << 20, 3);
+  std::vector<std::byte> sink(warm.size());
+  auto recv = f.b->irecv(f.gate_ba, 0, sink);
+  auto send = f.a->isend(f.gate_ab, 0, warm);
+  f.a->wait_all(std::span(&send, 1), std::span(&recv, 1));
+  ASSERT_EQ(sink, warm);
+
+  auto& gate_a = f.a->scheduler().gate(f.gate_ab);
+  auto& gate_b = f.b->scheduler().gate(f.gate_ba);
+  ASSERT_TRUE(poll_until([&] {
+    for (auto* g : {&gate_a, &gate_b}) {
+      for (auto& r : g->rails()) {
+        if (r.guard.unacked_count() != 0) return false;
+      }
+    }
+    return true;
+  }));
+  {
+    std::lock_guard<std::mutex> lock(f.world.progress_mutex());
+    f.side_b(0).kill();
+  }
+  ASSERT_TRUE(poll_until([&] {
+    return gate_a.rail(0).guard.epoch() >= 2 &&
+           gate_b.rail(0).guard.epoch() >= 2 &&
+           gate_a.rail(0).guard.healthy() && gate_b.rail(0).guard.healthy();
+  })) << "idle rail never came back under progress threads";
+
+  const auto after = random_bytes(1 << 20, 4);
+  std::vector<std::byte> sink2(after.size());
+  auto recv2 = f.b->irecv(f.gate_ba, 1, sink2);
+  auto send2 = f.a->isend(f.gate_ab, 1, after);
+  f.a->wait_all(std::span(&send2, 1), std::span(&recv2, 1));
+  ASSERT_TRUE(send2->completed());
+  EXPECT_EQ(sink2, after);
+  {
+    std::lock_guard<std::mutex> lock(f.world.progress_mutex());
+    EXPECT_EQ(gate_a.rail(0).guard.epoch(), gate_b.rail(0).guard.epoch());
+    EXPECT_TRUE(gate_a.rail(0).guard.healthy());
+    if (obs::kMetricsEnabled) {
+      EXPECT_GE(gate_a.rail(0).guard.metrics.reconnects.value(), 1u);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Total outage then recovery: when EVERY rail dies, in-flight requests fail
+// (the established contract) — and stay failed after the rails come back.
+// Only *new* submissions ride the resurrected gate. No zombie requests.
+// --------------------------------------------------------------------------
+
+class TotalOutageRecovery : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TotalOutageRecovery, FailedRequestsStayFailedNewOnesSucceed) {
+  strat::StrategyConfig scfg = resurrection_scfg();
+  // The outage must be decisive: every rail dies (and the gate fails its
+  // requests) before the first reconnect attempt can resurrect anything.
+  scfg.reliability.reconnect_backoff_ns = 50'000'000;
+  ChaosFixture f(GetParam(), "split_balance",
+                 drv::ChaosConfig::uniform(drv::FaultProfile{}, 1), scfg);
+
+  const auto payload = random_bytes(2 << 20, GetParam());
+  std::vector<std::byte> sink(payload.size());
+  auto recv = f.b->irecv(f.gate_ba, 0, sink);
+  auto send = f.a->isend(f.gate_ab, 0, payload);
+
+  auto& gate_a = f.a->scheduler().gate(f.gate_ab);
+  auto& gate_b = f.b->scheduler().gate(f.gate_ba);
+  const bool armed = f.world.engine().run_until([&] {
+    return gate_a.rail(0).guard.unacked_count() > 0 &&
+           gate_a.rail(1).guard.unacked_count() > 0;
+  });
+  ASSERT_TRUE(armed);
+  f.kill_link(0);
+  f.kill_link(1);
+
+  // Every rail dead: the in-flight requests settle as failed.
+  f.a->wait(send);
+  ASSERT_TRUE(send->failed());
+  EXPECT_TRUE(gate_a.failed());
+  f.b->wait(recv);
+  ASSERT_TRUE(recv->failed());
+
+  // The reconnect machinery revives every rail and un-fails the gates.
+  const bool recovered = f.world.engine().run_until([&] {
+    if (gate_a.failed() || gate_b.failed()) return false;
+    for (auto* g : {&gate_a, &gate_b}) {
+      for (auto& r : g->rails()) {
+        if (!r.guard.healthy() || r.guard.epoch() < 2) return false;
+      }
+    }
+    return true;
+  });
+  ASSERT_TRUE(recovered) << "gates never recovered from the total outage";
+
+  // No zombie resurrection: the failed requests are settled history.
+  EXPECT_TRUE(send->failed());
+  EXPECT_FALSE(send->completed());
+  EXPECT_TRUE(recv->failed());
+  EXPECT_FALSE(recv->completed());
+
+  // New submissions (fresh tag) ride the resurrected gate end to end.
+  const auto fresh = random_bytes(1 << 20, GetParam() + 1000);
+  std::vector<std::byte> sink2(fresh.size());
+  auto recv2 = f.b->irecv(f.gate_ba, 9, sink2);
+  auto send2 = f.a->isend(f.gate_ab, 9, fresh);
+  f.a->wait_all(std::span(&send2, 1), std::span(&recv2, 1));
+  ASSERT_TRUE(send2->completed());
+  ASSERT_TRUE(recv2->completed());
+  EXPECT_EQ(sink2, fresh);
+  if (obs::kMetricsEnabled) {
+    for (auto& r : gate_a.rails()) {
+      EXPECT_GE(r.guard.metrics.reconnects.value(), 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TotalOutageRecovery,
+                         ::testing::Values(5u, 19u, 63u),
+                         [](const auto& pinfo) {
+                           return "seed" + std::to_string(pinfo.param);
+                         });
+
+class ThreadedTotalOutageRecovery
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ThreadedTotalOutageRecovery, FailedRequestsStayFailedNewOnesSucceed) {
+  strat::StrategyConfig scfg = resurrection_scfg();
+  ChaosFixture f(GetParam(), "split_balance",
+                 drv::ChaosConfig::uniform(drv::FaultProfile{}, 1), scfg);
+  f.start_threaded();
+
+  auto poll_until = [&](const std::function<bool()>& pred) {
+    for (int i = 0; i < 20000; ++i) {
+      {
+        std::lock_guard<std::mutex> lock(f.world.progress_mutex());
+        if (pred()) return true;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    return false;
+  };
+
+  // Latch revival shut, then cut every link BEFORE submitting. Under
+  // free-running progress threads the kill/detect/reconnect cycle runs at
+  // sim speed, so without the latch the rails can resurrect before the
+  // submissions even land; with it, the outage provably outlives the
+  // requests (the reconnect machinery keeps backing off against a revive
+  // that cannot succeed) and "submitted during a total outage" is exact.
+  auto& gate_a = f.a->scheduler().gate(f.gate_ab);
+  auto& gate_b = f.b->scheduler().gate(f.gate_ba);
+  {
+    std::lock_guard<std::mutex> lock(f.world.progress_mutex());
+    for (auto& w : f.wrappers) w->set_revivable(false);
+    f.kill_link(0);
+    f.kill_link(1);
+  }
+  const auto payload = random_bytes(2 << 20, GetParam());
+  std::vector<std::byte> sink(payload.size());
+  auto recv = f.b->irecv(f.gate_ba, 0, sink);
+  auto send = f.a->isend(f.gate_ab, 0, payload);
+
+  f.a->wait(send);
+  ASSERT_TRUE(send->failed());
+  f.b->wait(recv);
+  ASSERT_TRUE(recv->failed());
+
+  // Release the latch: the next backoff tick revives the ports, and the
+  // epoch handshake re-arms both gates.
+  {
+    std::lock_guard<std::mutex> lock(f.world.progress_mutex());
+    for (auto& w : f.wrappers) w->set_revivable(true);
+  }
+
+  ASSERT_TRUE(poll_until([&] {
+    if (gate_a.failed() || gate_b.failed()) return false;
+    for (auto* g : {&gate_a, &gate_b}) {
+      for (auto& r : g->rails()) {
+        if (!r.guard.healthy() || r.guard.epoch() < 2) return false;
+      }
+    }
+    return true;
+  })) << "gates never recovered from the total outage";
+
+  EXPECT_TRUE(send->failed());
+  EXPECT_FALSE(send->completed());
+
+  const auto fresh = random_bytes(1 << 20, GetParam() + 1000);
+  std::vector<std::byte> sink2(fresh.size());
+  auto recv2 = f.b->irecv(f.gate_ba, 9, sink2);
+  auto send2 = f.a->isend(f.gate_ab, 9, fresh);
+  f.a->wait_all(std::span(&send2, 1), std::span(&recv2, 1));
+  ASSERT_TRUE(send2->completed());
+  EXPECT_EQ(sink2, fresh);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThreadedTotalOutageRecovery,
+                         ::testing::Values(5u, 63u),
+                         [](const auto& pinfo) {
+                           return "seed" + std::to_string(pinfo.param);
+                         });
+
+// --------------------------------------------------------------------------
+// Seeded flapping link: alternating up/down windows on one rail. The run
+// must stay byte-exact through every flap, healing each down window either
+// by retransmission or by a full death-and-resurrection cycle.
+// --------------------------------------------------------------------------
+
+class FlappingRail : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlappingRail, TrafficSurvivesLinkFlapByteExact) {
+  drv::ChaosConfig cfg = drv::ChaosConfig::uniform(drv::FaultProfile{}, 1);
+  cfg.flap.enabled = true;
+  cfg.flap.up_ns = 8'000'000;
+  cfg.flap.down_ns = 4'000'000;
+  cfg.flap.start_ns = 1'000'000;
+  strat::StrategyConfig scfg = resurrection_scfg();
+  // Every wrapper flaps on its own seeded schedule (the fixture binds the
+  // virtual clock): down windows overlap unpredictably, so each wave heals
+  // through retransmission, failover, or a full resurrection cycle.
+  ChaosFixture f(GetParam(), "split_balance", cfg, scfg);
+  util::Xoshiro256 rng(GetParam() * 3 + 1);
+
+  constexpr int kMessages = 16;
+  for (int wave = 0; wave < 3; ++wave) {
+    std::vector<std::vector<std::byte>> payloads, sinks;
+    std::vector<RecvHandle> recvs;
+    std::vector<SendHandle> sends;
+    for (int i = 0; i < kMessages; ++i) {
+      payloads.push_back(
+          random_bytes(1 + rng.next_below(200000), GetParam() + i + wave * 50));
+      sinks.emplace_back(payloads.back().size(), std::byte{0});
+    }
+    for (int i = 0; i < kMessages; ++i) {
+      recvs.push_back(f.b->irecv(f.gate_ba, static_cast<proto::Tag>(i % 2),
+                                 sinks[i]));
+    }
+    for (int i = 0; i < kMessages; ++i) {
+      sends.push_back(f.a->isend(f.gate_ab, static_cast<proto::Tag>(i % 2),
+                                 payloads[i]));
+    }
+    f.a->wait_all(sends, recvs);
+    for (int i = 0; i < kMessages; ++i) {
+      if (recvs[i]->completed()) {
+        EXPECT_EQ(sinks[i], payloads[i]) << "message " << i << " corrupted";
+      } else {
+        EXPECT_TRUE(recvs[i]->failed());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlappingRail,
+                         ::testing::Values(101u, 202u, 303u),
+                         [](const auto& pinfo) {
+                           return "seed" + std::to_string(pinfo.param);
+                         });
 
 // --------------------------------------------------------------------------
 // Destructor straggler flush (satellite: frames held past teardown used to

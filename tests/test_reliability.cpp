@@ -67,6 +67,8 @@ struct GuardHarness {
   int credit_calls = 0;
   std::vector<std::vector<std::byte>> delivered;
   std::vector<RailState> transitions;
+  std::vector<RailGuard::PendingFrame> requeued;
+  int revived_calls = 0;
   int kicks = 0;
   RailGuard guard;
 
@@ -84,6 +86,10 @@ struct GuardHarness {
     };
     hooks.kick = [this] { ++kicks; };
     hooks.on_state_change = [this](RailState s) { transitions.push_back(s); };
+    hooks.on_revived = [this] { ++revived_calls; };
+    hooks.requeue = [this](std::vector<RailGuard::PendingFrame> frames) {
+      for (auto& f : frames) requeued.push_back(std::move(f));
+    };
     guard.init(drv, /*index=*/0, cfg, std::move(hooks));
   }
 
@@ -133,7 +139,8 @@ drv::SendDesc make_data_desc(drv::Track track = drv::Track::kSmall) {
 std::vector<std::byte> make_frame(std::uint32_t seq,
                                   std::uint32_t ack_small = 0,
                                   std::uint32_t ack_large = 0,
-                                  std::uint8_t flags = 0) {
+                                  std::uint8_t flags = 0,
+                                  std::uint32_t epoch = 0) {
   std::vector<std::byte> packet;
   if ((flags & proto::kFrameAckOnly) == 0) {
     packet = proto::encode_data_packet(proto::SegHeader{2, 1, 0, 16, 16},
@@ -147,9 +154,20 @@ std::vector<std::byte> make_frame(std::uint32_t seq,
   env.seq = seq;
   env.ack_small = ack_small;
   env.ack_large = ack_large;
+  env.epoch = epoch;
   proto::seal_frame_envelope(
       std::span(frame).first(proto::kFrameEnvelopeBytes), env, packet, {});
   return frame;
+}
+
+/// Posted frames whose envelope carries `flag` (e.g. kFrameProbe).
+std::size_t count_posted(const RecordingDriver& d, std::uint8_t flag) {
+  std::size_t n = 0;
+  for (const auto& f : d.posted) {
+    const auto env = proto::decode_frame_envelope(f.bytes);
+    if (env.has_value() && (env->flags & flag) != 0) ++n;
+  }
+  return n;
 }
 
 TEST(RailGuard, RetransmitsVerbatimUntilAckedThenCredits) {
@@ -317,6 +335,204 @@ TEST(RailGuard, AckDisabledKeepsLegacyLocalCompletionSemantics) {
   ASSERT_TRUE(env.has_value());
   EXPECT_EQ(env->seq, 1u);
   EXPECT_TRUE(proto::verify_frame_checksum(h.drv.posted[0].bytes));
+}
+
+// --------------------------------------------------------------------------
+// Keepalive probing and epoch-fenced reconnection.
+// --------------------------------------------------------------------------
+
+ReliabilityConfig keepalive_cfg() {
+  auto cfg = deterministic_cfg();
+  cfg.keepalive_enabled = true;
+  cfg.keepalive_idle_ns = 5'000'000;  // 5 ms idle before the first probe
+  cfg.probe_timeout_ns = 2'000'000;   // 2 ms per unanswered probe
+  cfg.probe_max_misses = 3;
+  return cfg;
+}
+
+ReliabilityConfig reconnect_cfg() {
+  auto cfg = deterministic_cfg();
+  cfg.reconnect_enabled = true;
+  cfg.reconnect_backoff_ns = 1'000'000;
+  cfg.reconnect_backoff_factor = 2.0;
+  cfg.reconnect_backoff_max_ns = 8'000'000;
+  cfg.reconnect_max_attempts = 5;  // finite: the harness timer wheel drains
+  return cfg;
+}
+
+TEST(RailGuard, KeepaliveDetectsSilentDeathOnAnIdleRail) {
+  GuardHarness h(keepalive_cfg());
+  EXPECT_TRUE(h.guard.healthy());
+  // Zero application traffic: the probe cycle alone must walk the rail
+  // through healthy -> suspect -> dead. Timeline: probe at 5 ms, misses at
+  // 7/9/11 ms (re-probing each time), death on the third miss.
+  h.run_to(12'000'000);
+  EXPECT_EQ(h.guard.state(), RailState::kDead);
+  EXPECT_EQ(count_posted(h.drv, proto::kFrameProbe), 3u);
+  ASSERT_GE(h.transitions.size(), 2u);
+  EXPECT_EQ(h.transitions[h.transitions.size() - 2], RailState::kSuspect);
+  EXPECT_EQ(h.transitions.back(), RailState::kDead);
+  if (obs::kMetricsEnabled) {
+    EXPECT_EQ(h.guard.metrics.probes_sent.value(), 3u);
+  }
+  // Every probe is an envelope-only frame stamped with the live epoch.
+  for (const auto& f : h.drv.posted) {
+    EXPECT_EQ(f.bytes.size(), proto::kFrameEnvelopeBytes);
+    const auto env = proto::decode_frame_envelope(f.bytes);
+    ASSERT_TRUE(env.has_value());
+    EXPECT_EQ(env->epoch, h.guard.epoch());
+  }
+}
+
+TEST(RailGuard, ProbeReplyKeepsAnIdleRailHealthy) {
+  GuardHarness h(keepalive_cfg());
+  h.run_to(5'500'000);
+  ASSERT_EQ(count_posted(h.drv, proto::kFrameProbe), 1u);
+  // The peer answers: the rail is idle but alive, so no misses accumulate
+  // and the next probe waits out a full idle window again.
+  h.guard.on_frame(drv::Track::kSmall,
+                   make_frame(0, 0, 0,
+                              proto::kFrameAckOnly | proto::kFrameProbeReply,
+                              h.guard.epoch()));
+  h.run_to(9'000'000);
+  EXPECT_TRUE(h.guard.healthy());
+  EXPECT_EQ(count_posted(h.drv, proto::kFrameProbe), 1u);
+  h.run_to(12'000'000);  // idle window expired again: probe #2
+  EXPECT_EQ(count_posted(h.drv, proto::kFrameProbe), 2u);
+  EXPECT_TRUE(h.guard.healthy());
+}
+
+TEST(RailGuard, IncomingProbeGetsAnImmediateReply) {
+  GuardHarness h(deterministic_cfg());
+  h.guard.on_frame(drv::Track::kSmall,
+                   make_frame(0, 0, 0,
+                              proto::kFrameAckOnly | proto::kFrameProbe));
+  ASSERT_EQ(h.drv.posted.size(), 1u);
+  const auto env = proto::decode_frame_envelope(h.drv.posted[0].bytes);
+  ASSERT_TRUE(env.has_value());
+  EXPECT_NE(env->flags & proto::kFrameProbeReply, 0);
+  EXPECT_EQ(env->flags & proto::kFrameReconnect, 0);
+  EXPECT_TRUE(h.delivered.empty());  // envelope-only: nothing to deliver
+}
+
+TEST(RailGuard, ReconnectHandshakeResurrectsADeadRail) {
+  GuardHarness h(reconnect_cfg());
+  h.guard.post(make_data_desc(), {});
+  drv::RailError err;
+  err.kind = drv::RailErrorKind::kPeerGone;
+  err.track = drv::Track::kSmall;
+  h.guard.on_driver_error(err);
+  EXPECT_EQ(h.guard.state(), RailState::kDead);
+  (void)h.guard.take_unacked();  // the scheduler's on_rail_dead would
+
+  // First backoff tick: dead -> probing, a Reconnect proposing epoch 2.
+  h.run_to(1'100'000);
+  EXPECT_EQ(h.guard.state(), RailState::kProbing);
+  ASSERT_GE(count_posted(h.drv, proto::kFrameReconnect), 1u);
+  const auto env = proto::decode_frame_envelope(h.drv.posted.back().bytes);
+  ASSERT_TRUE(env.has_value());
+  EXPECT_NE(env->flags & proto::kFrameReconnect, 0);
+  EXPECT_EQ(env->epoch, 2u);
+
+  // While probing, data frames of the old incarnation are quiesced noise:
+  // dropped silently, never delivered, never counted as protocol damage.
+  h.guard.on_frame(drv::Track::kSmall, make_frame(1, 0, 0, 0, 1));
+  EXPECT_TRUE(h.delivered.empty());
+  if (obs::kMetricsEnabled) {
+    EXPECT_EQ(h.guard.metrics.malformed_drops.value(), 0u);
+  }
+
+  // The peer's ack completes the handshake: healthy, epoch adopted.
+  h.guard.on_frame(drv::Track::kSmall,
+                   make_frame(0, 0, 0,
+                              proto::kFrameAckOnly | proto::kFrameReconnectAck,
+                              2));
+  EXPECT_EQ(h.guard.state(), RailState::kHealthy);
+  EXPECT_EQ(h.guard.epoch(), 2u);
+  EXPECT_EQ(h.revived_calls, 1);
+  if (obs::kMetricsEnabled) {
+    EXPECT_EQ(h.guard.metrics.reconnects.value(), 1u);
+    EXPECT_EQ(h.guard.metrics.epoch.value(), 2);
+  }
+  // Sequencing restarted: the next data frame is seq 1 under epoch 2.
+  h.guard.post(make_data_desc(), {});
+  const auto env2 = proto::decode_frame_envelope(h.drv.posted.back().bytes);
+  ASSERT_TRUE(env2.has_value());
+  EXPECT_EQ(env2->seq, 1u);
+  EXPECT_EQ(env2->epoch, 2u);
+  // The peer acks it under the new epoch; the straggling backoff timer
+  // then finds the rail alive and stands down.
+  h.guard.on_frame(drv::Track::kSmall,
+                   make_frame(0, /*ack_small=*/1, 0, proto::kFrameAckOnly, 2));
+  EXPECT_EQ(h.guard.unacked_count(), 0u);
+  h.run_to(1'000'000'000);
+  EXPECT_EQ(h.guard.state(), RailState::kHealthy);
+}
+
+TEST(RailGuard, ReconnectGivesUpAfterMaxAttemptsAndStaysDead) {
+  auto cfg = reconnect_cfg();
+  cfg.reconnect_max_attempts = 2;
+  GuardHarness h(cfg);
+  drv::RailError err;
+  err.kind = drv::RailErrorKind::kSendFailed;
+  err.track = drv::Track::kLarge;
+  h.guard.on_driver_error(err);
+  h.run_to(1'000'000'000);  // nobody ever answers the Reconnect frames
+  EXPECT_EQ(h.guard.state(), RailState::kDead);
+  EXPECT_EQ(h.transitions.back(), RailState::kDead);
+  EXPECT_EQ(count_posted(h.drv, proto::kFrameReconnect), 2u);
+  EXPECT_TRUE(h.timers.empty());  // gave up: no timer left ticking
+}
+
+TEST(RailGuard, PeerInitiatedReconnectAdoptsEpochAndFencesStaleFrames) {
+  // Passive adoption needs only the ack machinery — reconnect_enabled
+  // governs who *initiates*, not who answers.
+  GuardHarness h(deterministic_cfg());
+  h.guard.post(make_data_desc(), {});  // one retained frame in epoch 1
+  ASSERT_EQ(h.guard.unacked_count(), 1u);
+
+  h.guard.on_frame(drv::Track::kSmall,
+                   make_frame(0, 0, 0,
+                              proto::kFrameAckOnly | proto::kFrameReconnect,
+                              5));
+  EXPECT_EQ(h.guard.state(), RailState::kHealthy);
+  EXPECT_EQ(h.guard.epoch(), 5u);
+  // The retained epoch-1 frame was surrendered for repost, not dropped.
+  EXPECT_EQ(h.guard.unacked_count(), 0u);
+  ASSERT_EQ(h.requeued.size(), 1u);
+  EXPECT_EQ(h.credit_calls, 0);
+  // A live endpoint adopting a new epoch is not a resurrection.
+  EXPECT_EQ(h.revived_calls, 0);
+  if (obs::kMetricsEnabled) {
+    EXPECT_EQ(h.guard.metrics.reconnects.value(), 0u);
+  }
+  // The adoption was acked with the new epoch.
+  ASSERT_GE(count_posted(h.drv, proto::kFrameReconnectAck), 1u);
+  const auto ack = proto::decode_frame_envelope(h.drv.posted.back().bytes);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->epoch, 5u);
+
+  // Epoch fencing: frames of the old incarnation die at the door, frames
+  // of the new one (and unfenced raw frames) deliver.
+  h.guard.on_frame(drv::Track::kSmall, make_frame(1, 0, 0, 0, 1));
+  EXPECT_TRUE(h.delivered.empty());
+  h.guard.on_frame(drv::Track::kSmall, make_frame(1, 0, 0, 0, 5));
+  EXPECT_EQ(h.delivered.size(), 1u);
+  h.guard.on_frame(drv::Track::kSmall, make_frame(2, 0, 0, 0, 0));
+  EXPECT_EQ(h.delivered.size(), 2u);
+  if (obs::kMetricsEnabled) {
+    EXPECT_EQ(h.guard.metrics.stale_frames_dropped.value(), 1u);
+  }
+
+  // A duplicate Reconnect for the adopted epoch re-acks idempotently.
+  const auto posts_before = h.drv.posted.size();
+  h.guard.on_frame(drv::Track::kSmall,
+                   make_frame(0, 0, 0,
+                              proto::kFrameAckOnly | proto::kFrameReconnect,
+                              5));
+  EXPECT_EQ(h.guard.epoch(), 5u);
+  EXPECT_EQ(h.drv.posted.size(), posts_before + 1);
+  EXPECT_EQ(count_posted(h.drv, proto::kFrameReconnectAck), 2u);
 }
 
 // --------------------------------------------------------------------------

@@ -318,6 +318,50 @@ TEST(FrameEnvelope, AckOnlyFrameIsEnvelopeSized) {
   EXPECT_FALSE(decode_frame_envelope(padded).has_value());
 }
 
+TEST(FrameEnvelope, EpochRoundTripsAndIsCrcCovered) {
+  const auto packet = encode_data_packet(SegHeader{5, 2, 0, 8, 8},
+                                         std::vector<std::byte>(8, std::byte{0x11}));
+  FrameEnvelope env;
+  env.seq = 7;
+  env.epoch = 0xdeadbeef;
+  const auto frame = sealed_frame(env, packet);
+  const auto decoded = decode_frame_envelope(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->epoch, 0xdeadbeefu);
+  EXPECT_TRUE(verify_frame_checksum(frame));
+  // The epoch field (bytes 16..19) is under the checksum: an incarnation
+  // number can never be corrupted into silently passing the fence.
+  for (std::size_t at = 16; at < 20; ++at) {
+    auto tampered = frame;
+    tampered[at] ^= std::byte{0x01};
+    EXPECT_FALSE(verify_frame_checksum(tampered)) << "byte " << at;
+  }
+}
+
+TEST(FrameEnvelope, HandshakeAndProbeFramesAreEnvelopeOnly) {
+  const auto packet = encode_data_packet(SegHeader{1, 1, 0, 4, 4},
+                                         std::vector<std::byte>(4, std::byte{9}));
+  for (const std::uint8_t flag :
+       {kFrameProbe, kFrameProbeReply, kFrameReconnect, kFrameReconnectAck}) {
+    FrameEnvelope env;
+    env.flags = static_cast<std::uint8_t>(kFrameAckOnly | flag);
+    env.epoch = 3;
+    const auto frame = sealed_frame(env, {});
+    const auto decoded = decode_frame_envelope(frame);
+    ASSERT_TRUE(decoded.has_value()) << "flag " << int(flag);
+    EXPECT_EQ(decoded->epoch, 3u);
+    EXPECT_NE(decoded->flags & flag, 0);
+
+    // A control flag without kFrameAckOnly claims to carry a packet —
+    // malformed by construction, with or without actual payload bytes.
+    FrameEnvelope bare;
+    bare.flags = flag;
+    bare.seq = 1;
+    EXPECT_FALSE(decode_frame_envelope(sealed_frame(bare, packet)).has_value())
+        << "flag " << int(flag);
+  }
+}
+
 TEST(FrameEnvelope, RejectsTruncationAtEveryCut) {
   const auto packet = encode_data_packet(SegHeader{1, 1, 0, 4, 4},
                                          std::vector<std::byte>(4, std::byte{1}));
