@@ -33,9 +33,16 @@ struct CheckRecord {
   bool ok = true;
 };
 
+struct PatternStamp {
+  std::string pattern;
+  std::size_t p = 0, g = 0, k = 0;
+  std::string direction;
+};
+
 std::string g_report_name;
 std::string g_report_chaos = "none";
 long g_report_seed = 0;
+std::vector<PatternStamp> g_pattern_stamps;
 double g_report_compare_tolerance = -1.0;  // < 0: not set, omit the block
 std::vector<ReportSeries> g_report_series;
 std::vector<CheckRecord> g_checks;
@@ -90,10 +97,23 @@ void write_report() {
   // with matching meta blocks.
   std::fprintf(f,
                "  \"meta\": {\"progress_mode\": \"%s\", "
-               "\"chaos_profile\": \"%s\", \"seed\": %ld},\n",
+               "\"chaos_profile\": \"%s\", \"seed\": %ld",
                core::to_string(
                    core::resolve_progress_mode(core::ProgressMode::kDefault)),
                json_escape(g_report_chaos).c_str(), g_report_seed);
+  if (!g_pattern_stamps.empty()) {
+    std::fprintf(f, ",\n    \"pattern_points\": [");
+    for (std::size_t i = 0; i < g_pattern_stamps.size(); ++i) {
+      const PatternStamp& st = g_pattern_stamps[i];
+      std::fprintf(f,
+                   "%s\n      {\"pattern\": \"%s\", \"p\": %zu, \"g\": %zu, "
+                   "\"k\": %zu, \"direction\": \"%s\"}",
+                   i == 0 ? "" : ",", json_escape(st.pattern).c_str(), st.p,
+                   st.g, st.k, json_escape(st.direction).c_str());
+    }
+    std::fprintf(f, "\n    ]");
+  }
+  std::fprintf(f, "},\n");
   if (g_report_compare_tolerance >= 0.0) {
     std::fprintf(f, "  \"compare\": {\"tolerance\": %.6g},\n",
                  g_report_compare_tolerance);
@@ -150,6 +170,12 @@ void set_report_chaos(std::string profile) {
 }
 
 void set_report_seed(long seed) { g_report_seed = seed; }
+
+void stamp_pattern_point(const std::string& pattern, std::size_t p,
+                         std::size_t g, std::size_t k,
+                         const std::string& direction) {
+  g_pattern_stamps.push_back({pattern, p, g, k, direction});
+}
 
 void set_report_compare_tolerance(double tolerance) {
   g_report_compare_tolerance = tolerance;

@@ -92,6 +92,15 @@ void set_report_name(std::string name);
 void set_report_chaos(std::string profile);
 void set_report_seed(long seed);
 
+/// Stamp one group-to-group pattern point into the report's meta block:
+/// meta.pattern_points grows one {pattern, p, g, k, direction} entry per
+/// call, in call order. The patterns bench stamps every swept point;
+/// ci/check_bench_json.py requires the stamps on BENCH_patterns.json and
+/// cross-checks them against the emitted series labels.
+void stamp_pattern_point(const std::string& pattern, std::size_t p,
+                         std::size_t g, std::size_t k,
+                         const std::string& direction);
+
 /// Per-report trajectory tolerance, emitted as the JSON's top-level
 /// "compare" block. ci/compare_bench_json.py reads it from the *committed
 /// baseline* and uses it instead of its --tolerance default for this

@@ -1,0 +1,293 @@
+#include "pattern_gen.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "drv/sim_driver.hpp"
+#include "util/panic.hpp"
+#include "util/rng.hpp"
+
+namespace nmad::bench {
+
+const char* to_string(Pattern pattern) noexcept {
+  switch (pattern) {
+    case Pattern::kP2P: return "p2p";
+    case Pattern::kRail: return "rail";
+    case Pattern::kFan: return "fan";
+    case Pattern::kDense: return "dense";
+  }
+  return "?";
+}
+
+const char* to_string(Direction direction) noexcept {
+  switch (direction) {
+    case Direction::kUni: return "uni";
+    case Direction::kBi: return "bi";
+    case Direction::kOmni: return "omni";
+  }
+  return "?";
+}
+
+bool PatternPoint::valid() const noexcept {
+  if (p < 2 || g < 1 || k < 1) return false;
+  if (p % g != 0 || k > g) return false;
+  if (pattern != Pattern::kP2P && p / g < 2) return false;
+  return true;
+}
+
+std::string PatternPoint::label() const {
+  return std::string(to_string(pattern)) + "/" + to_string(direction) + "/p" +
+         std::to_string(p) + "g" + std::to_string(g) + "k" + std::to_string(k);
+}
+
+PatternPoint p2p_point(std::size_t p, Direction direction) {
+  return PatternPoint{Pattern::kP2P, p, 1, 1, direction};
+}
+
+namespace {
+
+/// Append the pattern's pairs with group `root` as the sender group.
+void emit_root(const PatternPoint& pt, std::size_t root,
+               std::vector<Pair>& out) {
+  const std::size_t groups = pt.p / pt.g;
+  for (std::size_t c = 0; c < groups; ++c) {
+    if (c == root) continue;
+    switch (pt.pattern) {
+      case Pattern::kRail:
+        for (std::size_t i = 0; i < pt.k; ++i) {
+          out.push_back({root * pt.g + i, c * pt.g + i});
+        }
+        break;
+      case Pattern::kFan:
+        for (std::size_t j = 0; j < pt.k; ++j) {
+          out.push_back({root * pt.g, c * pt.g + j});
+        }
+        break;
+      case Pattern::kDense:
+        for (std::size_t i = 0; i < pt.k; ++i) {
+          for (std::size_t j = 0; j < pt.k; ++j) {
+            out.push_back({root * pt.g + i, c * pt.g + j});
+          }
+        }
+        break;
+      case Pattern::kP2P:
+        NMAD_PANIC("p2p has no root-group expansion");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Pair> generate_pairs(const PatternPoint& point) {
+  NMAD_ASSERT(point.valid(), "invalid pattern point");
+  std::vector<Pair> out;
+  if (point.pattern == Pattern::kP2P) {
+    out.push_back({0, point.p - 1});
+    // bi and omni coincide: with no groups there is nothing more to rotate.
+    if (point.direction != Direction::kUni) out.push_back({point.p - 1, 0});
+  } else {
+    switch (point.direction) {
+      case Direction::kUni:
+        emit_root(point, 0, out);
+        break;
+      case Direction::kBi: {
+        emit_root(point, 0, out);
+        const std::size_t uni = out.size();
+        for (std::size_t i = 0; i < uni; ++i) {
+          out.push_back({out[i].receiver, out[i].sender});
+        }
+        break;
+      }
+      case Direction::kOmni:
+        for (std::size_t root = 0; root < point.p / point.g; ++root) {
+          emit_root(point, root, out);
+        }
+        break;
+    }
+  }
+
+  // Audit the set's structural invariants (pair sets are small; the
+  // property tests re-prove these across the whole sweep space).
+  for (const Pair& pr : out) {
+    NMAD_ASSERT(pr.sender != pr.receiver, "self-send generated");
+    NMAD_ASSERT(pr.sender < point.p && pr.receiver < point.p,
+                "pair rank out of range");
+  }
+  std::vector<Pair> sorted = out;
+  std::sort(sorted.begin(), sorted.end());
+  NMAD_ASSERT(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+              "duplicate pair generated");
+  NMAD_ASSERT(out.size() == expected_pair_count(point),
+              "pair count diverges from the closed form");
+  return out;
+}
+
+std::size_t expected_pair_count(const PatternPoint& point) {
+  NMAD_ASSERT(point.valid(), "invalid pattern point");
+  if (point.pattern == Pattern::kP2P) {
+    return point.direction == Direction::kUni ? 1 : 2;
+  }
+  const std::size_t groups = point.p / point.g;
+  std::size_t per_root = 0;  // pairs one root group emits
+  switch (point.pattern) {
+    case Pattern::kRail:
+    case Pattern::kFan:
+      per_root = point.k * (groups - 1);
+      break;
+    case Pattern::kDense:
+      per_root = point.k * point.k * (groups - 1);
+      break;
+    case Pattern::kP2P:
+      break;
+  }
+  switch (point.direction) {
+    case Direction::kUni: return per_root;
+    case Direction::kBi: return 2 * per_root;
+    case Direction::kOmni: return groups * per_root;
+  }
+  return 0;
+}
+
+std::size_t max_bus_degree(const std::vector<Pair>& pairs) {
+  std::size_t max_rank = 0;
+  for (const Pair& pr : pairs) {
+    max_rank = std::max({max_rank, pr.sender, pr.receiver});
+  }
+  std::vector<std::size_t> degree(max_rank + 1, 0);
+  for (const Pair& pr : pairs) {
+    ++degree[pr.sender];
+    ++degree[pr.receiver];
+  }
+  return pairs.empty() ? 0 : *std::max_element(degree.begin(), degree.end());
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> pattern_edges(
+    const std::vector<Pair>& pairs) {
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  edges.reserve(pairs.size());
+  for (const Pair& pr : pairs) {
+    edges.emplace_back(std::min(pr.sender, pr.receiver),
+                       std::max(pr.sender, pr.receiver));
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+bool wire_bound(const std::vector<Pair>& pairs,
+                const std::vector<netmodel::NicProfile>& links,
+                const netmodel::HostProfile& host) {
+  double aggregate = 0.0;
+  for (const auto& nic : links) aggregate += nic.dma_bandwidth_mbps;
+  const double degree = static_cast<double>(max_bus_degree(pairs));
+  return aggregate * degree <= host.bus_bandwidth_mbps;
+}
+
+std::uint64_t expected_delivered_bytes(const PatternPoint& point,
+                                       std::uint64_t msg_bytes, int iters) {
+  return static_cast<std::uint64_t>(expected_pair_count(point)) * msg_bytes *
+         static_cast<std::uint64_t>(iters);
+}
+
+PatternRunResult run_pattern_point(const PatternPoint& point,
+                                   const PatternRunOpts& opts) {
+  NMAD_ASSERT(!opts.links.empty(), "pattern run needs at least one rail");
+  NMAD_ASSERT(opts.iters >= 1, "pattern run needs at least one timed wave");
+  const std::vector<Pair> pairs = generate_pairs(point);
+
+  core::MultiNodeConfig cfg;
+  cfg.nodes = point.p;
+  cfg.host = netmodel::HostProfile{};
+  cfg.links = opts.links;
+  cfg.strategy = opts.links.size() > 1 ? opts.strategy : "single_rail";
+  cfg.progress_mode = opts.progress_mode;
+  // Only the edges the pair set touches get links and gates: a 16-rank
+  // p2p point builds 1 edge, not the 120-edge full mesh.
+  cfg.edges = pattern_edges(pairs);
+  if (opts.chaos) {
+    cfg.chaos = opts.chaos;
+    cfg.chaos_seed = opts.chaos_seed;
+    // Faults require the reliability layer, like the chaos soaks.
+    cfg.strat_cfg.reliability.ack_enabled = true;
+  }
+  core::MultiNodePlatform platform(cfg);
+
+  // Declared after the platform so it is destroyed first; nothing runs the
+  // engine after the last wave (the NetScenario lifetime contract).
+  std::optional<sim::NetScenario> scenario;
+  if (!opts.shape_rail0.empty()) {
+    scenario.emplace(platform.world().engine(), platform.world().net());
+    std::vector<sim::CapacityPhase> phases = opts.shape_rail0;
+    for (auto& phase : phases) phase.at += platform.now();
+    for (const auto& [i, j] : cfg.edges) {
+      for (const sim::ConstraintId link :
+           {platform.sim_endpoint(i, j, 0).tx_link(),
+            platform.sim_endpoint(j, i, 0).tx_link()}) {
+        scenario->shape_link(link, platform.world().net().capacity(link),
+                             phases);
+      }
+    }
+  }
+
+  std::vector<std::vector<std::byte>> payloads, sinks;
+  payloads.reserve(pairs.size());
+  sinks.reserve(pairs.size());
+  for (const Pair& pr : pairs) {
+    util::Xoshiro256 rng(opts.payload_seed ^
+                         (pr.sender * 0x100000001b3ull + pr.receiver));
+    std::vector<std::byte> buf(opts.msg_bytes);
+    for (auto& b : buf) b = std::byte(rng.next() & 0xff);
+    payloads.push_back(std::move(buf));
+    sinks.emplace_back(opts.msg_bytes);
+  }
+
+  PatternRunResult result;
+  auto wave = [&](bool timed) {
+    for (auto& s : sinks) std::memset(s.data(), 0, s.size());
+    std::vector<std::vector<core::RecvHandle>> recvs(point.p);
+    std::vector<std::vector<core::SendHandle>> sends(point.p);
+    // All receives first (pre-posted matching), then the full send set.
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const Pair& pr = pairs[i];
+      recvs[pr.receiver].push_back(platform.session(pr.receiver)
+                                       .irecv(platform.gate(pr.receiver, pr.sender),
+                                              0, sinks[i]));
+    }
+    const sim::TimeNs t0 = platform.now();
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const Pair& pr = pairs[i];
+      sends[pr.sender].push_back(platform.session(pr.sender)
+                                     .isend(platform.gate(pr.sender, pr.receiver),
+                                            0, payloads[i]));
+    }
+    for (std::size_t n = 0; n < point.p; ++n) {
+      platform.session(n).wait_all(sends[n], recvs[n]);
+    }
+    sim::TimeNs done = t0;
+    for (const auto& per_node : recvs) {
+      for (const auto& h : per_node) done = std::max(done, h->completion_time());
+    }
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const bool match = sinks[i] == payloads[i];
+      result.data_ok = result.data_ok && match;
+      if (timed && match) result.delivered_bytes += opts.msg_bytes;
+    }
+    if (timed) result.elapsed_us += sim::ns_to_us(done - t0);
+  };
+
+  if (opts.warmup) wave(false);
+  for (int i = 0; i < opts.iters; ++i) wave(true);
+
+  result.aggregate_mbps =
+      result.elapsed_us > 0.0
+          ? static_cast<double>(result.delivered_bytes) / result.elapsed_us
+          : 0.0;
+  if (opts.capture_metrics) {
+    obs::MetricsRegistry registry;
+    platform.register_metrics(registry);
+    result.metrics = registry.snapshot();
+  }
+  return result;
+}
+
+}  // namespace nmad::bench

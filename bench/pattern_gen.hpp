@@ -1,0 +1,164 @@
+// CommBench-style group-to-group pattern generator and runner.
+//
+// CommBench (Hidayetoglu et al.; markstock/CommBench) describes multi-NIC
+// traffic with parameterized group-to-group patterns: p ranks are split
+// into G = p/g groups of g ranks, of which the first k per group are
+// "active", and a pattern names the exact sender->receiver pair set
+// between a root group and the others. This header reproduces that
+// vocabulary over the simulated multi-rail world so every traffic shape —
+// not just the paper's ping-pong — has a first-class, sweepable harness.
+//
+// Patterns (G = p/g groups, ranks c*g..c*g+g-1 form group c):
+//   * p2p   — a single pair (0, p-1); g and k are insignificant and are
+//             normalized to 1 in the canonical point.
+//   * rail  — active rank i of the root group sends to the *corresponding*
+//             rank of every other group: (i, c*g+i), i < k, c != root.
+//             Pairs are endpoint-disjoint, the shape that isolates rails.
+//   * fan   — the root group's leader sends to the first k ranks of every
+//             other group: (root*g, c*g+j), j < k. One sender fans out,
+//             so the sender's I/O bus is the contended resource.
+//   * dense — every active root rank sends to every active rank of every
+//             other group: (root*g+i, c*g+j), i,j < k. The densest
+//             group-to-group load.
+//
+// Directions:
+//   * uni  — the pattern with group 0 as root, as listed above;
+//   * bi   — uni plus every pair reversed (both directions concurrently);
+//   * omni — the union of the pattern over every group as root (for p2p,
+//            which has no groups, omni == bi).
+//
+// The closed-form pair counts (tested in tests/test_pattern_gen.cpp):
+//
+//   pattern   uni           bi            omni
+//   p2p       1             2             2
+//   rail      k(G-1)        2k(G-1)       kG(G-1)
+//   fan       k(G-1)        2k(G-1)       kG(G-1)
+//   dense     k^2(G-1)      2k^2(G-1)     k^2 G(G-1)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "obs/registry.hpp"
+#include "sim/net_scenario.hpp"
+
+namespace nmad::bench {
+
+enum class Pattern { kP2P, kRail, kFan, kDense };
+enum class Direction { kUni, kBi, kOmni };
+
+const char* to_string(Pattern pattern) noexcept;
+const char* to_string(Direction direction) noexcept;
+
+/// One ordered sender->receiver pair of a pattern's pair set.
+struct Pair {
+  std::size_t sender = 0;
+  std::size_t receiver = 0;
+  friend auto operator<=>(const Pair&, const Pair&) = default;
+};
+
+/// One point of the (pattern, p, g, k, direction) sweep space.
+struct PatternPoint {
+  Pattern pattern = Pattern::kP2P;
+  std::size_t p = 2;  ///< total ranks
+  std::size_t g = 1;  ///< group size (p % g == 0)
+  std::size_t k = 1;  ///< active senders/receivers per group (k <= g)
+  Direction direction = Direction::kUni;
+
+  /// Whether the point is well-formed: p >= 2, g divides p, 1 <= k <= g,
+  /// and group patterns (rail/fan/dense) have at least two groups.
+  [[nodiscard]] bool valid() const noexcept;
+
+  /// Canonical label, e.g. "rail/uni/p8g4k2" — the prefix of every JSON
+  /// series this point emits and the form ci/check_bench_json.py matches
+  /// stamped points against.
+  [[nodiscard]] std::string label() const;
+};
+
+/// A p2p point with g and k normalized to 1 (they are insignificant).
+PatternPoint p2p_point(std::size_t p, Direction direction);
+
+/// The exact ordered pair set of a point, in deterministic order. The
+/// result is duplicate-free and self-send-free; panics on an invalid point.
+std::vector<Pair> generate_pairs(const PatternPoint& point);
+
+/// Closed-form |generate_pairs(point)| (table above); panics when invalid.
+std::size_t expected_pair_count(const PatternPoint& point);
+
+/// Max over ranks of concurrent transfers crossing that rank's I/O bus
+/// (out-degree + in-degree) — the fan-in/fan-out the host bus divides by.
+std::size_t max_bus_degree(const std::vector<Pair>& pairs);
+
+/// Undirected {min, max} node pairs touched by the pair set, sorted and
+/// deduplicated — the sparse edge set MultiNodeConfig::edges consumes, so
+/// a 16-rank point builds only the links it uses instead of a full mesh.
+std::vector<std::pair<std::size_t, std::size_t>> pattern_edges(
+    const std::vector<Pair>& pairs);
+
+/// True when every pair can run at the full aggregate rail bandwidth: the
+/// busiest endpoint's bus share (bus / max_bus_degree) still exceeds the
+/// sum of the rails' DMA bandwidths. On such points striping *must* beat
+/// the best single rail; on bus-bound points the bus, not the wire, caps
+/// the transfer and rail aggregation cannot show.
+bool wire_bound(const std::vector<Pair>& pairs,
+                const std::vector<netmodel::NicProfile>& links,
+                const netmodel::HostProfile& host);
+
+// --- Driving one point over the simulated world ------------------------------
+
+struct PatternRunOpts {
+  /// Rails of every used edge; one entry drives a single_rail strategy.
+  std::vector<netmodel::NicProfile> links;
+  /// Strategy for multi-rail runs (single-link runs force "single_rail").
+  std::string strategy = "split_balance";
+  std::uint64_t msg_bytes = 512 * 1024;
+  /// Timed waves; every wave posts the full pair set and barriers on it.
+  int iters = 1;
+  /// One untimed warm-up wave before the timed ones.
+  bool warmup = false;
+  /// kDefault follows NMAD_PROGRESS_MODE (the bench's both-modes knob);
+  /// tests pin kSerial for determinism.
+  core::ProgressMode progress_mode = core::ProgressMode::kDefault;
+  /// Fault injection on every rail endpoint (reliability acks are enabled
+  /// automatically); delivery and content gates must still hold.
+  std::optional<drv::ChaosConfig> chaos;
+  std::uint64_t chaos_seed = 1;
+  /// Optional NetScenario shaping: when non-empty, rail 0 of every used
+  /// edge is shaped (both directions) by these phases — `at` relative to
+  /// the platform's start, `scale` a multiple of the nominal capacity.
+  /// Exercises pattern shapes under shifting link conditions.
+  std::vector<sim::CapacityPhase> shape_rail0;
+  /// Snapshot the platform's metrics into the result after the last wave.
+  bool capture_metrics = false;
+  std::uint64_t payload_seed = 0x9e3779b97f4a7c15ull;
+};
+
+struct PatternRunResult {
+  /// Sum over timed waves of (last receive completion - wave start), µs of
+  /// virtual time.
+  double elapsed_us = 0.0;
+  /// Payload bytes received *and verified* across the timed waves; the
+  /// delivery gate checks this equals pairs * msg_bytes * iters exactly.
+  std::uint64_t delivered_bytes = 0;
+  /// delivered_bytes / elapsed_us (B/µs == MB/s, the paper's convention).
+  double aggregate_mbps = 0.0;
+  /// Every receive buffer matched its sender's payload in every wave.
+  bool data_ok = true;
+  obs::Snapshot metrics;
+};
+
+/// Expected delivered_bytes of a run: |pairs| * msg_bytes * iters.
+std::uint64_t expected_delivered_bytes(const PatternPoint& point,
+                                       std::uint64_t msg_bytes, int iters);
+
+/// Build a sparse MultiNodePlatform for the point's pair set and drive the
+/// full pattern for opts.iters waves. Works in both progress modes; in
+/// serial mode the run is deterministic (bit-identical timings across
+/// repeats — tests/test_pattern_gen.cpp's determinism test).
+PatternRunResult run_pattern_point(const PatternPoint& point,
+                                   const PatternRunOpts& opts);
+
+}  // namespace nmad::bench

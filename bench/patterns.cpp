@@ -1,0 +1,200 @@
+// CommBench-style group-to-group pattern sweep over the multi-rail sim
+// world: Rail / Fan / Dense / P2P-scan patterns with (p, g, k) controls and
+// uni/bi/omnidirectional traffic (bench/pattern_gen.hpp), each point swept
+// over message sizes on SCI + GM-2 rails — the wire-bound pair whose
+// aggregate (~585 MB/s) fits under the host bus, so striping must show
+// wherever the wire is the bottleneck.
+//
+// Per pattern point the bench emits one striped series (full metrics) and,
+// on clean runs, one series per rail alone, then gates:
+//   * gate: delivered bytes == |pair set| x size x iters, exactly — every
+//     pattern pair's payload arrived, none twice;
+//   * gate: payload content verified — byte-identical end to end;
+//   * gate: striped > best single rail, on wire-bound points only (where
+//     bus share / fan-out still exceeds the aggregate rail bandwidth; the
+//     fan k=4 and dense-omni points are bus-bound on purpose and carry no
+//     striping gate).
+// ci/check_bench_json.py additionally requires the (pattern, p, g, k,
+// direction) stamps in meta.pattern_points, clean runs retransmit-free and
+// final-state healthy, and cross-checks stamps against series labels.
+//
+// Profiles (NMAD_PATTERN_PROFILE): "clean" (default), "chaos" (PR-3's
+// drop 1% / dup 1% / corrupt 0.5% on every rail endpoint; delivery gates
+// must hold through the faults), "shift" (NetScenario step to 0.25x on
+// rail 0 of every edge mid-run). NMAD_PATTERN_SEED seeds chaos; the
+// resolved NMAD_PROGRESS_MODE is stamped into meta (nightly runs both).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "drv/chaos_driver.hpp"
+#include "harness.hpp"
+#include "pattern_gen.hpp"
+
+using namespace nmad;
+using namespace nmad::bench;
+
+namespace {
+
+struct SweepEntry {
+  PatternPoint base;  // direction filled in per sweep iteration
+  bool full_only = false;
+};
+
+/// The (pattern, p, g, k) sweep: >= 2 points per pattern, crossed with all
+/// three directions below. The p=16 rail point needs the sparse-mesh
+/// platform (8 edges instead of 120) and only runs in full mode.
+const SweepEntry kSweep[] = {
+    {p2p_point(2, Direction::kUni), false},
+    {p2p_point(8, Direction::kUni), false},
+    {{Pattern::kRail, 4, 2, 2, Direction::kUni}, false},
+    {{Pattern::kRail, 6, 2, 1, Direction::kUni}, false},  // three groups
+    {{Pattern::kRail, 16, 8, 8, Direction::kUni}, true},
+    {{Pattern::kFan, 4, 2, 2, Direction::kUni}, false},
+    {{Pattern::kFan, 8, 4, 4, Direction::kUni}, false},  // bus-bound fan-out
+    {{Pattern::kDense, 4, 2, 2, Direction::kUni}, false},
+    {{Pattern::kDense, 8, 4, 2, Direction::kUni}, false},
+};
+
+const Direction kDirections[] = {Direction::kUni, Direction::kBi,
+                                 Direction::kOmni};
+
+/// PR-3's acceptance fault profile on every rail endpoint.
+drv::ChaosConfig pattern_chaos() {
+  drv::FaultProfile profile;
+  profile.drop = 0.01;
+  profile.duplicate = 0.01;
+  profile.corrupt = 0.005;
+  return drv::ChaosConfig::uniform(profile, /*window=*/3);
+}
+
+}  // namespace
+
+int main() {
+  set_report_name("patterns");
+
+  const char* profile_env = std::getenv("NMAD_PATTERN_PROFILE");
+  std::string profile = profile_env != nullptr ? profile_env : "clean";
+  if (profile != "clean" && profile != "chaos" && profile != "shift") {
+    std::fprintf(stderr, "patterns: unknown NMAD_PATTERN_PROFILE '%s', "
+                 "running clean\n", profile.c_str());
+    profile = "clean";
+  }
+  const char* seed_env = std::getenv("NMAD_PATTERN_SEED");
+  const std::uint64_t seed =
+      seed_env != nullptr ? std::strtoull(seed_env, nullptr, 10) : 1;
+  if (profile == "chaos") {
+    set_report_chaos("drop1_dup1_corrupt05");
+    set_report_seed(static_cast<long>(seed));
+  } else if (profile == "shift") {
+    set_report_chaos("shift_step025");
+    set_report_seed(static_cast<long>(seed));
+  }
+  const bool clean = profile == "clean";
+
+  const std::vector<std::uint64_t> sizes =
+      smoke_mode() ? std::vector<std::uint64_t>{128 * 1024, 1024 * 1024}
+                   : std::vector<std::uint64_t>{128 * 1024, 512 * 1024,
+                                                2 * 1024 * 1024};
+  const int iters = smoke_mode() ? 1 : 3;
+
+  const std::vector<netmodel::NicProfile> rails = {netmodel::dolphin_sci(),
+                                                   netmodel::myrinet2000_gm2()};
+  const netmodel::HostProfile host{};
+
+  std::printf("=== Group-to-group pattern sweep (%s profile, %zu sizes, "
+              "%d iters) ===\n\n", profile.c_str(), sizes.size(), iters);
+  std::printf("# %-22s %10s %12s %12s %6s\n", "point", "pairs",
+              "striped MB/s", "best single", "wire?");
+
+  for (const SweepEntry& entry : kSweep) {
+    if (entry.full_only && smoke_mode()) continue;
+    for (Direction direction : kDirections) {
+      PatternPoint point = entry.base;
+      point.direction = direction;
+      const std::string label = point.label();
+      stamp_pattern_point(to_string(point.pattern), point.p, point.g, point.k,
+                          to_string(direction));
+
+      const std::vector<Pair> pairs = generate_pairs(point);
+      const bool wire = wire_bound(pairs, rails, host);
+
+      PatternRunOpts opts;
+      opts.links = rails;
+      opts.msg_bytes = 0;  // per size below
+      opts.iters = iters;
+      opts.warmup = !smoke_mode();
+      if (profile == "chaos") {
+        opts.chaos = pattern_chaos();
+        opts.chaos_seed = seed;
+      } else if (profile == "shift") {
+        // Deep step on rail 0 of every edge, early enough that most of the
+        // run sees the degraded capacity.
+        opts.shape_rail0 = sim::profile_step(sim::us_to_ns(200.0), 0.25);
+      }
+
+      Series striped{label + "/striped", {}, {}};
+      std::vector<Series> singles;
+      if (clean) {
+        for (const auto& nic : rails) singles.push_back({label + "/only:" + nic.name, {}, {}});
+      }
+
+      std::uint64_t delivered = 0, expected = 0;
+      bool data_ok = true;
+      double striped_last = 0.0, best_single_last = 0.0;
+      for (std::size_t si = 0; si < sizes.size(); ++si) {
+        opts.msg_bytes = sizes[si];
+        opts.capture_metrics = si + 1 == sizes.size();
+        const PatternRunResult r = run_pattern_point(point, opts);
+        striped.values.push_back(r.aggregate_mbps);
+        striped_last = r.aggregate_mbps;
+        if (opts.capture_metrics) striped.metrics = r.metrics;
+        delivered += r.delivered_bytes;
+        expected += expected_delivered_bytes(point, sizes[si], iters);
+        data_ok = data_ok && r.data_ok;
+
+        if (clean) {
+          PatternRunOpts single = opts;
+          single.capture_metrics = false;
+          for (std::size_t li = 0; li < rails.size(); ++li) {
+            single.links = {rails[li]};
+            const PatternRunResult sr = run_pattern_point(point, single);
+            singles[li].values.push_back(sr.aggregate_mbps);
+            delivered += sr.delivered_bytes;
+            expected += expected_delivered_bytes(point, sizes[si], iters);
+            data_ok = data_ok && sr.data_ok;
+            if (si + 1 == sizes.size()) {
+              best_single_last = std::max(best_single_last, sr.aggregate_mbps);
+            }
+          }
+        }
+      }
+
+      std::printf("%-24s %10zu %12.1f %12.1f %6s\n", label.c_str(),
+                  pairs.size(), striped_last, best_single_last,
+                  wire ? "yes" : "no");
+
+      record_series("MB/s", sizes, striped);
+      for (const Series& s : singles) record_series("MB/s", sizes, s);
+
+      // Delivery invariants hold on every profile: the pair set's payload
+      // arrives exactly once per timed wave, byte-identical, even under
+      // injected faults (the reliability layer's contract).
+      check("gate: delivered bytes match pair set [" + label + "]",
+            static_cast<double>(delivered), static_cast<double>(expected), 0.0);
+      check("gate: payload content verified [" + label + "]",
+            data_ok ? 1.0 : 0.0, 1.0, 0.0);
+      // The striping claim, gated only where the wire (not the host bus)
+      // is the bottleneck and the run is unperturbed.
+      if (clean && wire) {
+        check_greater("gate: striped beats best single rail [" + label + "]",
+                      striped_last, best_single_last);
+      }
+    }
+  }
+
+  std::printf("\n");
+  return checks_exit_code();
+}

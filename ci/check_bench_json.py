@@ -31,7 +31,21 @@ which fails the build when:
     (probing) in a mid-sweep snapshot — a keepalive probe can be in flight
     when the series is sampled — but suspect (1) and dead (2) are always
     errors on a clean run, and in the *final* series of a report every
-    rail must have settled back to healthy (0);
+    rail must have settled back to healthy (0). These clean-run
+    invariants are relaxed when meta.chaos_profile is anything other than
+    "none": a bench that declares injected faults legitimately
+    retransmits, drops stale frames and cycles rail state, and only the
+    structural checks (keys, copy bounds, liveness) and "gate:" checks
+    still apply;
+  * a pattern sweep (bench == "patterns") fails to declare its points:
+    meta.pattern_points must be a non-empty list of {pattern, p, g, k,
+    direction} stamps with pattern in {p2p, rail, fan, dense}, direction
+    in {uni, bi, omni} and integers 1 <= k <= g <= p with g dividing p
+    (group patterns need at least two groups). Stamps and series must
+    agree both ways: every stamp's "pattern/direction/p<P>g<G>k<K>" label
+    must prefix at least one emitted series and every value-bearing
+    series must carry a stamped prefix — an unstamped series or a stamp
+    with no data means the sweep and its declaration diverged;
   * a rail is dead: neither endpoint sent bytes on it and neither endpoint
     ever polled it. A rail that carries zero bytes is legitimate (the v2
     strategy aggregates small messages on the fastest rail, so in a latency
@@ -70,6 +84,72 @@ REQUIRED_PACKET_PATH_KEYS = (
     "pool_hits",
     "pool_misses",
 )
+
+PATTERN_NAMES = ("p2p", "rail", "fan", "dense")
+DIRECTION_NAMES = ("uni", "bi", "omni")
+
+
+def check_pattern_points(path, report, errors):
+    """Validate meta.pattern_points on pattern-sweep reports and cross-check
+    the stamps against the emitted series labels (both directions)."""
+    meta = report.get("meta")
+    points = meta.get("pattern_points") if isinstance(meta, dict) else None
+    if not isinstance(points, list) or not points:
+        errors.append(f"{path}: bench 'patterns' must stamp a non-empty "
+                      "meta.pattern_points list")
+        return
+
+    stamp_labels = []
+    for i, pt in enumerate(points):
+        where = f"{path}: meta.pattern_points[{i}]"
+        if not isinstance(pt, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        pattern = pt.get("pattern")
+        direction = pt.get("direction")
+        bad = False
+        if pattern not in PATTERN_NAMES:
+            errors.append(f"{where}: pattern={pattern!r} not in "
+                          f"{list(PATTERN_NAMES)}")
+            bad = True
+        if direction not in DIRECTION_NAMES:
+            errors.append(f"{where}: direction={direction!r} not in "
+                          f"{list(DIRECTION_NAMES)}")
+            bad = True
+        dims = {}
+        for key in ("p", "g", "k"):
+            value = pt.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                errors.append(f"{where}: {key}={value!r} must be a positive "
+                              "integer")
+                bad = True
+            else:
+                dims[key] = value
+        if bad:
+            continue
+        p, g, k = dims["p"], dims["g"], dims["k"]
+        if p < 2 or k > g or g > p or p % g != 0:
+            errors.append(f"{where}: invalid dimensions p={p} g={g} k={k} "
+                          "(need p >= 2, k <= g <= p, g | p)")
+            continue
+        if pattern != "p2p" and p // g < 2:
+            errors.append(f"{where}: group pattern '{pattern}' needs at "
+                          f"least two groups (p={p}, g={g})")
+            continue
+        stamp_labels.append(f"{pattern}/{direction}/p{p}g{g}k{k}")
+
+    series_labels = [s.get("label", "") for s in report.get("series", [])
+                     if s.get("values")]
+    for stamp in stamp_labels:
+        if not any(label.startswith(stamp + "/") or label == stamp
+                   for label in series_labels):
+            errors.append(f"{path}: stamped point '{stamp}' has no series "
+                          "(the sweep and its declaration diverged)")
+    for label in series_labels:
+        if not any(label.startswith(stamp + "/") or label == stamp
+                   for stamp in stamp_labels):
+            errors.append(f"{path}: series '{label}' matches no stamped "
+                          "pattern point")
 
 
 def iter_rails(node, path=""):
@@ -110,6 +190,14 @@ def check_report(path):
         if not isinstance(seed, int) or isinstance(seed, bool):
             errors.append(f"{path}: meta.seed={seed!r} must be an integer")
 
+    if report.get("bench") == "patterns":
+        check_pattern_points(path, report, errors)
+
+    # A declared fault/shaping profile legitimizes retransmits, stale-frame
+    # drops and rail-state churn; only clean runs carry those invariants.
+    clean_run = (not isinstance(meta, dict)
+                 or meta.get("chaos_profile") == "none")
+
     total_rails = 0
     total_bytes = 0
     series_list = report.get("series", [])
@@ -130,12 +218,12 @@ def check_report(path):
                     f"{where}: bytes_copied={rail['bytes_copied']} exceeds "
                     f"bytes_sent={rail['bytes_sent']} (staging copies must be "
                     "a subset of wire traffic)")
-            if rail["retransmits"] != 0:
+            if clean_run and rail["retransmits"] != 0:
                 errors.append(
                     f"{where}: retransmits={rail['retransmits']} on a clean "
                     "bench run (no faults are injected; the RTO fired "
                     "spuriously)")
-            if rail["stale_frames_dropped"] != 0:
+            if clean_run and rail["stale_frames_dropped"] != 0:
                 errors.append(
                     f"{where}: stale_frames_dropped="
                     f"{rail['stale_frames_dropped']} on a clean bench run "
@@ -147,7 +235,7 @@ def check_report(path):
             # (state 3), but the final series must show every rail settled
             # back to healthy, and suspect/dead are never clean.
             allowed = (0,) if is_final else (0, 3)
-            if state_value not in allowed:
+            if clean_run and state_value not in allowed:
                 errors.append(
                     f"{where}: state={state_value} "
                     + ("(final series: every rail must end a clean bench run "

@@ -1,0 +1,320 @@
+"""Unit tests for the bench-report gate scripts (check_bench_json.py and
+compare_bench_json.py): crafted bad reports must each trip the right gate,
+and the trajectory comparator must honor per-report tolerances only from
+the committed baseline.
+
+Run under pytest (CI: `python3 -m pytest ci -q`) or standalone
+(`python3 ci/test_check_bench_json.py`) where pytest is unavailable.
+"""
+
+import copy
+import importlib.util
+import json
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(name, HERE / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+check = _load("check_bench_json")
+compare = _load("compare_bench_json")
+
+
+# --- report builders ---------------------------------------------------------
+
+def rail(bytes_sent=1000, polls=5, retransmits=0, stale=0, state=0):
+    return {
+        "bytes_sent": bytes_sent,
+        "packets_sent": 1,
+        "bytes_copied": 0,
+        "pio_transfers": 0,
+        "rdv_transfers": 1,
+        "aggregation_hits": 0,
+        "retransmits": retransmits,
+        "stale_frames_dropped": stale,
+        "state": state,
+        "drv": {"polls": polls},
+    }
+
+
+def series(label, values=(100.0, 200.0), unit="MB/s", with_metrics=True):
+    out = {"label": label, "unit": unit, "sizes": [1024, 2048],
+           "values": list(values)}
+    if with_metrics:
+        out["metrics"] = {"a": {"gate0": {"rail0": rail()}},
+                          "b": {"gate0": {"rail0": rail()}}}
+    return out
+
+
+def good_report(bench="pingpong"):
+    return {
+        "bench": bench,
+        "smoke": True,
+        "metrics_enabled": True,
+        "meta": {"progress_mode": "serial", "chaos_profile": "none",
+                 "seed": 0},
+        "series": [series("sweep")],
+        "checks": [{"what": "gate: delivered", "measured": 1.0,
+                    "reference": 1.0, "ok": True}],
+    }
+
+
+def pattern_stamp(pattern="rail", p=4, g=2, k=2, direction="uni"):
+    return {"pattern": pattern, "p": p, "g": g, "k": k,
+            "direction": direction}
+
+
+def good_patterns_report():
+    report = good_report(bench="patterns")
+    report["meta"]["pattern_points"] = [pattern_stamp()]
+    report["series"] = [series("rail/uni/p4g2k2/striped"),
+                        series("rail/uni/p4g2k2/only:sci")]
+    return report
+
+
+def run_check(tmp_path, report, name="BENCH_x.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(report), encoding="utf-8")
+    return check.check_report(str(path))
+
+
+def assert_only_error(errors, needle):
+    assert errors, f"expected an error mentioning {needle!r}, got none"
+    assert all(needle in e for e in errors), errors
+
+
+# --- check_bench_json: clean-run invariants ----------------------------------
+
+def test_good_report_passes(tmp_path):
+    assert run_check(tmp_path, good_report()) == []
+
+
+def test_retransmits_on_clean_run_fail(tmp_path):
+    report = good_report()
+    report["series"][0]["metrics"]["a"]["gate0"]["rail0"] = rail(retransmits=3)
+    assert_only_error(run_check(tmp_path, report), "retransmits=3")
+
+
+def test_dead_final_state_fails(tmp_path):
+    report = good_report()
+    report["series"][0]["metrics"]["b"]["gate0"]["rail0"] = rail(state=2)
+    assert_only_error(run_check(tmp_path, report), "state=2")
+
+
+def test_probing_allowed_mid_sweep_but_not_final(tmp_path):
+    report = good_report()
+    report["series"] = [series("mid"), series("final")]
+    report["series"][0]["metrics"]["a"]["gate0"]["rail0"] = rail(state=3)
+    assert run_check(tmp_path, report) == []
+    report["series"][1]["metrics"]["a"]["gate0"]["rail0"] = rail(state=3)
+    assert_only_error(run_check(tmp_path, report), "state=3")
+
+
+def test_stale_frames_on_clean_run_fail(tmp_path):
+    report = good_report()
+    report["series"][0]["metrics"]["a"]["gate0"]["rail0"] = rail(stale=1)
+    assert_only_error(run_check(tmp_path, report), "stale_frames_dropped=1")
+
+
+def test_chaos_profile_relaxes_clean_run_invariants(tmp_path):
+    # The same report that fails clean passes once it declares its faults.
+    report = good_report()
+    report["series"][0]["metrics"]["a"]["gate0"]["rail0"] = rail(
+        retransmits=7, stale=2, state=2)
+    assert run_check(tmp_path, report)
+    report["meta"]["chaos_profile"] = "drop1_dup1_corrupt05"
+    assert run_check(tmp_path, report) == []
+
+
+def test_missing_meta_fails(tmp_path):
+    report = good_report()
+    del report["meta"]
+    assert_only_error(run_check(tmp_path, report), "meta")
+
+
+def test_missing_seed_fails(tmp_path):
+    report = good_report()
+    del report["meta"]["seed"]
+    assert_only_error(run_check(tmp_path, report), "meta.seed")
+
+
+def test_failed_gate_check_fails_even_in_smoke(tmp_path):
+    report = good_report()
+    report["checks"][0]["ok"] = False
+    assert_only_error(run_check(tmp_path, report), "must-hold check failed")
+
+
+def test_dead_rail_fails(tmp_path):
+    report = good_report()
+    for side in ("a", "b"):
+        report["series"][0]["metrics"][side]["gate0"]["rail1"] = rail(
+            bytes_sent=0, polls=0)
+    assert_only_error(run_check(tmp_path, report), "dead rail")
+
+
+# --- check_bench_json: pattern stamps ----------------------------------------
+
+def test_patterns_report_with_stamps_passes(tmp_path):
+    assert run_check(tmp_path, good_patterns_report()) == []
+
+
+def test_patterns_report_without_stamps_fails(tmp_path):
+    report = good_patterns_report()
+    del report["meta"]["pattern_points"]
+    assert_only_error(run_check(tmp_path, report), "pattern_points")
+
+
+def test_non_pattern_reports_need_no_stamps(tmp_path):
+    assert run_check(tmp_path, good_report(bench="fig7")) == []
+
+
+def test_malformed_stamps_fail(tmp_path):
+    bad_stamps = [
+        (pattern_stamp(pattern="ring"), "pattern='ring'"),
+        (pattern_stamp(direction="both"), "direction='both'"),
+        (pattern_stamp(k=0), "k=0"),
+        (pattern_stamp(p="4"), "p='4'"),
+        (pattern_stamp(k=3), "invalid dimensions"),        # k > g
+        (pattern_stamp(p=4, g=3), "invalid dimensions"),   # g does not divide p
+        (pattern_stamp(p=4, g=4), "at least two groups"),
+    ]
+    for stamp, needle in bad_stamps:
+        report = good_patterns_report()
+        report["meta"]["pattern_points"] = [stamp]
+        errors = run_check(tmp_path, report)
+        assert any(needle in e for e in errors), (stamp, errors)
+
+
+def test_stamp_without_series_fails(tmp_path):
+    report = good_patterns_report()
+    report["meta"]["pattern_points"].append(
+        pattern_stamp(pattern="dense", direction="omni"))
+    assert_only_error(run_check(tmp_path, report),
+                      "'dense/omni/p4g2k2' has no series")
+
+
+def test_series_without_stamp_fails(tmp_path):
+    report = good_patterns_report()
+    report["series"].append(series("fan/uni/p8g4k2/striped"))
+    assert_only_error(run_check(tmp_path, report),
+                      "matches no stamped pattern point")
+
+
+def test_p2p_stamp_accepts_trivial_groups(tmp_path):
+    report = good_patterns_report()
+    report["meta"]["pattern_points"] = [
+        pattern_stamp(pattern="p2p", p=8, g=1, k=1, direction="omni")]
+    report["series"] = [series("p2p/omni/p8g1k1/striped")]
+    assert run_check(tmp_path, report) == []
+
+
+# --- compare_bench_json: baseline-owned tolerance ----------------------------
+
+def write_pair(tmp_path, baseline, current, name="BENCH_t.json"):
+    base_dir = tmp_path / "baselines"
+    base_dir.mkdir(exist_ok=True)
+    (base_dir / name).write_text(json.dumps(baseline), encoding="utf-8")
+    cur = tmp_path / name
+    cur.write_text(json.dumps(current), encoding="utf-8")
+    return cur, base_dir
+
+
+def test_compare_identical_reports_pass(tmp_path):
+    report = good_report()
+    cur, base_dir = write_pair(tmp_path, report, report)
+    rows = []
+    assert compare.compare_report(str(cur), str(base_dir), 0.08, rows) == []
+
+
+def test_compare_regression_beyond_tolerance_fails(tmp_path):
+    baseline = good_report()
+    current = copy.deepcopy(baseline)
+    current["series"][0]["values"] = [50.0, 200.0]  # -50% on a MB/s series
+    cur, base_dir = write_pair(tmp_path, baseline, current)
+    rows = []
+    errors = compare.compare_report(str(cur), str(base_dir), 0.08, rows)
+    assert_only_error(errors, "regressed")
+
+
+def test_compare_honors_tolerance_from_baseline(tmp_path):
+    baseline = good_report()
+    baseline["compare"] = {"tolerance": 0.60}
+    current = copy.deepcopy(baseline)
+    current["series"][0]["values"] = [50.0, 200.0]  # -50%, inside 60%
+    cur, base_dir = write_pair(tmp_path, baseline, current)
+    rows = []
+    assert compare.compare_report(str(cur), str(base_dir), 0.08, rows) == []
+
+
+def test_compare_ignores_tolerance_from_current_report(tmp_path):
+    # A regressing run must not be able to loosen its own gate: the
+    # override counts only when the *committed baseline* carries it.
+    baseline = good_report()
+    current = copy.deepcopy(baseline)
+    current["compare"] = {"tolerance": 0.60}
+    current["series"][0]["values"] = [50.0, 200.0]
+    cur, base_dir = write_pair(tmp_path, baseline, current)
+    rows = []
+    errors = compare.compare_report(str(cur), str(base_dir), 0.08, rows)
+    assert_only_error(errors, "regressed")
+
+
+def test_compare_meta_mismatch_skips(tmp_path):
+    baseline = good_report()
+    current = copy.deepcopy(baseline)
+    current["meta"]["chaos_profile"] = "drop1_dup1_corrupt05"
+    current["series"][0]["values"] = [1.0, 1.0]  # would fail if compared
+    cur, base_dir = write_pair(tmp_path, baseline, current)
+    rows = []
+    assert compare.compare_report(str(cur), str(base_dir), 0.08, rows) == []
+    assert rows and rows[-1][-1] == "SKIP"
+
+
+def test_compare_missing_baseline_is_a_note(tmp_path):
+    cur = tmp_path / "BENCH_new.json"
+    cur.write_text(json.dumps(good_report()), encoding="utf-8")
+    (tmp_path / "baselines").mkdir(exist_ok=True)
+    rows = []
+    assert compare.compare_report(str(cur), str(tmp_path / "baselines"),
+                                  0.08, rows) == []
+    assert rows and rows[-1][-1] == "NOTE"
+
+
+def test_compare_dropped_series_fails(tmp_path):
+    baseline = good_report()
+    baseline["series"].append(series("second"))
+    cur, base_dir = write_pair(tmp_path, baseline, good_report())
+    rows = []
+    errors = compare.compare_report(str(cur), str(base_dir), 0.08, rows)
+    assert_only_error(errors, "missing from the current report")
+
+
+# --- standalone fallback (pytest is optional in dev containers) --------------
+
+def _main():
+    import inspect
+    import tempfile
+    failures = 0
+    tests = [(n, f) for n, f in sorted(globals().items())
+             if n.startswith("test_") and inspect.isfunction(f)]
+    for name, fn in tests:
+        with tempfile.TemporaryDirectory() as tmp:
+            try:
+                fn(pathlib.Path(tmp))
+                print(f"PASS {name}")
+            except AssertionError as exc:
+                failures += 1
+                print(f"FAIL {name}: {exc}")
+    print(f"{len(tests) - failures}/{len(tests)} passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(_main())

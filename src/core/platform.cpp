@@ -1,5 +1,6 @@
 #include "core/platform.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "drv/sim_driver.hpp"
@@ -117,14 +118,32 @@ MultiNodePlatform::MultiNodePlatform(MultiNodeConfig config)
     return wrappers_.back().get();
   };
 
+  // Edge set: the historical full mesh, or — when config.edges names the
+  // pairs a workload actually uses — only those, so large worlds stay
+  // cheap (a 16-rank pattern point builds its handful of links, not 120).
+  std::vector<std::pair<std::size_t, std::size_t>> edges = config_.edges;
+  if (edges.empty()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+    }
+  } else {
+    for (auto& [i, j] : edges) {
+      NMAD_ASSERT(i != j && i < n && j < n, "bad sparse-mesh edge");
+      if (i > j) std::swap(i, j);
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+
   endpoint_.assign(n, std::vector<std::vector<drv::Driver*>>(n));
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      for (const auto& nic : config_.links) {
-        auto [ei, ej] = world_->add_link(nodes[i], nodes[j], nic);
-        endpoint_[i][j].push_back(wrap(ei));
-        endpoint_[j][i].push_back(wrap(ej));
-      }
+  sim_endpoint_.assign(n, std::vector<std::vector<drv::SimDriver*>>(n));
+  for (const auto& [i, j] : edges) {
+    for (const auto& nic : config_.links) {
+      auto [ei, ej] = world_->add_link(nodes[i], nodes[j], nic);
+      endpoint_[i][j].push_back(wrap(ei));
+      endpoint_[j][i].push_back(wrap(ej));
+      sim_endpoint_[i][j].push_back(ei);
+      sim_endpoint_[j][i].push_back(ej);
     }
   }
 
@@ -147,10 +166,10 @@ MultiNodePlatform::MultiNodePlatform(MultiNodeConfig config)
                                                   clock, defer, progress, timer));
   }
 
-  gate_.assign(n, std::vector<GateId>(n, 0));
+  gate_.assign(n, std::vector<GateId>(n, kNoGate));
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
-      if (j == i) continue;
+      if (j == i || endpoint_[i][j].empty()) continue;
       gate_[i][j] = sessions_[i]->connect(endpoint_[i][j], config_.strategy,
                                           config_.strat_cfg);
     }
@@ -214,8 +233,16 @@ drv::ChaosDriver& MultiNodePlatform::chaos_endpoint(std::size_t node,
                                                     std::size_t peer,
                                                     std::size_t link) {
   NMAD_ASSERT(config_.chaos.has_value(), "platform built without chaos");
+  NMAD_ASSERT(link < endpoint_[node][peer].size(), "edge not in the mesh");
   // With chaos configured every endpoint was constructed as a wrapper.
   return *static_cast<drv::ChaosDriver*>(endpoint_[node][peer][link]);
+}
+
+drv::SimDriver& MultiNodePlatform::sim_endpoint(std::size_t node,
+                                                std::size_t peer,
+                                                std::size_t link) {
+  NMAD_ASSERT(link < sim_endpoint_[node][peer].size(), "edge not in the mesh");
+  return *sim_endpoint_[node][peer][link];
 }
 
 void MultiNodePlatform::kill_link(std::size_t i, std::size_t j, std::size_t link) {

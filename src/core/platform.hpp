@@ -15,6 +15,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/progress.hpp"
@@ -22,6 +23,7 @@
 #include "drv/chaos_driver.hpp"
 #include "drv/sim_world.hpp"
 #include "netmodel/nic_profile.hpp"
+#include "util/panic.hpp"
 
 namespace nmad::core {
 
@@ -121,6 +123,13 @@ struct MultiNodeConfig {
   /// See PlatformConfig::submit_ring_capacity / completion_ring_capacity.
   std::size_t submit_ring_capacity = 0;
   std::size_t completion_ring_capacity = 0;
+  /// When non-empty, only these undirected node pairs get links and gates
+  /// (sparse mesh) — entries are normalized to {min, max} and deduplicated.
+  /// Empty keeps the historical full mesh. The pattern sweep harness
+  /// (bench/pattern_gen.cpp) uses this so a 16-rank point builds only the
+  /// edges its pair set touches instead of all O(N^2) of them; gate(i, j)
+  /// asserts on unconnected pairs, has_gate(i, j) probes them.
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
   /// When set, every rail endpoint is wrapped in a ChaosDriver with this
   /// fault configuration (seeded from chaos_seed). The platform's progress
   /// paths then flush the chaos windows on quiescence, exactly like the
@@ -128,6 +137,9 @@ struct MultiNodeConfig {
   std::optional<drv::ChaosConfig> chaos;
   std::uint64_t chaos_seed = 1;
 };
+
+/// gate(i, j) sentinel for node pairs a sparse mesh never connected.
+inline constexpr GateId kNoGate = static_cast<GateId>(-1);
 
 /// N sessions over one simulated world, fully meshed: session(i) owns one
 /// gate per peer, each bundling config.links rails on a dedicated physical
@@ -142,11 +154,17 @@ class MultiNodePlatform {
 
   [[nodiscard]] std::size_t nodes() const noexcept { return config_.nodes; }
   [[nodiscard]] Session& session(std::size_t i) noexcept { return *sessions_[i]; }
-  /// Node i's gate towards node j (i != j).
+  /// Node i's gate towards node j (i != j); asserts the edge exists.
   [[nodiscard]] GateId gate(std::size_t i, std::size_t j) const noexcept {
+    NMAD_ASSERT(gate_[i][j] != kNoGate, "no gate: edge not in the mesh");
     return gate_[i][j];
   }
-  /// Peer-indexed gate vector for node i; entry [i] itself is unused.
+  /// Whether the (possibly sparse) mesh connects nodes i and j.
+  [[nodiscard]] bool has_gate(std::size_t i, std::size_t j) const noexcept {
+    return i != j && gate_[i][j] != kNoGate;
+  }
+  /// Peer-indexed gate vector for node i; entry [i] itself is unused, and
+  /// sparse meshes carry kNoGate for unconnected peers.
   [[nodiscard]] std::vector<GateId> gates_from(std::size_t i) const {
     return gate_[i];
   }
@@ -171,6 +189,12 @@ class MultiNodePlatform {
   [[nodiscard]] drv::ChaosDriver& chaos_endpoint(std::size_t node,
                                                  std::size_t peer,
                                                  std::size_t link);
+  /// Raw simulated endpoint of node `node` on `link` of edge {node, peer}
+  /// (the SimDriver underneath any chaos wrapper) — the handle NetScenario
+  /// link shaping needs (tx_link()). Asserts the edge exists.
+  [[nodiscard]] drv::SimDriver& sim_endpoint(std::size_t node,
+                                             std::size_t peer,
+                                             std::size_t link);
   /// Hard-kill both endpoints of one physical link of edge {i, j}.
   void kill_link(std::size_t i, std::size_t j, std::size_t link);
 
@@ -186,8 +210,11 @@ class MultiNodePlatform {
   /// destructor drains them while the sessions are still alive.
   std::vector<std::unique_ptr<drv::ChaosDriver>> wrappers_;
   /// endpoint_[i][j][link]: node i's driver on that link of edge {i, j}
-  /// (the chaos wrapper when chaos is configured).
+  /// (the chaos wrapper when chaos is configured); empty vector when the
+  /// sparse mesh skips the edge.
   std::vector<std::vector<std::vector<drv::Driver*>>> endpoint_;
+  /// The raw SimDrivers underneath, same indexing.
+  std::vector<std::vector<std::vector<drv::SimDriver*>>> sim_endpoint_;
   std::vector<std::unique_ptr<Session>> sessions_;
   std::vector<std::vector<GateId>> gate_;
 };

@@ -1,0 +1,249 @@
+// Property tests for the CommBench-style group-to-group pattern generator
+// (bench/pattern_gen.hpp): the rank-set math across the sweep space —
+// group disjointness, no self-sends, closed-form pair counts, direction
+// containment — plus serial-mode determinism of the pattern runner and the
+// sparse-mesh platform construction it relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "pattern_gen.hpp"
+
+namespace {
+
+using namespace nmad;
+using namespace nmad::bench;
+
+/// Every valid point with p <= 12 plus a few larger rail/dense points —
+/// 300+ points, small enough to enumerate exhaustively.
+std::vector<PatternPoint> sweep_space() {
+  std::vector<PatternPoint> out;
+  for (Pattern pattern : {Pattern::kRail, Pattern::kFan, Pattern::kDense}) {
+    for (std::size_t p = 2; p <= 12; ++p) {
+      for (std::size_t g = 1; g <= p; ++g) {
+        if (p % g != 0) continue;
+        for (std::size_t k = 1; k <= g; ++k) {
+          for (Direction d : {Direction::kUni, Direction::kBi,
+                              Direction::kOmni}) {
+            PatternPoint pt{pattern, p, g, k, d};
+            if (pt.valid()) out.push_back(pt);
+          }
+        }
+      }
+    }
+    out.push_back({pattern, 16, 8, 8, Direction::kUni});
+    out.push_back({pattern, 16, 4, 2, Direction::kOmni});
+  }
+  for (std::size_t p : {2, 3, 8, 16}) {
+    for (Direction d : {Direction::kUni, Direction::kBi, Direction::kOmni}) {
+      out.push_back(p2p_point(p, d));
+    }
+  }
+  return out;
+}
+
+std::set<Pair> pair_set(const PatternPoint& pt) {
+  const auto pairs = generate_pairs(pt);
+  return {pairs.begin(), pairs.end()};
+}
+
+TEST(PatternGen, PairsAreUniqueSelfSendFreeAndInRange) {
+  for (const PatternPoint& pt : sweep_space()) {
+    const auto pairs = generate_pairs(pt);
+    std::set<Pair> unique(pairs.begin(), pairs.end());
+    EXPECT_EQ(unique.size(), pairs.size()) << pt.label();
+    for (const Pair& pr : pairs) {
+      EXPECT_NE(pr.sender, pr.receiver) << pt.label();
+      EXPECT_LT(pr.sender, pt.p) << pt.label();
+      EXPECT_LT(pr.receiver, pt.p) << pt.label();
+    }
+  }
+}
+
+TEST(PatternGen, CountsMatchClosedForm) {
+  for (const PatternPoint& pt : sweep_space()) {
+    // Recompute the closed form here, independent of the implementation.
+    const std::size_t G = pt.p / pt.g;
+    std::size_t expect = 0;
+    if (pt.pattern == Pattern::kP2P) {
+      expect = pt.direction == Direction::kUni ? 1 : 2;
+    } else {
+      const std::size_t per_root = pt.pattern == Pattern::kDense
+                                       ? pt.k * pt.k * (G - 1)
+                                       : pt.k * (G - 1);
+      expect = pt.direction == Direction::kUni  ? per_root
+               : pt.direction == Direction::kBi ? 2 * per_root
+                                                : G * per_root;
+    }
+    EXPECT_EQ(generate_pairs(pt).size(), expect) << pt.label();
+    EXPECT_EQ(expected_pair_count(pt), expect) << pt.label();
+  }
+}
+
+TEST(PatternGen, UniSenderAndReceiverGroupsAreDisjoint) {
+  // Unidirectional group patterns send strictly root-group -> other
+  // groups: the sender and receiver rank sets cannot intersect.
+  for (const PatternPoint& pt : sweep_space()) {
+    if (pt.direction != Direction::kUni) continue;
+    std::set<std::size_t> senders, receivers;
+    for (const Pair& pr : generate_pairs(pt)) {
+      senders.insert(pr.sender);
+      receivers.insert(pr.receiver);
+    }
+    std::vector<std::size_t> both;
+    std::set_intersection(senders.begin(), senders.end(), receivers.begin(),
+                          receivers.end(), std::back_inserter(both));
+    EXPECT_TRUE(both.empty()) << pt.label();
+    if (pt.pattern != Pattern::kP2P) {
+      // All senders live in group 0 (the root), no receiver does.
+      for (std::size_t s : senders) EXPECT_LT(s, pt.g) << pt.label();
+      for (std::size_t r : receivers) EXPECT_GE(r, pt.g) << pt.label();
+    }
+  }
+}
+
+TEST(PatternGen, BiAndOmniContainUni) {
+  for (PatternPoint pt : sweep_space()) {
+    if (pt.direction != Direction::kUni) continue;
+    const std::set<Pair> uni = pair_set(pt);
+    pt.direction = Direction::kBi;
+    const std::set<Pair> bi = pair_set(pt);
+    pt.direction = Direction::kOmni;
+    const std::set<Pair> omni = pair_set(pt);
+    EXPECT_TRUE(std::includes(bi.begin(), bi.end(), uni.begin(), uni.end()))
+        << pt.label();
+    EXPECT_TRUE(
+        std::includes(omni.begin(), omni.end(), uni.begin(), uni.end()))
+        << pt.label();
+  }
+}
+
+TEST(PatternGen, P2PBiAndOmniCoincide) {
+  for (std::size_t p : {2, 5, 8}) {
+    EXPECT_EQ(pair_set(p2p_point(p, Direction::kBi)),
+              pair_set(p2p_point(p, Direction::kOmni)));
+  }
+}
+
+TEST(PatternGen, InvalidPointsAreRejected) {
+  EXPECT_FALSE((PatternPoint{Pattern::kRail, 4, 3, 1, Direction::kUni}.valid()))
+      << "g must divide p";
+  EXPECT_FALSE((PatternPoint{Pattern::kRail, 4, 2, 3, Direction::kUni}.valid()))
+      << "k must not exceed g";
+  EXPECT_FALSE((PatternPoint{Pattern::kRail, 4, 4, 1, Direction::kUni}.valid()))
+      << "group patterns need two groups";
+  EXPECT_FALSE((PatternPoint{Pattern::kDense, 1, 1, 1, Direction::kUni}.valid()))
+      << "p >= 2";
+  EXPECT_TRUE(p2p_point(2, Direction::kUni).valid());
+}
+
+TEST(PatternGen, EdgesAreSortedUniqueAndCoverEveryPair) {
+  for (const PatternPoint& pt : sweep_space()) {
+    const auto pairs = generate_pairs(pt);
+    const auto edges = pattern_edges(pairs);
+    EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end())) << pt.label();
+    EXPECT_EQ(std::adjacent_find(edges.begin(), edges.end()), edges.end())
+        << pt.label();
+    for (const auto& [i, j] : edges) EXPECT_LT(i, j) << pt.label();
+    for (const Pair& pr : pairs) {
+      const auto e = std::minmax(pr.sender, pr.receiver);
+      EXPECT_TRUE(std::binary_search(edges.begin(), edges.end(),
+                                     std::make_pair(e.first, e.second)))
+          << pt.label();
+    }
+  }
+}
+
+TEST(PatternGen, BusDegreeAndWireBoundness) {
+  const std::vector<netmodel::NicProfile> rails = {
+      netmodel::dolphin_sci(), netmodel::myrinet2000_gm2()};  // 585 MB/s
+  const netmodel::HostProfile host{};  // 1950 MB/s bus
+
+  // A single pair touches each bus once: wire-bound for sci+gm2.
+  const auto p2p = generate_pairs(p2p_point(2, Direction::kUni));
+  EXPECT_EQ(max_bus_degree(p2p), 1u);
+  EXPECT_TRUE(wire_bound(p2p, rails, host));
+
+  // The fan leader of fan/uni/p8g4k4 (G = 2) carries k(G-1) = 4 transfers;
+  // its bus share (1950/4 = 487.5) is below the 585 rail aggregate:
+  // bus-bound.
+  const auto fan =
+      generate_pairs({Pattern::kFan, 8, 4, 4, Direction::kUni});
+  EXPECT_EQ(max_bus_degree(fan), 4u);
+  EXPECT_FALSE(wire_bound(fan, rails, host));
+
+  // Rail pairs are endpoint-disjoint in uni: degree 1 regardless of k.
+  const auto rail =
+      generate_pairs({Pattern::kRail, 8, 4, 4, Direction::kUni});
+  EXPECT_EQ(max_bus_degree(rail), 1u);
+  EXPECT_TRUE(wire_bound(rail, rails, host));
+
+  // A faster rail set (myri10g alone is 1210 MB/s) tips degree-2 points
+  // over the bus: bi p2p is wire-bound on sci+gm2, not on myri+quadrics.
+  const std::vector<netmodel::NicProfile> fast = {
+      netmodel::myri10g(), netmodel::quadrics_qm500()};
+  const auto bi = generate_pairs(p2p_point(2, Direction::kBi));
+  EXPECT_EQ(max_bus_degree(bi), 2u);
+  EXPECT_TRUE(wire_bound(bi, rails, host));
+  EXPECT_FALSE(wire_bound(bi, fast, host));
+}
+
+TEST(PatternGen, SparseMeshBuildsOnlyListedEdges) {
+  core::MultiNodeConfig cfg;
+  cfg.nodes = 6;
+  cfg.links = {netmodel::dolphin_sci(), netmodel::myrinet2000_gm2()};
+  cfg.strategy = "split_balance";
+  cfg.progress_mode = core::ProgressMode::kSerial;
+  cfg.edges = {{0, 3}, {1, 4}};
+  core::MultiNodePlatform platform(cfg);
+  EXPECT_TRUE(platform.has_gate(0, 3));
+  EXPECT_TRUE(platform.has_gate(3, 0));
+  EXPECT_TRUE(platform.has_gate(1, 4));
+  EXPECT_FALSE(platform.has_gate(0, 1));
+  EXPECT_FALSE(platform.has_gate(2, 5));
+  EXPECT_FALSE(platform.has_gate(5, 2));
+}
+
+TEST(PatternGen, RunnerDeliversExactlyThePairSet) {
+  for (const PatternPoint& pt :
+       {PatternPoint{Pattern::kRail, 6, 2, 1, Direction::kOmni},
+        PatternPoint{Pattern::kDense, 4, 2, 2, Direction::kBi},
+        p2p_point(16, Direction::kUni)}) {  // 16 ranks, 1 sparse edge
+    PatternRunOpts opts;
+    opts.links = {netmodel::dolphin_sci(), netmodel::myrinet2000_gm2()};
+    opts.msg_bytes = 64 * 1024;
+    opts.iters = 2;
+    opts.progress_mode = core::ProgressMode::kSerial;
+    const PatternRunResult r = run_pattern_point(pt, opts);
+    EXPECT_TRUE(r.data_ok) << pt.label();
+    EXPECT_EQ(r.delivered_bytes,
+              expected_delivered_bytes(pt, opts.msg_bytes, opts.iters))
+        << pt.label();
+    EXPECT_GT(r.aggregate_mbps, 0.0) << pt.label();
+  }
+}
+
+TEST(PatternGen, SerialRunsAreDeterministic) {
+  // Same point, same opts, fresh worlds: serial mode must reproduce the
+  // virtual-time trajectory bit for bit — byte counts and series values.
+  PatternRunOpts opts;
+  opts.links = {netmodel::dolphin_sci(), netmodel::myrinet2000_gm2()};
+  opts.msg_bytes = 256 * 1024;
+  opts.iters = 2;
+  opts.warmup = true;
+  opts.progress_mode = core::ProgressMode::kSerial;
+  const PatternPoint pt{Pattern::kDense, 8, 4, 2, Direction::kOmni};
+
+  const PatternRunResult a = run_pattern_point(pt, opts);
+  const PatternRunResult b = run_pattern_point(pt, opts);
+  EXPECT_EQ(a.delivered_bytes, b.delivered_bytes);
+  EXPECT_EQ(a.elapsed_us, b.elapsed_us);        // bitwise, not approximate
+  EXPECT_EQ(a.aggregate_mbps, b.aggregate_mbps);
+  EXPECT_TRUE(a.data_ok);
+  EXPECT_TRUE(b.data_ok);
+}
+
+}  // namespace
