@@ -174,6 +174,13 @@ std::vector<std::pair<std::size_t, std::size_t>> pattern_edges(
   return edges;
 }
 
+std::vector<std::size_t> group_labels(std::size_t p, std::size_t g) {
+  NMAD_ASSERT(p > 0 && g > 0, "group labels need p > 0 and g > 0");
+  std::vector<std::size_t> labels(p);
+  for (std::size_t r = 0; r < p; ++r) labels[r] = r / g;
+  return labels;
+}
+
 bool wire_bound(const std::vector<Pair>& pairs,
                 const std::vector<netmodel::NicProfile>& links,
                 const netmodel::HostProfile& host) {

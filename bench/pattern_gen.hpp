@@ -98,6 +98,14 @@ std::size_t max_bus_degree(const std::vector<Pair>& pairs);
 std::vector<std::pair<std::size_t, std::size_t>> pattern_edges(
     const std::vector<Pair>& pairs);
 
+/// Contiguous group labels: rank r belongs to group r / g — the pattern
+/// vocabulary's "ranks c*g..c*g+g-1 form group c", generalized to ragged
+/// tails (the last group holds p % g ranks when g does not divide p).
+/// This is the label vector MultiNodeConfig::hosts consumes, so a
+/// pattern-style grouping doubles as a locality topology for the
+/// hierarchical collectives (coll/topology.hpp).
+std::vector<std::size_t> group_labels(std::size_t p, std::size_t g);
+
 /// True when every pair can run at the full aggregate rail bandwidth: the
 /// busiest endpoint's bus share (bus / max_bus_degree) still exceeds the
 /// sum of the rails' DMA bandwidths. On such points striping *must* beat

@@ -8,8 +8,34 @@ BarrierOp::BarrierOp(Communicator& comm, core::Tag tag)
     : CollOp(comm, Algo::kBarrier),
       tag_(tag),
       total_rounds_(comm.size() > 1 ? std::bit_width(comm.size() - 1) : 0) {
-  if (total_rounds_ == 0) {
+  if (comm.size() <= 1) {
     finish(true);  // single rank: trivially synchronized
+    return;
+  }
+  if (comm.topology() != nullptr) {
+    // Hierarchical world: gather/release over the composed tree rooted at
+    // rank 0 — one token per slow inter-domain edge instead of
+    // dissemination's O(N log N).
+    tree_mode_ = true;
+    shape_ = comm.tree(/*root=*/0);
+    comm.metrics_.levels.set(static_cast<std::int64_t>(shape_.levels));
+    comm.metrics_.rounds.inc(
+        shape_.children.size() +
+        (shape_.parent != TreeShape::kNoParent ? 1 : 0));
+    // The parent->child direction of an edge carries only the release and
+    // child->parent only the gather, so both ends can pre-post now
+    // (per-(gate, tag) matching is ordinal within one direction).
+    if (shape_.parent != TreeShape::kNoParent) {
+      release_ = post_recv(shape_.parent, tag_, std::span<std::byte>(&token_, 0));
+    }
+    for (std::size_t child : shape_.children) {
+      gathers_.push_back(post_recv(child, tag_, std::span<std::byte>(&token_, 0)));
+    }
+    if (shape_.children.empty()) {
+      // Leaf: nothing to gather — announce entry immediately.
+      (void)post_send(shape_.parent, tag_, {});
+      up_sent_ = true;
+    }
     return;
   }
   post_round();
@@ -25,11 +51,45 @@ void BarrierOp::post_round() {
   send_ = post_send(to, tag_, {});
 }
 
+bool BarrierOp::tree_step() {
+  bool changed = false;
+  if (!up_sent_) {
+    for (const auto& g : gathers_) {
+      if (!g->completed()) return false;
+    }
+    // Every subtree checked in.
+    if (shape_.parent != TreeShape::kNoParent) {
+      (void)post_send(shape_.parent, tag_, {});
+    } else {
+      // Root: all N ranks entered — release the tree.
+      for (std::size_t child : shape_.children) {
+        (void)post_send(child, tag_, {});
+      }
+      released_ = true;
+    }
+    up_sent_ = true;
+    changed = true;
+  }
+  if (!released_ && release_ && release_->completed()) {
+    for (std::size_t child : shape_.children) {
+      (void)post_send(child, tag_, {});
+    }
+    released_ = true;
+    changed = true;
+  }
+  if (released_ && group_.all_settled()) {
+    finish(!group_.any_failed());
+    return true;
+  }
+  return changed;
+}
+
 bool BarrierOp::step() {
   if (group_.any_failed()) {
     finish(false);
     return true;
   }
+  if (tree_mode_) return tree_step();
   if (!send_->done() || !recv_->done()) return false;
   ++round_;
   if (round_ == total_rounds_) {

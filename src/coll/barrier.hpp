@@ -1,14 +1,26 @@
-// Dissemination barrier: ceil(log2 N) rounds of zero-byte tokens. In round
-// k, rank r sends to (r + 2^k) mod N and receives from (r - 2^k) mod N;
-// after the last round every rank has (transitively) heard from every
-// other, so leaving the barrier proves all N ranks entered it. Unlike a
-// tree barrier there is no root and no fan-in hotspot — every round is one
-// send and one receive per rank.
+// Barrier: dissemination on flat worlds, tree gather/release on
+// hierarchical ones.
+//
+// Dissemination (the default): ceil(log2 N) rounds of zero-byte tokens. In
+// round k, rank r sends to (r + 2^k) mod N and receives from (r - 2^k)
+// mod N; after the last round every rank has (transitively) heard from
+// every other, so leaving the barrier proves all N ranks entered it. No
+// root and no fan-in hotspot — every round is one send and one receive per
+// rank — but every round crosses arbitrary (mostly slow) edges.
+//
+// When the communicator carries a non-flat Topology, dissemination's
+// all-to-all round structure would put O(N log N) tokens on the slow
+// inter-domain rails. The tree barrier instead gathers zero-byte tokens up
+// the hierarchy tree rooted at rank 0 (fast intra-domain edges first, one
+// token per slow edge) and releases back down it: a rank leaves only after
+// the root heard from everyone, which proves all N ranks entered.
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "coll/communicator.hpp"
+#include "coll/topology.hpp"
 
 namespace nmad::coll {
 
@@ -19,13 +31,26 @@ class BarrierOp final : public CollOp {
  private:
   bool step() override;
   void post_round();
+  bool tree_step();
 
   core::Tag tag_;
+  // --- dissemination state ---
   std::size_t round_ = 0;
-  std::size_t total_rounds_;
+  std::size_t total_rounds_ = 0;
   core::SendHandle send_;
   core::RecvHandle recv_;
   std::byte token_{};
+  // --- tree (hierarchical) state ---
+  bool tree_mode_ = false;
+  TreeShape shape_;
+  /// One gather token expected from each child.
+  std::vector<core::RecvHandle> gathers_;
+  /// The release token from the parent (null at the root).
+  core::RecvHandle release_;
+  /// Gather sent up (non-root) / all gathers seen (root).
+  bool up_sent_ = false;
+  /// Release forwarded to the children.
+  bool released_ = false;
 };
 
 }  // namespace nmad::coll

@@ -1,25 +1,8 @@
 #include "coll/bcast.hpp"
 
-#include <bit>
-
 #include "util/panic.hpp"
 
 namespace nmad::coll {
-
-TreeShape binomial_tree(std::size_t rank, std::size_t root, std::size_t size) {
-  NMAD_ASSERT(size > 0 && rank < size && root < size, "bad tree parameters");
-  TreeShape shape;
-  shape.depth = size > 1 ? std::bit_width(size - 1) : 0;
-  const std::size_t vr = (rank + size - root) % size;
-  for (std::size_t mask = 1; mask < size; mask <<= 1) {
-    if (vr & mask) {
-      shape.parent = (vr - mask + root) % size;
-      break;
-    }
-    if (vr + mask < size) shape.children.push_back((vr + mask + root) % size);
-  }
-  return shape;
-}
 
 std::vector<std::pair<std::size_t, std::size_t>> segment_bounds(
     std::size_t total, std::uint32_t segment_bytes, std::uint32_t elem_size) {
@@ -40,10 +23,9 @@ std::vector<std::pair<std::size_t, std::size_t>> segment_bounds(
 
 BcastOp::BcastOp(Communicator& comm, std::span<std::byte> buffer,
                  std::size_t root, core::Tag tag, Algo algo)
-    : CollOp(comm, algo),
-      shape_(binomial_tree(comm.rank(), root, comm.size())),
-      tag_(tag) {
+    : CollOp(comm, algo), shape_(comm.tree(root)), tag_(tag) {
   comm.metrics_.tree_depth.set(static_cast<std::int64_t>(shape_.depth));
+  comm.metrics_.levels.set(static_cast<std::int64_t>(shape_.levels));
   for (auto [off, len] : segment_bounds(buffer.size(), comm.config().segment_bytes,
                                         /*elem_size=*/1)) {
     segs_.push_back(buffer.subspan(off, len));

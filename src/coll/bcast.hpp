@@ -1,12 +1,14 @@
-// Binomial-tree broadcast (and the tree/segmentation vocabulary shared by
-// the tree-shaped collectives).
+// Tree broadcast (and the segmentation vocabulary shared by the
+// tree-shaped collectives).
 //
-// The classic hypercube-style algorithm: rank `root` is the tree's rank 0
-// (ranks are rotated so any root works); a rank with virtual rank vr has
-// its parent at vr minus its lowest set bit, and its children at vr + 2^k
-// for each k below that bit. ceil(log2 N) levels, so the latency grows
-// logarithmically while every edge is an ordinary point-to-point message
-// that the installed strategy stripes across rails.
+// The tree shape comes from Communicator::tree(): the classic binomial
+// hypercube-style algorithm on homogeneous worlds — rank `root` is the
+// tree's rank 0 (ranks are rotated so any root works); a rank with virtual
+// rank vr has its parent at vr minus its lowest set bit, and its children
+// at vr + 2^k for each k below that bit; ceil(log2 N) levels — or the
+// two-level hierarchy composition (coll/topology.hpp) when the communicator
+// carries a non-flat Topology. Either way every edge is an ordinary
+// point-to-point message that the installed strategy stripes across rails.
 //
 // Large payloads are segmented (CollConfig::segment_bytes): each segment is
 // an independent message, an interior rank forwards segment k to its
@@ -21,24 +23,9 @@
 #include <vector>
 
 #include "coll/communicator.hpp"
+#include "coll/topology.hpp"
 
 namespace nmad::coll {
-
-/// This rank's place in the binomial tree rooted at `root`.
-struct TreeShape {
-  /// Actual rank of the parent; kNoParent at the root.
-  static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
-  std::size_t parent = kNoParent;
-  /// Actual ranks of the children, in increasing-mask order (the
-  /// deterministic combine order of reductions; broadcast iterates it in
-  /// reverse so the largest subtree starts first).
-  std::vector<std::size_t> children;
-  /// Levels of the whole tree: ceil(log2(size)).
-  std::size_t depth = 0;
-};
-
-[[nodiscard]] TreeShape binomial_tree(std::size_t rank, std::size_t root,
-                                      std::size_t size);
 
 /// (offset, length) of each segment of a `total`-byte payload. Boundaries
 /// are multiples of elem_size; always at least one segment (possibly

@@ -37,6 +37,9 @@ void CollMetrics::register_into(obs::MetricsRegistry& registry,
   registry.add(prefix + "completed_ops", &completed_ops);
   registry.add(prefix + "failed_ops", &failed_ops);
   registry.add(prefix + "tree_depth", &tree_depth);
+  registry.add(prefix + "levels", &levels);
+  registry.add(prefix + "level_intra_sends", &level_intra_sends);
+  registry.add(prefix + "level_inter_sends", &level_inter_sends);
 }
 
 // --- CollOp -----------------------------------------------------------------
@@ -70,9 +73,15 @@ void CollOp::finish(bool ok) {
 
 core::SendHandle CollOp::post_send(std::size_t peer, core::Tag tag,
                                    std::span<const std::byte> data) {
-  core::SendHandle h = comm_->session_->isend(comm_->gates_[peer], tag, data);
+  core::SendHandle h = comm_->session_->isend(comm_->gate_to(peer), tag, data);
   group_.add(h);
   comm_->metrics_.segments_sent.inc();
+  if (const Topology* topo = comm_->topology()) {
+    (topo->domain_of(peer) == topo->domain_of(comm_->rank_)
+         ? comm_->metrics_.level_intra_sends
+         : comm_->metrics_.level_inter_sends)
+        .inc();
+  }
   switch (algo_) {
     case Algo::kBcast: comm_->metrics_.bcast_bytes.inc(data.size()); break;
     case Algo::kReduce: comm_->metrics_.reduce_bytes.inc(data.size()); break;
@@ -86,7 +95,7 @@ core::SendHandle CollOp::post_send(std::size_t peer, core::Tag tag,
 
 core::RecvHandle CollOp::post_recv(std::size_t peer, core::Tag tag,
                                    std::span<std::byte> buffer) {
-  core::RecvHandle h = comm_->session_->irecv(comm_->gates_[peer], tag, buffer);
+  core::RecvHandle h = comm_->session_->irecv(comm_->gate_to(peer), tag, buffer);
   group_.add(h);
   return h;
 }
@@ -237,6 +246,17 @@ Communicator make_communicator(core::MultiNodePlatform& platform,
   Communicator comm(platform.session(rank), platform.gates_from(rank), rank,
                     config);
   comm.set_drive_hooks(hooks_for(platform));
+  if (platform.config().lazy) {
+    // Lazy platform: kNoGate entries are resolved (and the edge
+    // established) on first use by a collective.
+    comm.set_gate_resolver([&platform, rank](std::size_t peer) {
+      return platform.ensure_gate(rank, peer);
+    });
+  }
+  if (config.hierarchical && !platform.config().hosts.empty()) {
+    comm.set_topology(std::make_shared<const Topology>(
+        Topology::from_hosts(platform.config().hosts)));
+  }
   return comm;
 }
 

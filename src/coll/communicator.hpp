@@ -48,6 +48,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "coll/topology.hpp"
 #include "core/request_group.hpp"
 #include "core/session.hpp"
 #include "obs/metrics.hpp"
@@ -119,6 +120,11 @@ struct CollConfig {
   /// First tag this communicator may use; must be inside the reserved
   /// space. Give distinct bases to communicators sharing gates.
   core::Tag tag_base = core::kReservedTagBase;
+  /// Compose two-level hierarchy trees (coll/topology.hpp) when the
+  /// communicator carries a non-flat Topology. Off forces the flat
+  /// binomial shapes even on heterogeneous worlds — the comparison arm of
+  /// bench/coll_scale, and a safety hatch. All ranks must agree.
+  bool hierarchical = true;
 };
 
 /// Per-communicator counters (compiled out with NMAD_METRICS=OFF).
@@ -135,6 +141,13 @@ struct CollMetrics {
   obs::Counter completed_ops, failed_ops;
   /// Depth of the last tree-shaped operation (high-water = deepest seen).
   obs::Gauge tree_depth;
+  /// Hierarchy levels of the last tree-shaped operation: 1 = flat
+  /// binomial, 2 = intra-domain + inter-domain composition.
+  obs::Gauge levels;
+  /// Tree-edge sends split by locality: within this rank's domain (fast
+  /// rails) vs. across domains (slow rails). Only counted when a non-flat
+  /// Topology is installed.
+  obs::Counter level_intra_sends, level_inter_sends;
 
   void register_into(obs::MetricsRegistry& registry,
                      const std::string& prefix) const;
@@ -230,21 +243,62 @@ struct DriveHooks {
 /// Returns true iff every op completed successfully.
 bool wait_all(std::span<const CollHandle> ops, const DriveHooks& hooks);
 
+/// Resolves a peer rank to a gate on first use — the lazy-session hook: a
+/// Communicator over a lazy MultiNodePlatform starts with kNoGate entries
+/// and the resolver (platform.ensure_gate) establishes the edge on demand.
+using GateResolver = std::function<core::GateId(std::size_t peer)>;
+
 class Communicator {
  public:
   /// Bind rank `rank` of an N-party group: peer_gates[r] is this session's
-  /// gate towards rank r (entry [rank] is ignored). All ranks must agree
-  /// on size, config and the order they issue collectives in.
+  /// gate towards rank r (entry [rank] is ignored; kNoGate entries are
+  /// resolved on first use when a GateResolver is installed). All ranks
+  /// must agree on size, config and the order they issue collectives in.
   Communicator(core::Session& session, std::vector<core::GateId> peer_gates,
                std::size_t rank, CollConfig config = {});
 
   [[nodiscard]] std::size_t rank() const noexcept { return rank_; }
   [[nodiscard]] std::size_t size() const noexcept { return gates_.size(); }
   [[nodiscard]] core::Session& session() noexcept { return *session_; }
-  [[nodiscard]] core::GateId gate_to(std::size_t peer) const noexcept {
-    return gates_[peer];
+  /// Gate towards `peer`, resolving (and memoizing) kNoGate entries
+  /// through the installed GateResolver — the point where a lazy platform
+  /// actually establishes the edge.
+  [[nodiscard]] core::GateId gate_to(std::size_t peer) {
+    core::GateId& g = gates_[peer];
+    if (g == core::kNoGate && resolver_) g = resolver_(peer);
+    return g;
   }
   [[nodiscard]] const CollConfig& config() const noexcept { return config_; }
+
+  /// Install the lazy-edge resolver (see GateResolver).
+  void set_gate_resolver(GateResolver resolver) {
+    resolver_ = std::move(resolver);
+  }
+  /// Install the locality descriptor hierarchical trees compose over.
+  /// All ranks must install the identical topology (each computes only its
+  /// own TreeShape from it). Null, a flat() topology, or
+  /// config.hierarchical=false keep the flat binomial shapes.
+  void set_topology(std::shared_ptr<const Topology> topology) {
+    NMAD_ASSERT(!topology || topology->size() == size(),
+                "topology size does not match the communicator");
+    topology_ = std::move(topology);
+  }
+  /// The installed topology when hierarchical composition is active, else
+  /// nullptr (flat shapes).
+  [[nodiscard]] const Topology* topology() const noexcept {
+    return config_.hierarchical && topology_ && !topology_->flat()
+               ? topology_.get()
+               : nullptr;
+  }
+  /// This rank's shape in the tree rooted at `root`: the two-level
+  /// hierarchy composition when a non-flat topology is active, else the
+  /// flat binomial tree.
+  [[nodiscard]] TreeShape tree(std::size_t root) const {
+    if (const Topology* topo = topology()) {
+      return hierarchy_tree(rank_, root, *topo);
+    }
+    return binomial_tree(rank_, root, size());
+  }
 
   // --- non-blocking collectives -------------------------------------------
   /// Broadcast `buffer` from rank `root` to every rank. The span must stay
@@ -335,6 +389,8 @@ class Communicator {
   std::vector<core::GateId> gates_;
   std::size_t rank_;
   CollConfig config_;
+  std::shared_ptr<const Topology> topology_;
+  GateResolver resolver_;
   DriveHooks hooks_;
   CollMetrics metrics_;
   /// Instance counters, one per tag stream (4 algorithms + allreduce's

@@ -10,10 +10,7 @@ ReduceOp::ReduceOp(Communicator& comm, std::span<const std::byte> contrib,
                    std::span<std::byte> result, std::size_t root,
                    CombineFn combine, std::uint32_t elem_size, core::Tag tag,
                    Algo algo)
-    : CollOp(comm, algo),
-      shape_(binomial_tree(comm.rank(), root, comm.size())),
-      tag_(tag),
-      combine_(combine) {
+    : CollOp(comm, algo), shape_(comm.tree(root)), tag_(tag), combine_(combine) {
   NMAD_ASSERT(combine_ != nullptr, "reduce needs a combine function");
   NMAD_ASSERT(elem_size > 0 && contrib.size() % elem_size == 0,
               "contribution is not a whole number of elements");
@@ -34,6 +31,7 @@ ReduceOp::ReduceOp(Communicator& comm, std::span<const std::byte> contrib,
   bounds_ = segment_bounds(contrib.size(), comm.config().segment_bytes, elem_size);
   combined_.assign(bounds_.size(), 0);
   comm.metrics_.tree_depth.set(static_cast<std::int64_t>(shape_.depth));
+  comm.metrics_.levels.set(static_cast<std::int64_t>(shape_.levels));
   comm.metrics_.rounds.inc(shape_.children.size() + (is_root ? 0 : 1));
 
   // One landing buffer per child, with every segment's receive pre-posted

@@ -1,0 +1,170 @@
+#include "coll/topology.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/panic.hpp"
+
+namespace nmad::coll {
+
+TreeShape binomial_tree(std::size_t rank, std::size_t root, std::size_t size) {
+  NMAD_ASSERT(size > 0 && rank < size && root < size, "bad tree parameters");
+  TreeShape shape;
+  shape.depth = size > 1 ? std::bit_width(size - 1) : 0;
+  const std::size_t vr = (rank + size - root) % size;
+  for (std::size_t mask = 1; mask < size; mask <<= 1) {
+    if (vr & mask) {
+      shape.parent = (vr - mask + root) % size;
+      break;
+    }
+    if (vr + mask < size) shape.children.push_back((vr + mask + root) % size);
+  }
+  return shape;
+}
+
+// --- Topology ---------------------------------------------------------------
+
+Topology Topology::from_hosts(const std::vector<std::size_t>& host_of) {
+  NMAD_ASSERT(!host_of.empty(), "topology needs at least one rank");
+  Topology topo;
+  topo.domain_of_.resize(host_of.size());
+  // Dense ids by first appearance: every rank scanning the same host list
+  // derives the same domain numbering.
+  std::vector<std::size_t> seen_hosts;
+  for (std::size_t r = 0; r < host_of.size(); ++r) {
+    const auto it =
+        std::find(seen_hosts.begin(), seen_hosts.end(), host_of[r]);
+    std::size_t id;
+    if (it == seen_hosts.end()) {
+      id = seen_hosts.size();
+      seen_hosts.push_back(host_of[r]);
+      topo.domains_.emplace_back();
+    } else {
+      id = static_cast<std::size_t>(it - seen_hosts.begin());
+    }
+    topo.domain_of_[r] = id;
+    topo.domains_[id].members.push_back(r);  // rank order => sorted
+  }
+  return topo;
+}
+
+std::size_t Topology::domain_of(std::size_t rank) const {
+  NMAD_ASSERT(rank < domain_of_.size(), "rank outside the topology");
+  return domain_of_[rank];
+}
+
+std::size_t Topology::leader(std::size_t domain, std::size_t root) const {
+  NMAD_ASSERT(domain < domains_.size(), "domain out of range");
+  if (domain == domain_of(root)) return root;
+  return domains_[domain].members.front();
+}
+
+bool Topology::flat() const noexcept {
+  if (domains_.size() <= 1) return true;
+  return std::all_of(domains_.begin(), domains_.end(), [](const Domain& d) {
+    return d.members.size() == 1;
+  });
+}
+
+std::vector<std::size_t> hosts_from_rates(
+    const std::vector<std::vector<double>>& peer_mbps, double fast_fraction) {
+  const std::size_t n = peer_mbps.size();
+  NMAD_ASSERT(n > 0, "rate matrix is empty");
+  for (const auto& row : peer_mbps) {
+    NMAD_ASSERT(row.size() == n, "rate matrix is not square");
+  }
+  double max_rate = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) max_rate = std::max(max_rate, peer_mbps[i][j]);
+    }
+  }
+  // Union-find over "fast" links: ranks joined by a link at or above the
+  // fraction of the fastest observed rate share a domain.
+  std::vector<std::size_t> parent(n);
+  for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+  auto find = [&](std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  const double threshold = fast_fraction * max_rate;
+  if (max_rate > 0.0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double rate = std::max(peer_mbps[i][j], peer_mbps[j][i]);
+        if (rate >= threshold && rate > 0.0) {
+          parent[find(j)] = find(i);
+        }
+      }
+    }
+  }
+  std::vector<std::size_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) labels[i] = find(i);
+  return labels;  // from_hosts densifies by first appearance
+}
+
+// --- hierarchy composition --------------------------------------------------
+
+TreeShape hierarchy_tree(std::size_t rank, std::size_t root,
+                         const Topology& topology) {
+  const std::size_t size = topology.size();
+  NMAD_ASSERT(rank < size && root < size, "bad tree parameters");
+  if (topology.flat()) return binomial_tree(rank, root, size);
+
+  const std::size_t my_domain = topology.domain_of(rank);
+  const std::size_t root_domain = topology.domain_of(root);
+  const auto& members = topology.domains()[my_domain].members;
+  const std::size_t my_leader = topology.leader(my_domain, root);
+
+  // Intra-domain level: a binomial tree over member *indices*, rooted at
+  // the leader's index, then translated back to actual ranks.
+  const auto index_of = [&](std::size_t r) {
+    const auto it = std::lower_bound(members.begin(), members.end(), r);
+    NMAD_ASSERT(it != members.end() && *it == r, "rank missing from domain");
+    return static_cast<std::size_t>(it - members.begin());
+  };
+  const TreeShape intra =
+      binomial_tree(index_of(rank), index_of(my_leader), members.size());
+
+  TreeShape shape;
+  shape.levels = 2;
+  shape.children.reserve(intra.children.size() + 4);
+  for (std::size_t child_idx : intra.children) {
+    shape.children.push_back(members[child_idx]);
+  }
+
+  if (rank == my_leader) {
+    // Inter-domain level: a binomial tree over domain ids rooted at the
+    // root's domain, with each edge carried by the domains' leaders.
+    // Inter children go last so broadcast's reverse iteration starts the
+    // slow cross-domain edges before the fast local fan-out.
+    const TreeShape inter = binomial_tree(
+        my_domain, root_domain, topology.domains().size());
+    for (std::size_t child_domain : inter.children) {
+      shape.children.push_back(topology.leader(child_domain, root));
+    }
+    if (inter.parent != TreeShape::kNoParent) {
+      shape.parent = topology.leader(inter.parent, root);
+    }
+  } else {
+    shape.parent = members[intra.parent];
+  }
+
+  // Depth of the composition: the inter level stacked on the deepest
+  // intra tree (every domain finishes its local fan-out after the leader
+  // relay).
+  std::size_t max_members = 0;
+  for (const auto& d : topology.domains()) {
+    max_members = std::max(max_members, d.members.size());
+  }
+  const std::size_t inter_depth =
+      topology.domains().size() > 1
+          ? std::bit_width(topology.domains().size() - 1)
+          : 0;
+  const std::size_t intra_depth =
+      max_members > 1 ? std::bit_width(max_members - 1) : 0;
+  shape.depth = inter_depth + intra_depth;
+  return shape;
+}
+
+}  // namespace nmad::coll

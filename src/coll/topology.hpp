@@ -1,0 +1,110 @@
+// Locality topology for hierarchical collectives.
+//
+// At 500 ranks a flat binomial tree treats every edge alike, but the rail
+// sets are not alike: ranks on one host talk over fast intra-host rails
+// while cross-host edges ride the slow inter-host NICs (the asymmetry the
+// source paper measures between Myri-10G and slower rails). A Topology
+// groups ranks into locality *domains* — same host id, or same fast-rail
+// cluster when derived from the online rate estimator — and
+// hierarchy_tree() composes a two-level spanning tree over it, HiCCL-style:
+//
+//   level 0 (intra-domain): a binomial tree over each domain's members,
+//     rooted at the domain leader, riding the fast rails;
+//   level 1 (inter-domain): a binomial tree over the domain *leaders*,
+//     rooted at the global root's leader, so each slow cross-host edge is
+//     traversed once instead of O(members) times.
+//
+// Leader election rule: the root rank leads its own domain; every other
+// domain is led by its smallest member. The composition degenerates to the
+// flat binomial tree when the topology is flat() — one domain, or all
+// domains singletons — so homogeneous worlds keep today's exact shapes.
+//
+// Every edge of either level is an ordinary point-to-point message through
+// the strategy backlog, so hierarchical collectives inherit striping,
+// aggregation and rail failover unchanged.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace nmad::coll {
+
+/// One rank's place in a (possibly composed) collective tree.
+struct TreeShape {
+  /// Actual rank of the parent; kNoParent at the root.
+  static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+  std::size_t parent = kNoParent;
+  /// Actual ranks of the children, in deterministic order (binomial trees:
+  /// increasing-mask order — the documented combine order of reductions;
+  /// broadcast iterates it in reverse so the largest/slowest subtree starts
+  /// first). hierarchy_tree() appends inter-domain children *after* the
+  /// intra-domain ones, so broadcast's reverse iteration starts the slow
+  /// cross-domain edges before the fast local ones.
+  std::vector<std::size_t> children;
+  /// Levels of the whole tree: ceil(log2(size)) for a binomial tree, the
+  /// sum of the per-level depths for a composed tree.
+  std::size_t depth = 0;
+  /// Hierarchy levels composing the tree: 1 = flat binomial, 2 =
+  /// intra-domain + inter-domain.
+  std::size_t levels = 1;
+};
+
+/// This rank's place in the binomial tree rooted at `root` (ranks are
+/// rotated so any root works; see bcast.hpp for the algorithm).
+[[nodiscard]] TreeShape binomial_tree(std::size_t rank, std::size_t root,
+                                      std::size_t size);
+
+/// One locality domain: the ranks sharing a host (or fast-rail cluster),
+/// sorted ascending.
+struct Domain {
+  std::vector<std::size_t> members;
+};
+
+/// The per-rank hierarchy descriptor: a partition of ranks 0..size-1 into
+/// locality domains. Domain ids are dense and deterministic (ordered by
+/// first appearance scanning rank 0 upwards), so every rank derives the
+/// identical descriptor from the identical metadata — a correctness
+/// requirement, since each rank computes only its own TreeShape.
+class Topology {
+ public:
+  /// Group by host id: host_of[r] is rank r's host (any integer labels).
+  [[nodiscard]] static Topology from_hosts(
+      const std::vector<std::size_t>& host_of);
+
+  [[nodiscard]] std::size_t size() const noexcept { return domain_of_.size(); }
+  /// Dense domain id of `rank`.
+  [[nodiscard]] std::size_t domain_of(std::size_t rank) const;
+  [[nodiscard]] const std::vector<Domain>& domains() const noexcept {
+    return domains_;
+  }
+  /// Leader of `domain` for a collective rooted at `root`: the root itself
+  /// in the root's own domain, else the domain's smallest member.
+  [[nodiscard]] std::size_t leader(std::size_t domain, std::size_t root) const;
+  /// A flat topology carries no exploitable locality: one domain (all
+  /// edges alike) or all-singleton domains (no intra level). Collectives
+  /// fall back to the flat binomial tree.
+  [[nodiscard]] bool flat() const noexcept;
+
+ private:
+  std::vector<std::size_t> domain_of_;
+  std::vector<Domain> domains_;
+};
+
+/// Derive host labels from a peer-rate matrix (e.g. the online rate
+/// estimator's per-peer delivered MB/s): ranks joined by a "fast" link —
+/// rate >= fast_fraction * the global maximum — are clustered into one
+/// domain via union-find. peer_mbps must be square; entry [i][j] <= 0 means
+/// no direct link. Returns dense labels suitable for Topology::from_hosts.
+[[nodiscard]] std::vector<std::size_t> hosts_from_rates(
+    const std::vector<std::vector<double>>& peer_mbps,
+    double fast_fraction = 0.5);
+
+/// Compose this rank's shape in the two-level hierarchy tree rooted at
+/// `root` (see the file comment). Falls back to binomial_tree when the
+/// topology is flat(). The edge set over all ranks is a spanning tree
+/// (exactly size-1 edges), so tree-shaped collectives work unchanged.
+[[nodiscard]] TreeShape hierarchy_tree(std::size_t rank, std::size_t root,
+                                       const Topology& topology);
+
+}  // namespace nmad::coll

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "drv/sim_driver.hpp"
+#include "obs/registry.hpp"
 #include "sampling/ratio_table.hpp"
 #include "sampling/sampler.hpp"
 #include "util/panic.hpp"
@@ -105,48 +106,52 @@ MultiNodePlatform::MultiNodePlatform(MultiNodeConfig config)
     config_.links = {netmodel::myri10g(), netmodel::quadrics_qm500()};
   }
   const std::size_t n = config_.nodes;
+  NMAD_ASSERT(config_.hosts.empty() || config_.hosts.size() == n,
+              "hosts must be empty or one label per node");
+  mode_ = resolve_progress_mode(config_.progress_mode);
+  chaos_next_seed_ = config_.chaos_seed;
 
-  std::vector<drv::NodeId> nodes;
-  nodes.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) nodes.push_back(world_->add_node(config_.host));
-
-  std::uint64_t seed = config_.chaos_seed;
-  auto wrap = [&](drv::SimDriver* ep) -> drv::Driver* {
-    if (!config_.chaos) return ep;
-    wrappers_.push_back(
-        std::make_unique<drv::ChaosDriver>(*ep, seed++, *config_.chaos));
-    return wrappers_.back().get();
-  };
+  node_ids_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    node_ids_.push_back(world_->add_node(config_.host));
+  }
 
   // Edge set: the historical full mesh, or — when config.edges names the
   // pairs a workload actually uses — only those, so large worlds stay
   // cheap (a 16-rank pattern point builds its handful of links, not 120).
+  // A lazy world establishes only the named edges now; everything else is
+  // created on first use (ensure_gate).
   std::vector<std::pair<std::size_t, std::size_t>> edges = config_.edges;
-  if (edges.empty()) {
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = i + 1; j < n; ++j) edges.emplace_back(i, j);
-    }
-  } else {
+  if (!edges.empty()) {
     for (auto& [i, j] : edges) {
-      NMAD_ASSERT(i != j && i < n && j < n, "bad sparse-mesh edge");
+      NMAD_ASSERT(i < n && j < n, "sparse-mesh edge endpoint out of range");
+      NMAD_ASSERT(i != j, "sparse-mesh edge is a self-loop");
       if (i > j) std::swap(i, j);
     }
     std::sort(edges.begin(), edges.end());
-    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    NMAD_ASSERT(std::adjacent_find(edges.begin(), edges.end()) == edges.end(),
+                "duplicate sparse-mesh edge");
+  } else if (!config_.lazy) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+    }
   }
 
   endpoint_.assign(n, std::vector<std::vector<drv::Driver*>>(n));
   sim_endpoint_.assign(n, std::vector<std::vector<drv::SimDriver*>>(n));
-  for (const auto& [i, j] : edges) {
-    for (const auto& nic : config_.links) {
-      auto [ei, ej] = world_->add_link(nodes[i], nodes[j], nic);
-      endpoint_[i][j].push_back(wrap(ei));
-      endpoint_[j][i].push_back(wrap(ej));
-      sim_endpoint_[i][j].push_back(ei);
-      sim_endpoint_[j][i].push_back(ej);
-    }
-  }
+  sessions_.resize(n);
+  gate_.assign(n, std::vector<GateId>(n, kNoGate));
 
+  if (!config_.lazy) {
+    // Eager worlds create every session up front, exactly as before.
+    for (std::size_t i = 0; i < n; ++i) (void)ensure_session(i);
+  }
+  for (const auto& [i, j] : edges) establish_edge(i, j, /*lazily=*/false);
+}
+
+Session& MultiNodePlatform::ensure_session(std::size_t i) {
+  NMAD_ASSERT(i < sessions_.size(), "node index out of range");
+  if (sessions_[i] != nullptr) return *sessions_[i];
   drv::SimWorld* w = world_.get();
   auto clock = [w] { return w->now(); };
   auto defer = [w](std::function<void()> fn) {
@@ -160,47 +165,99 @@ MultiNodePlatform::MultiNodePlatform(MultiNodeConfig config)
   auto progress = [this](const std::function<bool()>& pred) {
     (void)run_until(pred);
   };
-  sessions_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    sessions_.push_back(std::make_unique<Session>("n" + std::to_string(i),
-                                                  clock, defer, progress, timer));
-  }
-
-  gate_.assign(n, std::vector<GateId>(n, kNoGate));
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      if (j == i || endpoint_[i][j].empty()) continue;
-      gate_[i][j] = sessions_[i]->connect(endpoint_[i][j], config_.strategy,
-                                          config_.strat_cfg);
-    }
-  }
-
-  mode_ = resolve_progress_mode(config_.progress_mode);
+  sessions_[i] = std::make_unique<Session>("n" + std::to_string(i), clock,
+                                           defer, progress, timer);
   if (mode_ == ProgressMode::kThreaded) {
     const std::size_t threads = config_.progress_threads != 0
                                     ? config_.progress_threads
                                     : config_.links.size();
     // The idle hook releases chaos-held frames from a progress thread
     // (under the world mutex) whenever the engine drains, so a run can
-    // never stall below the scrambling window.
+    // never stall below the scrambling window. wrappers_ only mutates
+    // under the same mutex (establish_edge), so the iteration is safe.
     std::function<void()> idle;
     if (config_.chaos) {
       idle = [this] {
         for (auto& wr : wrappers_) wr->flush();
       };
     }
-    for (auto& s : sessions_) {
-      s->start_threaded(w->progress_mutex(), &w->engine(), threads, idle,
-                        nullptr, config_.submit_ring_capacity,
-                        config_.completion_ring_capacity);
-    }
+    sessions_[i]->start_threaded(w->progress_mutex(), &w->engine(), threads,
+                                 idle, nullptr, config_.submit_ring_capacity,
+                                 config_.completion_ring_capacity);
   }
+  return *sessions_[i];
+}
+
+void MultiNodePlatform::establish_edge(std::size_t i, std::size_t j,
+                                       bool lazily) {
+  NMAD_ASSERT(i != j && i < config_.nodes && j < config_.nodes,
+              "bad edge endpoints");
+  if (i > j) std::swap(i, j);
+  NMAD_ASSERT(gate_[i][j] == kNoGate, "edge already established");
+
+  Session& si = ensure_session(i);
+  Session& sj = ensure_session(j);
+
+  // In threaded mode the progress threads are already stepping the world;
+  // every scheduler/engine mutation below must happen under the world
+  // progress mutex. Gate storage is pointer-stable (the scheduler holds
+  // unique_ptrs), so in-flight requests on other gates are unaffected.
+  std::unique_lock<std::mutex> guard;
+  if (mode_ == ProgressMode::kThreaded) {
+    guard = std::unique_lock<std::mutex>(world_->progress_mutex());
+  }
+
+  auto wrap = [&](drv::SimDriver* ep) -> drv::Driver* {
+    if (!config_.chaos) return ep;
+    wrappers_.push_back(std::make_unique<drv::ChaosDriver>(
+        *ep, chaos_next_seed_++, *config_.chaos));
+    return wrappers_.back().get();
+  };
+  // Same-host edges ride the (fast) intra-host rail set when one is
+  // configured — the locality asymmetry hierarchical collectives exploit.
+  const bool intra =
+      !config_.intra_host_links.empty() && host_of(i) == host_of(j);
+  const auto& nics = intra ? config_.intra_host_links : config_.links;
+  for (const auto& nic : nics) {
+    auto [ei, ej] = world_->add_link(node_ids_[i], node_ids_[j], nic);
+    endpoint_[i][j].push_back(wrap(ei));
+    endpoint_[j][i].push_back(wrap(ej));
+    sim_endpoint_[i][j].push_back(ei);
+    sim_endpoint_[j][i].push_back(ej);
+  }
+  gate_[i][j] = si.connect(endpoint_[i][j], config_.strategy, config_.strat_cfg);
+  gate_[j][i] = sj.connect(endpoint_[j][i], config_.strategy, config_.strat_cfg);
+
+  ++established_edges_;
+  sessions_established_.inc();
+  if (lazily) {
+    ++lazy_edges_;
+    sessions_lazy_created_.inc();
+  }
+}
+
+Session& MultiNodePlatform::session(std::size_t i) {
+  NMAD_ASSERT(config_.lazy || sessions_[i] != nullptr,
+              "session missing from an eager world");
+  return ensure_session(i);
+}
+
+GateId MultiNodePlatform::ensure_gate(std::size_t i, std::size_t j) {
+  NMAD_ASSERT(i != j && i < config_.nodes && j < config_.nodes,
+              "bad edge endpoints");
+  if (gate_[i][j] == kNoGate) {
+    NMAD_ASSERT(config_.lazy, "edge not in the mesh (non-lazy world)");
+    establish_edge(i, j, /*lazily=*/true);
+  }
+  return gate_[i][j];
 }
 
 MultiNodePlatform::~MultiNodePlatform() {
   // Engine events cross sessions: every progress thread must stop before
   // any session's scheduler is destroyed.
-  for (auto& s : sessions_) s->stop_threaded();
+  for (auto& s : sessions_) {
+    if (s) s->stop_threaded();
+  }
   // Drain the chaos buffers while the sessions (the deliver upcall
   // targets) are still alive; the wrappers' own destructor flush must
   // find nothing left.
@@ -251,7 +308,10 @@ void MultiNodePlatform::kill_link(std::size_t i, std::size_t j, std::size_t link
 }
 
 void MultiNodePlatform::register_metrics(obs::MetricsRegistry& registry) {
+  registry.add("platform.sessions_established", &sessions_established_);
+  registry.add("platform.sessions_lazy_created", &sessions_lazy_created_);
   for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    if (sessions_[i] == nullptr) continue;  // lazy world: never touched
     sessions_[i]->register_metrics(registry, "n" + std::to_string(i) + ".");
   }
 }

@@ -23,6 +23,7 @@
 #include "drv/chaos_driver.hpp"
 #include "drv/sim_world.hpp"
 #include "netmodel/nic_profile.hpp"
+#include "obs/metrics.hpp"
 #include "util/panic.hpp"
 
 namespace nmad::core {
@@ -108,12 +109,23 @@ PlatformConfig paper_platform(std::string strategy,
 // --- N-node platform --------------------------------------------------------
 
 struct MultiNodeConfig {
-  /// Number of hosts; every pair is connected by `links`.
+  /// Number of nodes (ranks); every connected pair gets its own rail set.
   std::size_t nodes = 3;
   netmodel::HostProfile host{};
   /// NIC profiles of the rails on every edge. Empty = the paper's pair
   /// (Myri-10G + Quadrics QM500).
   std::vector<netmodel::NicProfile> links;
+  /// Locality labels: hosts[i] is node i's host id (any integers). Must be
+  /// empty (every node its own host — the historical homogeneous world) or
+  /// exactly `nodes` long. Same-host edges use intra_host_links; the
+  /// collectives layer derives its hierarchy Topology from these labels
+  /// (see coll/topology.hpp and make_communicator).
+  std::vector<std::size_t> hosts;
+  /// Rail set of same-host (intra-domain) edges; empty = `links`. Lets a
+  /// heterogeneous world give co-hosted ranks fast rails while cross-host
+  /// edges ride the slow ones — the asymmetry hierarchical collectives
+  /// exploit.
+  std::vector<netmodel::NicProfile> intra_host_links;
   std::string strategy = "aggreg_greedy";
   strat::StrategyConfig strat_cfg{};
   /// See PlatformConfig::progress_mode.
@@ -124,12 +136,20 @@ struct MultiNodeConfig {
   std::size_t submit_ring_capacity = 0;
   std::size_t completion_ring_capacity = 0;
   /// When non-empty, only these undirected node pairs get links and gates
-  /// (sparse mesh) — entries are normalized to {min, max} and deduplicated.
-  /// Empty keeps the historical full mesh. The pattern sweep harness
+  /// (sparse mesh) — entries are normalized to {min, max}; self-loops,
+  /// out-of-range endpoints and duplicates are rejected (panic). Empty
+  /// keeps the historical full mesh. The pattern sweep harness
   /// (bench/pattern_gen.cpp) uses this so a 16-rank point builds only the
   /// edges its pair set touches instead of all O(N^2) of them; gate(i, j)
   /// asserts on unconnected pairs, has_gate(i, j) probes them.
   std::vector<std::pair<std::size_t, std::size_t>> edges;
+  /// Lazy establishment: construct no sessions and no edges up front —
+  /// each Session and each edge's rails, guards and gates are created on
+  /// first use (session(i) / ensure_gate(i, j); coll::Communicator
+  /// resolves peers through the latter), plus any `edges` named above
+  /// eagerly. A 512-rank world then costs O(edges actually used) instead
+  /// of the full mesh's O(N^2). See docs/SCALING.md for the cost model.
+  bool lazy = false;
   /// When set, every rail endpoint is wrapped in a ChaosDriver with this
   /// fault configuration (seeded from chaos_seed). The platform's progress
   /// paths then flush the chaos windows on quiescence, exactly like the
@@ -138,13 +158,13 @@ struct MultiNodeConfig {
   std::uint64_t chaos_seed = 1;
 };
 
-/// gate(i, j) sentinel for node pairs a sparse mesh never connected.
-inline constexpr GateId kNoGate = static_cast<GateId>(-1);
-
-/// N sessions over one simulated world, fully meshed: session(i) owns one
-/// gate per peer, each bundling config.links rails on a dedicated physical
-/// link. Gate ids are exposed via gate(i, j); the flat per-peer vector
-/// gates_from(i) is the shape coll::Communicator consumes.
+/// N sessions over one simulated world: session(i) owns one gate per
+/// connected peer, each bundling the edge's rails on a dedicated physical
+/// link. Fully meshed by default, sparse with config.edges, and on-demand
+/// with config.lazy (sessions and edges created on first use). Gate ids
+/// are exposed via gate(i, j); the flat per-peer vector gates_from(i) is
+/// the shape coll::Communicator consumes (kNoGate entries resolve lazily
+/// through ensure_gate).
 class MultiNodePlatform {
  public:
   explicit MultiNodePlatform(MultiNodeConfig config);
@@ -153,21 +173,38 @@ class MultiNodePlatform {
   MultiNodePlatform& operator=(const MultiNodePlatform&) = delete;
 
   [[nodiscard]] std::size_t nodes() const noexcept { return config_.nodes; }
-  [[nodiscard]] Session& session(std::size_t i) noexcept { return *sessions_[i]; }
+  /// Node i's session, created on first use in lazy worlds.
+  [[nodiscard]] Session& session(std::size_t i);
   /// Node i's gate towards node j (i != j); asserts the edge exists.
   [[nodiscard]] GateId gate(std::size_t i, std::size_t j) const noexcept {
     NMAD_ASSERT(gate_[i][j] != kNoGate, "no gate: edge not in the mesh");
     return gate_[i][j];
   }
-  /// Whether the (possibly sparse) mesh connects nodes i and j.
+  /// Whether the (possibly sparse or lazy) mesh has established the edge
+  /// between nodes i and j.
   [[nodiscard]] bool has_gate(std::size_t i, std::size_t j) const noexcept {
     return i != j && gate_[i][j] != kNoGate;
   }
   /// Peer-indexed gate vector for node i; entry [i] itself is unused, and
-  /// sparse meshes carry kNoGate for unconnected peers.
+  /// sparse/lazy meshes carry kNoGate for unconnected peers.
   [[nodiscard]] std::vector<GateId> gates_from(std::size_t i) const {
     return gate_[i];
   }
+  /// Lazy worlds: node i's gate towards node j, establishing the edge
+  /// (rails, guards, gates on both endpoints — and the sessions
+  /// themselves if missing) on first use. Thread-safe against running
+  /// progress threads: establishment happens under the world progress
+  /// mutex. Non-lazy worlds assert the edge already exists.
+  GateId ensure_gate(std::size_t i, std::size_t j);
+
+  /// Edges established so far (eager + lazy) and the lazily-created
+  /// subset. Plain counts, valid with NMAD_METRICS=OFF; mirrored as the
+  /// platform.sessions_established / platform.sessions_lazy_created
+  /// metrics.
+  [[nodiscard]] std::size_t established_edges() const noexcept {
+    return established_edges_;
+  }
+  [[nodiscard]] std::size_t lazy_edges() const noexcept { return lazy_edges_; }
 
   [[nodiscard]] drv::SimWorld& world() noexcept { return *world_; }
   [[nodiscard]] sim::TimeNs now() const noexcept { return world_->now(); }
@@ -202,21 +239,41 @@ class MultiNodePlatform {
   void register_metrics(obs::MetricsRegistry& registry);
 
  private:
+  /// Create session i if missing (lazy worlds; threaded sessions start
+  /// their progress threads immediately).
+  Session& ensure_session(std::size_t i);
+  /// Create the rails, chaos wrappers and both gates of edge {i, j}.
+  /// Callers in threaded mode must hold the world progress mutex.
+  void establish_edge(std::size_t i, std::size_t j, bool lazily);
+  /// Host id of node i (hosts[i], or i itself when hosts is empty).
+  [[nodiscard]] std::size_t host_of(std::size_t i) const noexcept {
+    return config_.hosts.empty() ? i : config_.hosts[i];
+  }
+
   MultiNodeConfig config_;
   ProgressMode mode_ = ProgressMode::kSerial;
   std::unique_ptr<drv::SimWorld> world_;
+  std::vector<drv::NodeId> node_ids_;
   /// Chaos wrappers (empty without chaos). Declared before sessions_ so
   /// they outlive the schedulers their deliver upcalls target; the
   /// destructor drains them while the sessions are still alive.
   std::vector<std::unique_ptr<drv::ChaosDriver>> wrappers_;
+  /// Next chaos wrapper seed (dense per-endpoint seeding, stable across
+  /// eager and lazy establishment order).
+  std::uint64_t chaos_next_seed_ = 0;
   /// endpoint_[i][j][link]: node i's driver on that link of edge {i, j}
   /// (the chaos wrapper when chaos is configured); empty vector when the
-  /// sparse mesh skips the edge.
+  /// edge is not (yet) established.
   std::vector<std::vector<std::vector<drv::Driver*>>> endpoint_;
   /// The raw SimDrivers underneath, same indexing.
   std::vector<std::vector<std::vector<drv::SimDriver*>>> sim_endpoint_;
+  /// Null entries are sessions a lazy world has not created yet.
   std::vector<std::unique_ptr<Session>> sessions_;
   std::vector<std::vector<GateId>> gate_;
+  std::size_t established_edges_ = 0;
+  std::size_t lazy_edges_ = 0;
+  obs::Counter sessions_established_;
+  obs::Counter sessions_lazy_created_;
 };
 
 /// `cfg` pinned to serial progression regardless of NMAD_PROGRESS_MODE.

@@ -155,7 +155,10 @@ class ProgressEngine {
   };
 
   /// Installs itself as `scheduler`'s completion hook and starts the
-  /// progress threads. The scheduler's gates must all exist already.
+  /// progress threads. Gates may still be added afterwards (lazy session
+  /// establishment) as long as the connect happens under the world
+  /// progress mutex — gate storage is pointer-stable, so running threads
+  /// never observe a torn gate table.
   ProgressEngine(Scheduler& scheduler, Config config, Hooks hooks);
   /// stop()s and uninstalls the completion hook.
   ~ProgressEngine();

@@ -86,7 +86,8 @@ class Session {
   /// Switch this session to threaded progression: each submitting app
   /// thread gets its own lock-free submission/completion ring pair and
   /// `threads` progress threads (one per rail) drive the scheduler under
-  /// `world_mutex`. Call after every connect(); all sessions sharing
+  /// `world_mutex`. Later connect()s are allowed if made under
+  /// `world_mutex` (lazy establishment); all sessions sharing
   /// `engine` must be stop_threaded()'d before any of them is destroyed
   /// (engine events cross sessions). `engine` may be null for real
   /// drivers — then `poll` does the work. `idle` runs under the lock when

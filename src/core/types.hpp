@@ -55,4 +55,9 @@ inline constexpr SubmitLane kNoSubmitLane = 0xffffffffu;
 /// Identifies one gate within one scheduler.
 using GateId = std::uint32_t;
 
+/// "No gate": the sentinel for peers a sparse mesh never connected, and the
+/// marker lazy platforms leave in peer-gate vectors until first use (see
+/// core::MultiNodePlatform and coll::Communicator's gate resolver).
+inline constexpr GateId kNoGate = static_cast<GateId>(-1);
+
 }  // namespace nmad::core

@@ -170,6 +170,167 @@ INSTANTIATE_TEST_SUITE_P(
         MatrixParam{7, ProgressMode::kThreaded, true}),
     matrix_name);
 
+// --- heterogeneous-topology matrix -------------------------------------------
+
+/// Two hosts with fast intra-host rails (Myri-10G + Quadrics) and slow
+/// cross-host ones (GigE + Myrinet-2000): the world the hierarchy trees
+/// exist for. Each parameter point runs the full collective set twice —
+/// hierarchical and flat — over identical inputs and asserts the results
+/// are byte-identical, so tree composition can never change semantics.
+struct HeteroParam {
+  std::size_t ranks;  // split onto two hosts: first half + remainder
+  ProgressMode mode;
+  bool chaos;
+};
+
+class CollHetero : public ::testing::TestWithParam<HeteroParam> {
+ protected:
+  static MultiNodeConfig make_config(const HeteroParam& p, bool hierarchical) {
+    MultiNodeConfig cfg;
+    cfg.nodes = p.ranks;
+    cfg.strategy = "aggreg_greedy";
+    cfg.progress_mode = p.mode;
+    cfg.links = {netmodel::gige_tcp(), netmodel::myrinet2000_gm2()};
+    cfg.intra_host_links = {netmodel::myri10g(), netmodel::quadrics_qm500()};
+    cfg.hosts.assign(p.ranks, 1);
+    for (std::size_t r = 0; r < p.ranks / 2; ++r) cfg.hosts[r] = 0;
+    if (p.chaos) {
+      cfg.chaos = acceptance_chaos();
+      cfg.chaos_seed = 90 + p.ranks + (hierarchical ? 7 : 0);
+      cfg.strat_cfg.reliability.ack_enabled = true;
+    }
+    return cfg;
+  }
+
+  /// Bcast + reduce + allreduce + barrier on every rank, returning
+  /// (bcast buffers, reduce sum at root, allreduce outputs) for the
+  /// hier-vs-flat byte comparison.
+  struct Results {
+    std::vector<std::vector<std::byte>> bcast;
+    std::vector<std::uint64_t> sum;
+    std::vector<std::vector<std::uint64_t>> min;
+  };
+
+  static Results run(const HeteroParam& p, bool hierarchical) {
+    const std::size_t ranks = p.ranks;
+    MultiNodePlatform platform(make_config(p, hierarchical));
+    coll::CollConfig ccfg{.segment_bytes = 64 * 1024};
+    ccfg.hierarchical = hierarchical;
+    std::vector<coll::Communicator> comms;
+    for (std::size_t r = 0; r < ranks; ++r) {
+      comms.push_back(coll::make_communicator(platform, r, ccfg));
+    }
+
+    Results out;
+    const std::size_t kBcastBytes = 200 * 1024;
+    const auto truth = random_bytes(kBcastBytes, 19 * ranks);
+    out.bcast.resize(ranks);
+    for (std::size_t r = 0; r < ranks; ++r) {
+      out.bcast[r] = r == 1 ? truth : std::vector<std::byte>(kBcastBytes);
+    }
+    const std::size_t kElems = 64 * 1024 / sizeof(std::uint64_t) + 5;
+    std::vector<std::vector<std::uint64_t>> contrib(ranks);
+    for (std::size_t r = 0; r < ranks; ++r) {
+      contrib[r] = random_u64(kElems, 500 * ranks + r);
+    }
+    out.sum.resize(kElems);
+    out.min.assign(ranks, std::vector<std::uint64_t>(kElems));
+
+    std::vector<coll::CollHandle> ops;
+    for (std::size_t r = 0; r < ranks; ++r) {
+      ops.push_back(comms[r].ibcast(out.bcast[r], /*root=*/1));
+      ops.push_back(comms[r].ireduce<std::uint64_t>(
+          contrib[r], r == 0 ? std::span<std::uint64_t>(out.sum)
+                             : std::span<std::uint64_t>{},
+          /*root=*/0, coll::ReduceKind::kSum));
+      ops.push_back(comms[r].iallreduce<std::uint64_t>(
+          contrib[r], out.min[r], coll::ReduceKind::kMin));
+      ops.push_back(comms[r].ibarrier());
+    }
+    EXPECT_TRUE(coll::wait_all(ops, coll::hooks_for(platform)));
+
+    // The hierarchical run must actually have used two levels (the split
+    // leaves at least 2 ranks per host at every matrix size).
+    if constexpr (obs::kMetricsEnabled) {
+      const auto& m = comms[0].metrics();
+      EXPECT_EQ(m.levels.value(), hierarchical ? 2 : 1);
+      if (hierarchical) EXPECT_GT(m.level_inter_sends.value(), 0u);
+    }
+    return out;
+  }
+};
+
+TEST_P(CollHetero, HierAndFlatAreByteIdentical) {
+  const auto p = GetParam();
+  const Results hier = run(p, /*hierarchical=*/true);
+  const Results flat = run(p, /*hierarchical=*/false);
+  // uint64 sum/min references are order-independent, so both trees must
+  // produce bit-equal outputs — the composition is semantically invisible.
+  for (std::size_t r = 0; r < p.ranks; ++r) {
+    EXPECT_EQ(hier.bcast[r], flat.bcast[r]) << "bcast rank " << r;
+    EXPECT_EQ(hier.min[r], flat.min[r]) << "allreduce rank " << r;
+  }
+  EXPECT_EQ(hier.sum, flat.sum);
+}
+
+std::string hetero_name(const ::testing::TestParamInfo<HeteroParam>& info) {
+  const auto& p = info.param;
+  return std::to_string(p.ranks) + "ranks_" +
+         (p.mode == ProgressMode::kThreaded ? "threaded" : "serial") +
+         (p.chaos ? "_chaos" : "_clean");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TwoHosts, CollHetero,
+    ::testing::Values(
+        HeteroParam{6, ProgressMode::kSerial, false},
+        HeteroParam{7, ProgressMode::kSerial, false},
+        HeteroParam{6, ProgressMode::kThreaded, false},
+        HeteroParam{7, ProgressMode::kThreaded, false},
+        HeteroParam{6, ProgressMode::kSerial, true},
+        HeteroParam{7, ProgressMode::kSerial, true},
+        HeteroParam{6, ProgressMode::kThreaded, true},
+        HeteroParam{7, ProgressMode::kThreaded, true}),
+    hetero_name);
+
+TEST(CollHetero, DeadRailMidHierarchicalBcastFailsOver) {
+  // 6 ranks on two hosts, two rails per edge, zero-probability chaos so
+  // links can be killed with reliability on. Killing one rail of the slow
+  // inter-host leader edge AND one fast intra-host rail mid-collective
+  // must degrade, not break, the hierarchical broadcast.
+  const std::size_t ranks = 6;
+  MultiNodeConfig cfg;
+  cfg.nodes = ranks;
+  cfg.progress_mode = ProgressMode::kSerial;
+  cfg.links = {netmodel::gige_tcp(), netmodel::myrinet2000_gm2()};
+  cfg.intra_host_links = {netmodel::myri10g(), netmodel::quadrics_qm500()};
+  cfg.hosts = {0, 0, 0, 1, 1, 1};
+  cfg.chaos = drv::ChaosConfig::uniform(drv::FaultProfile{}, /*window=*/1);
+  cfg.strat_cfg.reliability.ack_enabled = true;
+  MultiNodePlatform platform(cfg);
+  std::vector<coll::Communicator> comms;
+  for (std::size_t r = 0; r < ranks; ++r) {
+    comms.push_back(coll::make_communicator(platform, r));
+  }
+
+  const auto truth = random_bytes(1 << 20, 33);
+  std::vector<std::vector<std::byte>> bufs(ranks,
+                                           std::vector<std::byte>(truth.size()));
+  bufs[0] = truth;
+  std::vector<coll::CollHandle> ops;
+  for (std::size_t r = 0; r < ranks; ++r) {
+    ops.push_back(comms[r].ibcast(bufs[r], /*root=*/0));
+  }
+  // Root 0 leads host 0; rank 3 leads host 1: {0,3} is the only
+  // inter-domain edge of the tree. Kill its rail 0 plus a fast rail.
+  platform.kill_link(0, 3, 0);
+  platform.kill_link(0, 1, 0);
+  ASSERT_TRUE(coll::wait_all(ops, coll::hooks_for(platform)));
+  for (std::size_t r = 1; r < ranks; ++r) {
+    EXPECT_EQ(bufs[r], truth) << "rank " << r;
+  }
+}
+
 // --- algorithm shape ---------------------------------------------------------
 
 TEST(CollTree, BinomialShapeIsConsistent) {

@@ -1,0 +1,328 @@
+// Locality topology and lazy platform tests: domain grouping from host
+// labels and rate matrices, the two-level hierarchy tree's structural
+// invariants (spanning tree, leader rule, flat fallback), the sparse-mesh
+// edge validation, and lazy session/edge establishment (counts, metrics,
+// and a collective over a world that starts with zero edges).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "coll/bcast.hpp"
+#include "coll/communicator.hpp"
+#include "coll/topology.hpp"
+#include "core/platform.hpp"
+#include "obs/registry.hpp"
+#include "pattern_gen.hpp"
+#include "util/panic.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace nmad;
+using namespace nmad::core;
+
+// --- descriptor construction -------------------------------------------------
+
+TEST(Topology, FromHostsAssignsDenseIdsByFirstAppearance) {
+  // Host labels are arbitrary integers; domain ids must be dense and
+  // ordered by first appearance so every rank derives the same descriptor.
+  const coll::Topology topo =
+      coll::Topology::from_hosts({7, 7, 3, 9, 3, 7});
+  ASSERT_EQ(topo.size(), 6u);
+  ASSERT_EQ(topo.domains().size(), 3u);
+  EXPECT_EQ(topo.domain_of(0), 0u);  // host 7 seen first
+  EXPECT_EQ(topo.domain_of(2), 1u);  // host 3 second
+  EXPECT_EQ(topo.domain_of(3), 2u);  // host 9 third
+  EXPECT_EQ(topo.domains()[0].members, (std::vector<std::size_t>{0, 1, 5}));
+  EXPECT_EQ(topo.domains()[1].members, (std::vector<std::size_t>{2, 4}));
+  EXPECT_EQ(topo.domains()[2].members, (std::vector<std::size_t>{3}));
+  EXPECT_FALSE(topo.flat());
+}
+
+TEST(Topology, LeaderIsRootInRootsDomainElseSmallestMember) {
+  const coll::Topology topo = coll::Topology::from_hosts({0, 0, 0, 1, 1, 1});
+  // Root 4 lives in domain 1: it leads there, domain 0 keeps rank 0.
+  EXPECT_EQ(topo.leader(1, /*root=*/4), 4u);
+  EXPECT_EQ(topo.leader(0, /*root=*/4), 0u);
+  EXPECT_EQ(topo.leader(0, /*root=*/2), 2u);
+}
+
+TEST(Topology, FlatWhenOneDomainOrAllSingletons) {
+  EXPECT_TRUE(coll::Topology::from_hosts({5, 5, 5, 5}).flat());
+  EXPECT_TRUE(coll::Topology::from_hosts({0, 1, 2, 3}).flat());
+  EXPECT_TRUE(coll::Topology::from_hosts({0}).flat());
+  EXPECT_FALSE(coll::Topology::from_hosts({0, 0, 1, 1}).flat());
+}
+
+TEST(Topology, HostsFromRatesClustersFastCliques) {
+  // 4 ranks: {0,1} and {2,3} joined by ~1200 MB/s links, everything else
+  // ~100 MB/s. At the default fast_fraction the slow links fall below the
+  // threshold and two domains emerge.
+  const double f = 1200.0, s = 100.0;
+  const std::vector<std::vector<double>> rates{
+      {0, f, s, s}, {f, 0, s, s}, {s, s, 0, f}, {s, s, f, 0}};
+  const auto hosts = coll::hosts_from_rates(rates);
+  const coll::Topology topo = coll::Topology::from_hosts(hosts);
+  EXPECT_EQ(topo.domains().size(), 2u);
+  EXPECT_EQ(topo.domain_of(0), topo.domain_of(1));
+  EXPECT_EQ(topo.domain_of(2), topo.domain_of(3));
+  EXPECT_NE(topo.domain_of(0), topo.domain_of(2));
+
+  // A zero/negative entry means "no direct link" and never clusters, even
+  // with a tiny threshold.
+  const std::vector<std::vector<double>> gapped{
+      {0, 0, 0}, {0, 0, f}, {0, f, 0}};
+  const auto gapped_hosts = coll::hosts_from_rates(gapped, /*fast_fraction=*/0.01);
+  EXPECT_NE(gapped_hosts[0], gapped_hosts[1]);
+  EXPECT_EQ(gapped_hosts[1], gapped_hosts[2]);
+}
+
+// --- hierarchy tree shape ----------------------------------------------------
+
+/// Structural audit of the composed tree over every rank: each non-root
+/// rank's parent lists it as a child, and the edge set is a spanning tree.
+void expect_spanning(const coll::Topology& topo, std::size_t root) {
+  const std::size_t n = topo.size();
+  std::size_t edges = 0;
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    const auto shape = coll::hierarchy_tree(rank, root, topo);
+    if (rank == root) {
+      EXPECT_EQ(shape.parent, coll::TreeShape::kNoParent);
+    } else {
+      ASSERT_NE(shape.parent, coll::TreeShape::kNoParent);
+      ASSERT_LT(shape.parent, n);
+      const auto parent = coll::hierarchy_tree(shape.parent, root, topo);
+      EXPECT_NE(
+          std::find(parent.children.begin(), parent.children.end(), rank),
+          parent.children.end())
+          << "root " << root << " rank " << rank;
+    }
+    edges += shape.children.size();
+  }
+  EXPECT_EQ(edges, n - 1) << "root " << root;
+}
+
+TEST(HierarchyTree, SpansEveryRootAndHostShape) {
+  for (const auto& hosts : std::vector<std::vector<std::size_t>>{
+           {0, 0, 0, 1, 1, 1},                    // two even hosts
+           {0, 0, 0, 0, 1, 1, 1},                 // ragged split
+           {0, 1, 1, 2, 2, 2, 2, 3},              // mixed sizes + singleton
+           bench::group_labels(13, 3),            // ragged tail grouping
+       }) {
+    const coll::Topology topo = coll::Topology::from_hosts(hosts);
+    for (std::size_t root = 0; root < topo.size(); ++root) {
+      expect_spanning(topo, root);
+    }
+  }
+}
+
+TEST(HierarchyTree, OnlyLeadersCrossDomains) {
+  const coll::Topology topo = coll::Topology::from_hosts({0, 0, 0, 1, 1, 1});
+  const std::size_t root = 1;
+  for (std::size_t rank = 0; rank < topo.size(); ++rank) {
+    const auto shape = coll::hierarchy_tree(rank, root, topo);
+    EXPECT_EQ(shape.levels, 2u);
+    const bool is_leader =
+        topo.leader(topo.domain_of(rank), root) == rank;
+    for (std::size_t child : shape.children) {
+      const bool crosses = topo.domain_of(child) != topo.domain_of(rank);
+      if (crosses) {
+        // Cross-domain edges connect leaders only, and hierarchy_tree
+        // appends them after the intra-domain children so broadcast's
+        // reverse iteration starts the slow edges first.
+        EXPECT_TRUE(is_leader) << "rank " << rank << " child " << child;
+        EXPECT_EQ(topo.leader(topo.domain_of(child), root), child);
+      }
+    }
+    // Children lists are intra-first: once a cross-domain child appears,
+    // no intra-domain child may follow.
+    bool seen_inter = false;
+    for (std::size_t child : shape.children) {
+      const bool crosses = topo.domain_of(child) != topo.domain_of(rank);
+      if (crosses) seen_inter = true;
+      if (seen_inter) {
+        EXPECT_TRUE(crosses) << "rank " << rank;
+      }
+    }
+    // Non-leaders never leave their domain in either direction.
+    if (!is_leader && shape.parent != coll::TreeShape::kNoParent) {
+      EXPECT_EQ(topo.domain_of(shape.parent), topo.domain_of(rank));
+    }
+  }
+}
+
+TEST(HierarchyTree, FlatTopologyDegeneratesToBinomial) {
+  const coll::Topology topo = coll::Topology::from_hosts({4, 4, 4, 4, 4});
+  ASSERT_TRUE(topo.flat());
+  for (std::size_t rank = 0; rank < 5; ++rank) {
+    const auto hier = coll::hierarchy_tree(rank, /*root=*/2, topo);
+    const auto flat = coll::binomial_tree(rank, /*root=*/2, 5);
+    EXPECT_EQ(hier.parent, flat.parent);
+    EXPECT_EQ(hier.children, flat.children);
+    EXPECT_EQ(hier.depth, flat.depth);
+    EXPECT_EQ(hier.levels, 1u);
+  }
+}
+
+// --- sparse-mesh edge validation ---------------------------------------------
+
+class EdgeValidation : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::set_panic_hook(+[](std::string_view msg) {
+      throw std::runtime_error(std::string(msg));
+    });
+  }
+  void TearDown() override { util::set_panic_hook(nullptr); }
+
+  static MultiNodeConfig sparse(
+      std::vector<std::pair<std::size_t, std::size_t>> edges) {
+    MultiNodeConfig cfg;
+    cfg.nodes = 4;
+    cfg.progress_mode = ProgressMode::kSerial;
+    cfg.edges = std::move(edges);
+    return cfg;
+  }
+};
+
+TEST_F(EdgeValidation, RejectsSelfLoops) {
+  EXPECT_THROW(MultiNodePlatform{sparse({{1, 1}})}, std::runtime_error);
+}
+
+TEST_F(EdgeValidation, RejectsOutOfRangeEndpoints) {
+  EXPECT_THROW(MultiNodePlatform{sparse({{0, 4}})}, std::runtime_error);
+}
+
+TEST_F(EdgeValidation, RejectsDuplicatesIncludingFlippedOnes) {
+  EXPECT_THROW(MultiNodePlatform{sparse({{0, 1}, {0, 1}})},
+               std::runtime_error);
+  // {2, 1} is the same undirected edge as {1, 2}.
+  EXPECT_THROW(MultiNodePlatform{sparse({{1, 2}, {2, 1}})},
+               std::runtime_error);
+}
+
+TEST_F(EdgeValidation, AcceptsAValidSparseSetInEitherOrientation) {
+  MultiNodePlatform platform(sparse({{2, 0}, {1, 3}}));
+  EXPECT_TRUE(platform.has_gate(0, 2));
+  EXPECT_TRUE(platform.has_gate(3, 1));
+  EXPECT_FALSE(platform.has_gate(0, 1));
+  EXPECT_EQ(platform.established_edges(), 2u);
+  EXPECT_EQ(platform.lazy_edges(), 0u);
+}
+
+// --- lazy establishment ------------------------------------------------------
+
+TEST(LazyPlatform, StartsEmptyAndEstablishesOnFirstUse) {
+  MultiNodeConfig cfg;
+  cfg.nodes = 5;
+  cfg.lazy = true;
+  cfg.progress_mode = ProgressMode::kSerial;
+  MultiNodePlatform platform(cfg);
+  EXPECT_EQ(platform.established_edges(), 0u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_FALSE(platform.has_gate(i, j)) << i << "," << j;
+    }
+  }
+
+  // First use creates the edge (both directions at once); repeats are free.
+  const GateId g02 = platform.ensure_gate(0, 2);
+  EXPECT_EQ(platform.ensure_gate(0, 2), g02);
+  EXPECT_TRUE(platform.has_gate(2, 0));
+  EXPECT_EQ(platform.established_edges(), 1u);
+  EXPECT_EQ(platform.lazy_edges(), 1u);
+
+  // The lazily-built edge carries real traffic.
+  util::Xoshiro256 rng(3);
+  std::vector<std::byte> payload(20000), sink(20000);
+  for (auto& b : payload) b = std::byte(rng.next() & 0xff);
+  auto recv = platform.session(2).irecv(platform.gate(2, 0), 0, sink);
+  auto send = platform.session(0).isend(g02, 0, payload);
+  platform.session(0).wait(send);
+  platform.session(2).wait(recv);
+  EXPECT_EQ(sink, payload);
+
+  if constexpr (obs::kMetricsEnabled) {
+    obs::MetricsRegistry registry;
+    platform.register_metrics(registry);
+    const auto snap = registry.snapshot();
+    EXPECT_EQ(snap.counters.at("platform.sessions_established"), 1);
+    EXPECT_EQ(snap.counters.at("platform.sessions_lazy_created"), 1);
+  }
+}
+
+TEST(LazyPlatform, NamedEdgesAreEagerTheRestLazy) {
+  MultiNodeConfig cfg;
+  cfg.nodes = 4;
+  cfg.lazy = true;
+  cfg.edges = {{0, 1}};
+  cfg.progress_mode = ProgressMode::kSerial;
+  MultiNodePlatform platform(cfg);
+  EXPECT_TRUE(platform.has_gate(0, 1));
+  EXPECT_EQ(platform.established_edges(), 1u);
+  EXPECT_EQ(platform.lazy_edges(), 0u);
+  (void)platform.ensure_gate(2, 3);
+  EXPECT_EQ(platform.established_edges(), 2u);
+  EXPECT_EQ(platform.lazy_edges(), 1u);
+}
+
+TEST(LazyPlatform, EnsureGateOnEagerWorldRejectsUnknownEdges) {
+  util::set_panic_hook(+[](std::string_view msg) {
+    throw std::runtime_error(std::string(msg));
+  });
+  MultiNodeConfig cfg;
+  cfg.nodes = 3;
+  cfg.edges = {{0, 1}};
+  cfg.progress_mode = ProgressMode::kSerial;
+  MultiNodePlatform platform(cfg);
+  // A listed edge resolves; an unlisted one is a hard error, not a silent
+  // on-demand build — only lazy worlds may grow.
+  EXPECT_EQ(platform.ensure_gate(0, 1), platform.gate(0, 1));
+  EXPECT_THROW((void)platform.ensure_gate(0, 2), std::runtime_error);
+  util::set_panic_hook(nullptr);
+}
+
+TEST(LazyPlatform, CollectiveOverLazyWorldBuildsOnlyTreeEdges) {
+  // 9 ranks on 3 hosts, lazy: a hierarchical broadcast must establish a
+  // spanning tree's worth of edges (8), not the 36-edge mesh.
+  MultiNodeConfig cfg;
+  cfg.nodes = 9;
+  cfg.hosts = bench::group_labels(9, 3);
+  cfg.links = {netmodel::gige_tcp()};
+  cfg.intra_host_links = {netmodel::myri10g()};
+  cfg.strategy = "single_rail";
+  cfg.lazy = true;
+  cfg.progress_mode = ProgressMode::kSerial;
+  MultiNodePlatform platform(cfg);
+
+  std::vector<coll::Communicator> comms;
+  for (std::size_t r = 0; r < 9; ++r) {
+    comms.push_back(coll::make_communicator(platform, r));
+  }
+  util::Xoshiro256 rng(17);
+  std::vector<std::vector<std::byte>> bufs(9, std::vector<std::byte>(50000));
+  for (auto& b : bufs[0]) b = std::byte(rng.next() & 0xff);
+  std::vector<coll::CollHandle> ops;
+  for (std::size_t r = 0; r < 9; ++r) {
+    ops.push_back(comms[r].ibcast(bufs[r], /*root=*/0));
+  }
+  ASSERT_TRUE(coll::wait_all(ops, coll::hooks_for(platform)));
+  for (std::size_t r = 1; r < 9; ++r) EXPECT_EQ(bufs[r], bufs[0]);
+  EXPECT_EQ(platform.established_edges(), 8u);
+  EXPECT_EQ(platform.lazy_edges(), 8u);
+}
+
+// --- group labels (bench vocabulary feeding hosts) ---------------------------
+
+TEST(GroupLabels, ContiguousWithRaggedTail) {
+  EXPECT_EQ(bench::group_labels(6, 3), (std::vector<std::size_t>{0, 0, 0, 1, 1, 1}));
+  // 7 = 3+3+1: the tail group holds the remainder.
+  EXPECT_EQ(bench::group_labels(7, 3),
+            (std::vector<std::size_t>{0, 0, 0, 1, 1, 1, 2}));
+  EXPECT_EQ(bench::group_labels(2, 5), (std::vector<std::size_t>{0, 0}));
+}
+
+}  // namespace
